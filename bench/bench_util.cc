@@ -1,0 +1,139 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace uhscm::bench {
+
+namespace {
+
+[[noreturn]] void Usage(const char* what) {
+  std::fprintf(stderr,
+               "unknown or malformed flag: %s\n"
+               "usage: bench [--scale=F] [--seed=N] "
+               "[--datasets=cifar,nuswide,flickr] [--bits=32,64,96,128] "
+               "[--csv]\n",
+               what);
+  std::exit(2);
+}
+
+}  // namespace
+
+BenchFlags ParseFlags(int argc, char** argv) {
+  BenchFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--scale=")) {
+      flags.scale = std::atof(arg.c_str() + 8);
+      if (flags.scale <= 0.0) Usage(argv[i]);
+    } else if (StartsWith(arg, "--seed=")) {
+      flags.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (StartsWith(arg, "--datasets=")) {
+      flags.datasets = Split(arg.substr(11), ',');
+      for (const std::string& d : flags.datasets) {
+        if (d != "cifar" && d != "nuswide" && d != "flickr") Usage(argv[i]);
+      }
+    } else if (StartsWith(arg, "--bits=")) {
+      flags.bits.clear();
+      for (const std::string& b : Split(arg.substr(7), ',')) {
+        const int v = std::atoi(b.c_str());
+        if (v <= 0) Usage(argv[i]);
+        flags.bits.push_back(v);
+      }
+    } else if (arg == "--csv") {
+      flags.csv = true;
+    } else {
+      Usage(argv[i]);
+    }
+  }
+  return flags;
+}
+
+BenchEnv MakeBenchEnv(const std::string& dataset_name,
+                      const BenchFlags& flags) {
+  BenchEnv env;
+  env.dataset_name = dataset_name;
+  env.world = std::make_unique<data::SemanticWorld>(flags.seed);
+
+  // Paper proportions at ~1/4 of the tables' scale per unit of --scale
+  // (full-paper sizes are 10x the defaults; pass --scale=4 or more to
+  // approach them).
+  data::SyntheticOptions options = data::DefaultOptionsFor(dataset_name);
+  options.sizes.database =
+      static_cast<int>(options.sizes.database * 0.25 * flags.scale);
+  options.sizes.train =
+      static_cast<int>(options.sizes.train * 0.4 * flags.scale);
+  options.sizes.query =
+      static_cast<int>(options.sizes.query * 0.3 * flags.scale);
+
+  Rng rng(flags.seed + 17);
+  env.dataset =
+      data::MakeDatasetByName(dataset_name, env.world.get(), options, &rng);
+  env.nus_vocab = data::MakeNusVocab(env.world.get());
+  env.coco_vocab = data::MakeCocoVocab(env.world.get());
+  env.combined_vocab = data::MakeCombinedVocab(env.world.get());
+
+  env.vlp = std::make_unique<vlp::SimulatedVlpModel>(env.world.get());
+  env.extractor = std::make_unique<features::SimulatedCnnFeatureExtractor>(
+      env.world->pixel_dim());
+
+  env.train_pixels = env.dataset.pixels.SelectRows(env.dataset.split.train);
+  env.database_pixels =
+      env.dataset.pixels.SelectRows(env.dataset.split.database);
+  env.query_pixels = env.dataset.pixels.SelectRows(env.dataset.split.query);
+  return env;
+}
+
+baselines::TrainContext MakeTrainContext(const BenchEnv& env, int bits,
+                                         uint64_t seed) {
+  baselines::TrainContext context;
+  context.train_pixels = env.train_pixels;
+  context.train_features = env.extractor->Extract(env.train_pixels);
+  context.extractor = env.extractor.get();
+  context.bits = bits;
+  context.seed = seed;
+  return context;
+}
+
+MethodRun RunMethod(baselines::HashingMethod* method, const BenchEnv& env,
+                    int bits, const eval::RetrievalEvalOptions& eval_options,
+                    uint64_t seed) {
+  MethodRun run;
+  baselines::TrainContext context = MakeTrainContext(env, bits, seed);
+
+  Stopwatch fit_watch;
+  const Status st = method->Fit(context);
+  run.fit_seconds = fit_watch.ElapsedSeconds();
+  UHSCM_CHECK(st.ok(), st.ToString().c_str());
+
+  Stopwatch encode_watch;
+  run.database_codes = method->Encode(env.database_pixels);
+  run.query_codes = method->Encode(env.query_pixels);
+  run.encode_seconds = encode_watch.ElapsedSeconds();
+
+  run.eval = eval::EvaluateRetrieval(env.dataset, run.database_codes,
+                                     run.query_codes, eval_options);
+  return run;
+}
+
+core::UhscmConfig BenchUhscmConfig(const std::string& dataset_name, int bits,
+                                   uint64_t seed) {
+  core::UhscmConfig config = core::DefaultConfigFor(dataset_name, bits);
+  config.max_epochs = 40;
+  config.seed = seed;
+  return config;
+}
+
+std::unique_ptr<baselines::UhscmMethod> MakeUhscm(const BenchEnv& env,
+                                                  int bits, uint64_t seed) {
+  return std::make_unique<baselines::UhscmMethod>(
+      env.vlp.get(), env.nus_vocab,
+      BenchUhscmConfig(env.dataset_name, bits, seed));
+}
+
+}  // namespace uhscm::bench

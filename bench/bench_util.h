@@ -1,0 +1,92 @@
+#ifndef UHSCM_BENCH_BENCH_UTIL_H_
+#define UHSCM_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/hashing_method.h"
+#include "baselines/registry.h"
+#include "common/rng.h"
+#include "data/concept_vocab.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "eval/retrieval_eval.h"
+#include "features/cnn_features.h"
+#include "vlp/simulated_vlp.h"
+
+namespace uhscm::bench {
+
+/// Shared command-line flags of the table/figure benches.
+///
+///   --scale=<double>     multiplies every dataset size (default 1.0 ==
+///                        db ~1000 / train ~400 / query ~120 per dataset)
+///   --seed=<uint64>      experiment seed
+///   --datasets=a,b,c     subset of {cifar,nuswide,flickr}
+///   --bits=a,b,c         subset of {32,64,96,128}
+///   --csv                additionally print the table as CSV
+struct BenchFlags {
+  double scale = 1.0;
+  uint64_t seed = 2023;
+  std::vector<std::string> datasets = {"cifar", "nuswide", "flickr"};
+  std::vector<int> bits = {32, 64, 96, 128};
+  bool csv = false;
+};
+
+/// Parses the flags above; unknown flags abort with a usage message.
+BenchFlags ParseFlags(int argc, char** argv);
+
+/// One fully wired dataset environment at bench scale.
+struct BenchEnv {
+  std::string dataset_name;
+  std::unique_ptr<data::SemanticWorld> world;
+  data::Dataset dataset;
+  data::ConceptVocab nus_vocab;
+  data::ConceptVocab coco_vocab;
+  data::ConceptVocab combined_vocab;
+  std::unique_ptr<vlp::SimulatedVlpModel> vlp;
+  std::unique_ptr<features::SimulatedCnnFeatureExtractor> extractor;
+
+  /// Cached per-split pixel matrices.
+  linalg::Matrix train_pixels;
+  linalg::Matrix database_pixels;
+  linalg::Matrix query_pixels;
+};
+
+/// Builds the environment for one dataset ("cifar"/"nuswide"/"flickr").
+/// At scale 1.0 the split is ~1000 database / ~400 train / ~120 query —
+/// the paper's §4.1 proportions at laptop scale (see DESIGN.md).
+BenchEnv MakeBenchEnv(const std::string& dataset_name,
+                      const BenchFlags& flags);
+
+/// Prepares the TrainContext for a method on this environment.
+baselines::TrainContext MakeTrainContext(const BenchEnv& env, int bits,
+                                         uint64_t seed);
+
+/// Fits a method and evaluates the full retrieval protocol.
+struct MethodRun {
+  eval::RetrievalEvalResult eval;
+  double fit_seconds = 0.0;
+  double encode_seconds = 0.0;
+  /// Database/query codes, retained for benches that post-process them
+  /// (t-SNE, top-10 panels).
+  linalg::Matrix database_codes;
+  linalg::Matrix query_codes;
+};
+MethodRun RunMethod(baselines::HashingMethod* method, const BenchEnv& env,
+                    int bits, const eval::RetrievalEvalOptions& eval_options,
+                    uint64_t seed);
+
+/// The UHSCM configuration used for this dataset at bench scale (paper
+/// hyper-parameters + bench-scale epochs/batch).
+core::UhscmConfig BenchUhscmConfig(const std::string& dataset_name, int bits,
+                                   uint64_t seed);
+
+/// Builds the full UHSCM method bound to this environment's VLP + the 81
+/// NUS-WIDE concepts (the paper's default vocabulary).
+std::unique_ptr<baselines::UhscmMethod> MakeUhscm(const BenchEnv& env,
+                                                  int bits, uint64_t seed);
+
+}  // namespace uhscm::bench
+
+#endif  // UHSCM_BENCH_BENCH_UTIL_H_

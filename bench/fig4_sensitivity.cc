@@ -1,0 +1,112 @@
+// Regenerates Figure 4: MAP sensitivity to the five hyper-parameters at
+// 64 bits on the three datasets, sweeping one parameter with the others
+// fixed at the paper's per-dataset defaults (§4.6):
+//   tau   in {1m, 2m, 3m, 4m}
+//   alpha in {0, 0.1, 0.2, 0.3, 0.4, 0.5}
+//   lambda in {0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+//   gamma in {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+//   beta  in {0, 0.0001, 0.001, 0.01, 0.1}
+//
+// Paper reference (Figure 4): performance is stable across broad ranges;
+// tau best at 1m/3m, alpha in [0.1, 0.4], beta best at 0.001.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+
+namespace uhscm::bench {
+namespace {
+
+using ::uhscm::StrFormat;
+
+double RunWithConfig(const BenchEnv& env, const core::UhscmConfig& config,
+                     uint64_t seed) {
+  baselines::UhscmMethod method(env.vlp.get(), env.nus_vocab, config);
+  eval::RetrievalEvalOptions eval_options;
+  eval_options.map_at = 5000;
+  eval_options.topn_points = {};
+  MethodRun run =
+      RunMethod(&method, env, config.bits, eval_options, seed);
+  return run.eval.map;
+}
+
+int Main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  const int bits = 64;  // the paper's Figure 4 setting
+
+  for (const std::string& dataset : flags.datasets) {
+    BenchEnv env = MakeBenchEnv(dataset, flags);
+    std::printf("\n=== Figure 4: hyper-parameter sensitivity, %s @ 64 bits "
+                "===\n",
+                dataset.c_str());
+
+    // (a/f/k) tau multiplier.
+    {
+      TableWriter table({"tau", "MAP"});
+      for (float mult : {1.0f, 2.0f, 3.0f, 4.0f}) {
+        core::UhscmConfig config = BenchUhscmConfig(dataset, bits, flags.seed);
+        config.tau_multiplier = mult;
+        table.AddRow(StrFormat("%.0fm", mult),
+                     {RunWithConfig(env, config, flags.seed)});
+      }
+      table.Print(std::cout);
+      if (flags.csv) std::cout << table.ToCsv();
+    }
+    // (b/g/l) alpha.
+    {
+      TableWriter table({"alpha", "MAP"});
+      for (float alpha : {0.0f, 0.1f, 0.2f, 0.3f, 0.4f, 0.5f}) {
+        core::UhscmConfig config = BenchUhscmConfig(dataset, bits, flags.seed);
+        config.alpha = alpha;
+        table.AddRow(StrFormat("%.1f", alpha),
+                     {RunWithConfig(env, config, flags.seed)});
+      }
+      table.Print(std::cout);
+      if (flags.csv) std::cout << table.ToCsv();
+    }
+    // (c/h/m) lambda.
+    {
+      TableWriter table({"lambda", "MAP"});
+      for (float lambda : {0.5f, 0.6f, 0.7f, 0.8f, 0.9f, 1.0f}) {
+        core::UhscmConfig config = BenchUhscmConfig(dataset, bits, flags.seed);
+        config.lambda = lambda;
+        table.AddRow(StrFormat("%.1f", lambda),
+                     {RunWithConfig(env, config, flags.seed)});
+      }
+      table.Print(std::cout);
+      if (flags.csv) std::cout << table.ToCsv();
+    }
+    // (d/i/n) gamma.
+    {
+      TableWriter table({"gamma", "MAP"});
+      for (float gamma : {0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f}) {
+        core::UhscmConfig config = BenchUhscmConfig(dataset, bits, flags.seed);
+        config.gamma = gamma;
+        table.AddRow(StrFormat("%.1f", gamma),
+                     {RunWithConfig(env, config, flags.seed)});
+      }
+      table.Print(std::cout);
+      if (flags.csv) std::cout << table.ToCsv();
+    }
+    // (e/j/o) beta.
+    {
+      TableWriter table({"beta", "MAP"});
+      for (float beta : {0.0f, 0.0001f, 0.001f, 0.01f, 0.1f}) {
+        core::UhscmConfig config = BenchUhscmConfig(dataset, bits, flags.seed);
+        config.beta = beta;
+        table.AddRow(StrFormat("%g", beta),
+                     {RunWithConfig(env, config, flags.seed)});
+      }
+      table.Print(std::cout);
+      if (flags.csv) std::cout << table.ToCsv();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace uhscm::bench
+
+int main(int argc, char** argv) { return uhscm::bench::Main(argc, argv); }

@@ -1,0 +1,99 @@
+// Regenerates Figure 5: t-SNE visualization of 64-bit database codes on
+// the CIFAR-like dataset for UHSCM vs. CIB, MLS3RDUH and BGAN.
+//
+// The paper's figure is qualitative ("UHSCM shows a clearer structure,
+// clusters separated"). This bench (a) writes each method's 2-D
+// embedding to fig5_<method>.csv (x, y, class) for plotting, and (b)
+// prints the mean silhouette of the embedding under the true classes —
+// the machine-checkable version of "clusters are separated". Expected
+// ordering: UHSCM highest.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "eval/metrics.h"
+#include "eval/tsne.h"
+
+namespace uhscm::bench {
+namespace {
+
+using ::uhscm::StrFormat;
+
+int Main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  const int bits = 64;
+
+  BenchEnv env = MakeBenchEnv("cifar", flags);
+  // Embed a class-stratified sample of the database to keep t-SNE O(n^2)
+  // affordable.
+  const int sample_target = 600;
+  const auto& db = env.dataset.split.database;
+  std::vector<int> sample_rows;  // positions into the database split
+  const int stride =
+      std::max(1, static_cast<int>(db.size()) / sample_target);
+  for (size_t i = 0; i < db.size(); i += static_cast<size_t>(stride)) {
+    sample_rows.push_back(static_cast<int>(i));
+  }
+  const std::vector<int> primary = data::PrimaryClassIndex(env.dataset);
+  std::vector<int> sample_labels;
+  for (int pos : sample_rows) {
+    sample_labels.push_back(primary[static_cast<size_t>(db[static_cast<size_t>(pos)])]);
+  }
+
+  std::printf("=== Figure 5: t-SNE of 64-bit database codes (cifar), "
+              "sample n=%zu ===\n",
+              sample_rows.size());
+  TableWriter table({"Method", "silhouette(by true class)"});
+
+  eval::RetrievalEvalOptions eval_options;
+  eval_options.map_at = 100;
+  eval_options.topn_points = {};
+
+  for (const std::string& name : {std::string("UHSCM"), std::string("CIB"),
+                                  std::string("MLS3RDUH"),
+                                  std::string("BGAN")}) {
+    std::unique_ptr<baselines::HashingMethod> method;
+    if (name == "UHSCM") {
+      method = MakeUhscm(env, bits, flags.seed);
+    } else {
+      method = std::move(baselines::MakeBaseline(name).ValueOrDie());
+    }
+    MethodRun run = RunMethod(method.get(), env, bits, eval_options, flags.seed);
+
+    const linalg::Matrix sample_codes =
+        run.database_codes.SelectRows(sample_rows);
+    eval::TsneOptions tsne_options;
+    tsne_options.perplexity = 30.0;
+    tsne_options.iterations = 300;
+    Rng rng(flags.seed + 5);
+    Result<linalg::Matrix> embedding =
+        eval::RunTsne(sample_codes, tsne_options, &rng);
+    UHSCM_CHECK(embedding.ok(), embedding.status().ToString().c_str());
+
+    std::vector<float> flat(embedding->data(),
+                            embedding->data() + embedding->size());
+    const double silhouette =
+        eval::MeanSilhouette(flat, 2, sample_labels);
+    table.AddRow(name, {silhouette});
+
+    const std::string path = StrFormat("fig5_%s.csv", name.c_str());
+    std::ofstream out(path);
+    out << "x,y,class\n";
+    for (int i = 0; i < embedding->rows(); ++i) {
+      out << (*embedding)(i, 0) << ',' << (*embedding)(i, 1) << ','
+          << sample_labels[static_cast<size_t>(i)] << '\n';
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  table.Print(std::cout);
+  if (flags.csv) std::cout << table.ToCsv();
+  return 0;
+}
+
+}  // namespace
+}  // namespace uhscm::bench
+
+int main(int argc, char** argv) { return uhscm::bench::Main(argc, argv); }

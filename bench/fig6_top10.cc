@@ -1,0 +1,87 @@
+// Regenerates Figure 6: top-10 retrieved results on the CIFAR-like
+// dataset (64 bits) for UHSCM, CIB, MLS3RDUH and BGAN.
+//
+// The paper shows image grids with relevant results framed green and
+// irrelevant framed red, concluding UHSCM has the fewest faults. This
+// bench prints, for each of 10 fixed queries, the retrieved database
+// ids with a +/- relevance flag, plus the per-method total fault count
+// (the quantitative content of the figure).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "index/linear_scan.h"
+#include "index/packed_codes.h"
+
+namespace uhscm::bench {
+namespace {
+
+using ::uhscm::StrFormat;
+
+int Main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  const int bits = 64;
+  const int kQueries = 10;
+  const int kTop = 10;
+
+  BenchEnv env = MakeBenchEnv("cifar", flags);
+  std::printf("=== Figure 6: top-%d retrieval, cifar @ %d bits "
+              "(+ relevant / - irrelevant) ===\n",
+              kTop, bits);
+
+  eval::RetrievalEvalOptions eval_options;
+  eval_options.map_at = 100;
+  eval_options.topn_points = {};
+
+  TableWriter faults({"Method", "faults(out of 100)"});
+  for (const std::string& name : {std::string("UHSCM"), std::string("CIB"),
+                                  std::string("MLS3RDUH"),
+                                  std::string("BGAN")}) {
+    std::unique_ptr<baselines::HashingMethod> method;
+    if (name == "UHSCM") {
+      method = MakeUhscm(env, bits, flags.seed);
+    } else {
+      method = std::move(baselines::MakeBaseline(name).ValueOrDie());
+    }
+    MethodRun run =
+        RunMethod(method.get(), env, bits, eval_options, flags.seed);
+
+    index::LinearScanIndex scan(
+        index::PackedCodes::FromSignMatrix(run.database_codes));
+    index::PackedCodes packed_q =
+        index::PackedCodes::FromSignMatrix(run.query_codes);
+
+    std::printf("\n-- %s --\n", name.c_str());
+    int total_faults = 0;
+    for (int q = 0; q < std::min(kQueries, packed_q.size()); ++q) {
+      const int query_image = env.dataset.split.query[static_cast<size_t>(q)];
+      const auto top = scan.TopK(packed_q.code(q), kTop);
+      std::string line = StrFormat(
+          "query %2d [%s]:", q,
+          env.dataset
+              .class_names[static_cast<size_t>(data::PrimaryClassIndex(
+                  env.dataset)[static_cast<size_t>(query_image)])]
+              .c_str());
+      for (const auto& nb : top) {
+        const bool rel = env.dataset.Relevant(
+            query_image,
+            env.dataset.split.database[static_cast<size_t>(nb.id)]);
+        if (!rel) ++total_faults;
+        line += StrFormat(" %c%d", rel ? '+' : '-', nb.id);
+      }
+      std::printf("%s\n", line.c_str());
+    }
+    faults.AddRow(name, {static_cast<double>(total_faults)}, 0);
+  }
+  std::printf("\n");
+  faults.Print(std::cout);
+  if (flags.csv) std::cout << faults.ToCsv();
+  return 0;
+}
+
+}  // namespace
+}  // namespace uhscm::bench
+
+int main(int argc, char** argv) { return uhscm::bench::Main(argc, argv); }

@@ -1,0 +1,117 @@
+// Micro-performance benchmarks (google-benchmark) for the hot kernels
+// behind the paper-table benches: packed Hamming scans, multi-index
+// hashing lookups, GEMM, VLP scoring, and the UHSCM batch loss. These
+// are the "is the substrate fast enough" counterpart to the paper-shape
+// benches; run any binary with --benchmark_filter=... as usual.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/losses.h"
+#include "data/concept_vocab.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "index/linear_scan.h"
+#include "index/multi_index_hash.h"
+#include "index/packed_codes.h"
+#include "linalg/ops.h"
+#include "vlp/simulated_vlp.h"
+
+namespace uhscm {
+namespace {
+
+linalg::Matrix RandomCodes(int n, int bits, Rng* rng) {
+  linalg::Matrix m(n, bits);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return m;
+}
+
+void BM_LinearScanTopK(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  Rng rng(1);
+  index::LinearScanIndex scan(
+      index::PackedCodes::FromSignMatrix(RandomCodes(n, bits, &rng)));
+  index::PackedCodes query =
+      index::PackedCodes::FromSignMatrix(RandomCodes(1, bits, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan.TopK(query.code(0), 100));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LinearScanTopK)
+    ->Args({10000, 64})
+    ->Args({10000, 128})
+    ->Args({100000, 64});
+
+void BM_MihRadiusQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int radius = static_cast<int>(state.range(1));
+  Rng rng(2);
+  index::MultiIndexHashTable mih(
+      index::PackedCodes::FromSignMatrix(RandomCodes(n, 64, &rng)), 0);
+  index::PackedCodes query =
+      index::PackedCodes::FromSignMatrix(RandomCodes(1, 64, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mih.WithinRadius(query.code(0), radius));
+  }
+}
+BENCHMARK(BM_MihRadiusQuery)
+    ->Args({10000, 2})
+    ->Args({10000, 6})
+    ->Args({100000, 2});
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  linalg::Matrix a = linalg::Matrix::RandomNormal(n, n, &rng);
+  linalg::Matrix b = linalg::Matrix::RandomNormal(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_VlpScoring(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  data::SemanticWorld world(4);
+  data::SyntheticOptions options;
+  options.sizes = {n, n / 2, n / 10};
+  Rng rng(5);
+  const data::Dataset dataset = data::MakeCifar10Like(&world, options, &rng);
+  const data::ConceptVocab vocab = data::MakeNusVocab(&world);
+  const vlp::SimulatedVlpModel vlp(&world);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vlp.ScoreImagesAgainstConcepts(
+        dataset.pixels, vocab.ids, vlp::PromptTemplate::kAPhotoOfThe));
+  }
+  state.SetItemsProcessed(state.iterations() * n * vocab.size());
+}
+BENCHMARK(BM_VlpScoring)->Arg(200)->Arg(1000);
+
+void BM_UhscmBatchLoss(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  Rng rng(6);
+  linalg::Matrix z = linalg::Matrix::RandomNormal(t, bits, &rng);
+  linalg::Matrix q(t, t);
+  for (int i = 0; i < t; ++i) {
+    q(i, i) = 1.0f;
+    for (int j = i + 1; j < t; ++j) {
+      q(i, j) = q(j, i) = static_cast<float>(rng.Uniform());
+    }
+  }
+  core::UhscmLossOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::UhscmBatchLoss(z, q, options));
+  }
+  state.SetItemsProcessed(state.iterations() * t * t);
+}
+BENCHMARK(BM_UhscmBatchLoss)->Args({128, 64})->Args({128, 128});
+
+}  // namespace
+}  // namespace uhscm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Regenerates Table 2: MAPs of UHSCM and its 14 ablation variants for
+// different numbers of hash bits on the three image datasets.
+//
+// Rows (paper numbering):
+//   1  UHSCM_coco       - MS-COCO 80 categories as the concept set
+//   2  UHSCM_nus&coco   - union of the two vocabularies
+//   3  UHSCM_IF         - CLIP image-feature cosine, no concept mining
+//   4  UHSCM_P1         - prompt "the {}"
+//   5  UHSCM_P2         - prompt "it contains the {}"
+//   6  UHSCM_avg        - mean similarity over the three prompts
+//   7  UHSCM_w/o_de     - no concept denoising
+//   8-12 UHSCM_c20..c60 - k-means concept clustering instead of Eq. 5
+//   13 UHSCM_w/o_MCL    - drop the modified contrastive loss
+//   14 UHSCM_CL         - original CIB contrastive loss J_c instead
+//   Ours UHSCM          - the full method
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "core/trainer.h"
+
+namespace uhscm::bench {
+namespace {
+
+using ::uhscm::StrFormat;
+
+struct Variant {
+  std::string label;
+  /// Mutates the config and/or selects a vocabulary.
+  enum class Vocab { kNus, kCoco, kCombined } vocab = Vocab::kNus;
+  core::SimilaritySource source = core::SimilaritySource::kDenoisedConcepts;
+  core::ContrastiveMode contrastive = core::ContrastiveMode::kModified;
+  vlp::PromptTemplate prompt = vlp::PromptTemplate::kAPhotoOfThe;
+  int kmeans_clusters = 0;  // >0 selects the clustering source
+};
+
+std::vector<Variant> MakeVariants() {
+  std::vector<Variant> variants;
+  variants.push_back({"1 UHSCM_coco", Variant::Vocab::kCoco});
+  variants.push_back({"2 UHSCM_nus&coco", Variant::Vocab::kCombined});
+  {
+    Variant v{"3 UHSCM_IF"};
+    v.source = core::SimilaritySource::kImageFeatures;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"4 UHSCM_P1"};
+    v.prompt = vlp::PromptTemplate::kThe;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"5 UHSCM_P2"};
+    v.prompt = vlp::PromptTemplate::kItContainsThe;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"6 UHSCM_avg"};
+    v.source = core::SimilaritySource::kAveragePrompts;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"7 UHSCM_w/o_de"};
+    v.source = core::SimilaritySource::kRawConcepts;
+    variants.push_back(v);
+  }
+  for (int clusters : {20, 30, 40, 50, 60}) {
+    Variant v{StrFormat("%d UHSCM_c%d", 8 + (clusters - 20) / 10, clusters)};
+    v.source = core::SimilaritySource::kKMeansClusters;
+    v.kmeans_clusters = clusters;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"13 UHSCM_w/o_MCL"};
+    v.contrastive = core::ContrastiveMode::kNone;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"14 UHSCM_CL"};
+    v.contrastive = core::ContrastiveMode::kOriginal;
+    variants.push_back(v);
+  }
+  variants.push_back({"Ours UHSCM"});
+  return variants;
+}
+
+int Main(int argc, char** argv) {
+  BenchFlags flags = ParseFlags(argc, argv);
+  std::printf("=== Table 2: MAPs of UHSCM and its ablation variants ===\n");
+
+  for (const std::string& dataset : flags.datasets) {
+    BenchEnv env = MakeBenchEnv(dataset, flags);
+    std::printf("\n-- %s --\n", dataset.c_str());
+
+    std::vector<std::string> header = {"Variant"};
+    for (int bits : flags.bits) header.push_back(StrFormat("%d bits", bits));
+    TableWriter table(header);
+
+    eval::RetrievalEvalOptions eval_options;
+    eval_options.map_at = 5000;
+    eval_options.topn_points = {};
+
+    for (const Variant& variant : MakeVariants()) {
+      std::vector<double> row;
+      for (int bits : flags.bits) {
+        core::UhscmConfig config =
+            BenchUhscmConfig(dataset, bits, flags.seed);
+        config.similarity_source = variant.source;
+        config.contrastive_mode = variant.contrastive;
+        config.prompt = variant.prompt;
+        if (variant.kmeans_clusters > 0) {
+          config.kmeans_clusters = variant.kmeans_clusters;
+        }
+        const data::ConceptVocab& vocab =
+            variant.vocab == Variant::Vocab::kCoco      ? env.coco_vocab
+            : variant.vocab == Variant::Vocab::kCombined ? env.combined_vocab
+                                                         : env.nus_vocab;
+        baselines::UhscmMethod method(env.vlp.get(), vocab, config);
+        MethodRun run =
+            RunMethod(&method, env, bits, eval_options, flags.seed);
+        row.push_back(run.eval.map);
+      }
+      table.AddRow(variant.label, row);
+    }
+    table.Print(std::cout);
+    if (flags.csv) std::cout << table.ToCsv();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace uhscm::bench
+
+int main(int argc, char** argv) { return uhscm::bench::Main(argc, argv); }

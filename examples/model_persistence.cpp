@@ -1,0 +1,106 @@
+// Model persistence: train once, ship the artifacts, serve elsewhere —
+// the offline/online split every production deployment of a hashing
+// model uses.
+//
+//   $ ./build/examples/model_persistence
+//
+// Offline: trains UHSCM, saves the hashing network and the packed
+// database codes to disk. Online: a fresh process state reloads both,
+// verifies the reloaded network encodes bit-for-bit identically, and
+// serves queries against the reloaded code database.
+#include <cstdio>
+#include <string>
+
+#include "core/trainer.h"
+#include "data/concept_vocab.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "index/linear_scan.h"
+#include "io/serialize.h"
+#include "vlp/simulated_vlp.h"
+
+int main() {
+  using namespace uhscm;
+
+  const std::string model_path = "/tmp/uhscm_model.bin";
+  const std::string codes_path = "/tmp/uhscm_codes.bin";
+
+  // ---------------- offline: train and persist ----------------
+  data::SemanticWorld world(41);
+  data::SyntheticOptions options = data::DefaultOptionsFor("cifar");
+  options.sizes = {1500, 500, 50};
+  Rng rng(42);
+  data::Dataset dataset = data::MakeCifar10Like(&world, options, &rng);
+  data::ConceptVocab vocab = data::MakeNusVocab(&world);
+  vlp::SimulatedVlpModel vlp(&world);
+
+  core::UhscmConfig config = core::DefaultConfigFor("cifar", 64);
+  core::UhscmTrainer trainer(&vlp, config);
+  Result<core::UhscmModel> model = trainer.Train(
+      dataset.pixels.SelectRows(dataset.split.train), vocab);
+  if (!model.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+
+  const linalg::Matrix db_codes =
+      model->Encode(dataset.pixels.SelectRows(dataset.split.database));
+  Status st = io::SaveHashingNetwork(*model->network, model_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  st = io::SavePackedCodes(index::PackedCodes::FromSignMatrix(db_codes),
+                           codes_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("offline: saved model -> %s, %d codes -> %s\n",
+              model_path.c_str(), db_codes.rows(), codes_path.c_str());
+
+  // ---------------- online: reload and serve ----------------
+  Result<std::unique_ptr<core::HashingNetwork>> reloaded =
+      io::LoadHashingNetwork(model_path);
+  Result<index::PackedCodes> reloaded_codes = io::LoadPackedCodes(codes_path);
+  if (!reloaded.ok() || !reloaded_codes.ok()) {
+    std::fprintf(stderr, "reload failed\n");
+    return 1;
+  }
+
+  // Bit-exactness check: the reloaded network must reproduce the
+  // training-time codes exactly.
+  const linalg::Matrix recheck = (*reloaded)->EncodeBinary(
+      dataset.pixels.SelectRows(dataset.split.database));
+  for (size_t i = 0; i < recheck.size(); ++i) {
+    if (recheck.data()[i] != db_codes.data()[i]) {
+      std::fprintf(stderr, "reloaded model diverges at element %zu!\n", i);
+      return 1;
+    }
+  }
+  std::printf("online: reloaded model encodes bit-for-bit identically\n");
+
+  index::LinearScanIndex scan(std::move(reloaded_codes.ValueOrDie()));
+  const linalg::Matrix query_codes = (*reloaded)->EncodeBinary(
+      dataset.pixels.SelectRows(dataset.split.query));
+  const index::PackedCodes packed_queries =
+      index::PackedCodes::FromSignMatrix(query_codes);
+
+  int relevant = 0;
+  for (int q = 0; q < packed_queries.size(); ++q) {
+    const int query_image = dataset.split.query[static_cast<size_t>(q)];
+    for (const index::Neighbor& nb : scan.TopK(packed_queries.code(q), 10)) {
+      if (dataset.Relevant(query_image,
+                           dataset.split.database[static_cast<size_t>(nb.id)])) {
+        ++relevant;
+      }
+    }
+  }
+  std::printf("online: P@10 over %d queries = %.3f\n", packed_queries.size(),
+              relevant / (10.0 * packed_queries.size()));
+
+  std::remove(model_path.c_str());
+  std::remove(codes_path.c_str());
+  return 0;
+}

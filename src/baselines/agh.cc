@@ -1,0 +1,134 @@
+#include "baselines/agh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/eigen.h"
+#include "linalg/kmeans.h"
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+linalg::Matrix Agh::BuildZ(const linalg::Matrix& features) const {
+  const int n = features.rows();
+  const int a = anchors_.rows();
+  const int s = std::min(options_.s, a);
+  linalg::Matrix z(n, a);
+  for (int i = 0; i < n; ++i) {
+    // Distances to all anchors; keep the s nearest.
+    std::vector<float> d2(static_cast<size_t>(a));
+    for (int c = 0; c < a; ++c) {
+      d2[static_cast<size_t>(c)] = linalg::SquaredDistance(
+          features.Row(i), anchors_.Row(c), features.cols());
+    }
+    std::vector<int> order(static_cast<size_t>(a));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + s, order.end(),
+                      [&](int x, int y) {
+                        return d2[static_cast<size_t>(x)] < d2[static_cast<size_t>(y)];
+                      });
+    float sum = 0.0f;
+    for (int r = 0; r < s; ++r) {
+      const int c = order[static_cast<size_t>(r)];
+      const float w =
+          std::exp(-d2[static_cast<size_t>(c)] / bandwidth_);
+      z(i, c) = w;
+      sum += w;
+    }
+    if (sum > 1e-12f) {
+      for (int r = 0; r < s; ++r) {
+        const int c = order[static_cast<size_t>(r)];
+        z(i, c) /= sum;
+      }
+    }
+  }
+  return z;
+}
+
+Status Agh::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("AGH requires a feature extractor");
+  }
+  extractor_ = context.extractor;
+  const linalg::Matrix& features = context.train_features;
+  const int n = features.rows();
+  int a = options_.num_anchors;
+  if (a <= 0) a = std::min(300, std::max(context.bits + 1, n / 4));
+  if (a > n) a = n;
+  if (context.bits >= a) {
+    return Status::InvalidArgument("AGH: bits must be < number of anchors");
+  }
+
+  Rng rng(context.seed);
+  Result<linalg::KMeansResult> km = linalg::KMeans(features, a, &rng);
+  if (!km.ok()) return km.status();
+  anchors_ = std::move(km.ValueOrDie().centroids);
+
+  // Median-distance bandwidth heuristic over a sample of point-anchor
+  // pairs.
+  std::vector<float> sample_d2;
+  const int probe = std::min(n, 200);
+  for (int i = 0; i < probe; ++i) {
+    const int r = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int c = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(a)));
+    sample_d2.push_back(linalg::SquaredDistance(features.Row(r),
+                                                anchors_.Row(c),
+                                                features.cols()));
+  }
+  std::nth_element(sample_d2.begin(),
+                   sample_d2.begin() + sample_d2.size() / 2,
+                   sample_d2.end());
+  bandwidth_ = std::max(sample_d2[sample_d2.size() / 2], 1e-6f);
+
+  const linalg::Matrix z = BuildZ(features);
+
+  // Lambda = diag(column sums of Z).
+  std::vector<double> lambda(static_cast<size_t>(a), 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < a; ++c) lambda[static_cast<size_t>(c)] += z(i, c);
+  }
+  std::vector<float> inv_sqrt_lambda(static_cast<size_t>(a), 0.0f);
+  for (int c = 0; c < a; ++c) {
+    inv_sqrt_lambda[static_cast<size_t>(c)] =
+        lambda[static_cast<size_t>(c)] > 1e-10
+            ? static_cast<float>(1.0 / std::sqrt(lambda[static_cast<size_t>(c)]))
+            : 0.0f;
+  }
+
+  // M = Lambda^{-1/2} Z^T Z Lambda^{-1/2}.
+  linalg::Matrix m = linalg::MatMulTransA(z, z);
+  for (int r = 0; r < a; ++r) {
+    for (int c = 0; c < a; ++c) {
+      m(r, c) *= inv_sqrt_lambda[static_cast<size_t>(r)] *
+                 inv_sqrt_lambda[static_cast<size_t>(c)];
+    }
+  }
+
+  // Top bits+1 eigenpairs; drop the trivial (eigenvalue ~1) leading pair.
+  Result<linalg::EigenDecomposition> eig =
+      linalg::TopKEigen(m, context.bits + 1);
+  if (!eig.ok()) return eig.status();
+  const linalg::EigenDecomposition& d = eig.ValueOrDie();
+
+  projection_ = linalg::Matrix(a, context.bits);
+  for (int b = 0; b < context.bits; ++b) {
+    const int col = b + 1;  // skip trivial eigenvector
+    const double sigma = std::max(d.eigenvalues[static_cast<size_t>(col)], 1e-10);
+    const double scale = std::sqrt(static_cast<double>(n)) / std::sqrt(sigma);
+    for (int r = 0; r < a; ++r) {
+      projection_(r, b) = static_cast<float>(
+          inv_sqrt_lambda[static_cast<size_t>(r)] * d.eigenvectors(r, col) * scale);
+    }
+  }
+  return Status::OK();
+}
+
+linalg::Matrix Agh::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(extractor_ != nullptr, "AGH: Fit must be called first");
+  const linalg::Matrix features = extractor_->Extract(pixels);
+  const linalg::Matrix z = BuildZ(features);
+  return linalg::Sign(linalg::MatMul(z, projection_));
+}
+
+}  // namespace uhscm::baselines

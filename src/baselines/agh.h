@@ -1,0 +1,46 @@
+#ifndef UHSCM_BASELINES_AGH_H_
+#define UHSCM_BASELINES_AGH_H_
+
+#include <string>
+
+#include "baselines/hashing_method.h"
+
+namespace uhscm::baselines {
+
+/// AGH tunables.
+struct AghOptions {
+  /// Number of anchors (k-means centroids); 0 picks min(300, n/4).
+  int num_anchors = 0;
+  /// Nearest anchors each point connects to.
+  int s = 3;
+};
+
+/// \brief Anchor Graph Hashing (Liu et al., ICML'11), one-layer variant.
+///
+/// Builds a sparse anchor graph Z (kernel weights to the s nearest
+/// k-means anchors, rows normalized), forms the small a x a matrix
+/// M = Lambda^{-1/2} Z^T Z Lambda^{-1/2}, and thresholds the spectral
+/// embedding Y = Z Lambda^{-1/2} V Sigma^{-1/2} at zero. Out-of-sample
+/// codes reuse the anchor kernel map.
+class Agh : public HashingMethod {
+ public:
+  explicit Agh(const AghOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "AGH"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  /// Anchor kernel map: n x a row-normalized weights to s nearest anchors.
+  linalg::Matrix BuildZ(const linalg::Matrix& features) const;
+
+  AghOptions options_;
+  const features::SimulatedCnnFeatureExtractor* extractor_ = nullptr;
+  linalg::Matrix anchors_;     // a x feature_dim
+  float bandwidth_ = 1.0f;     // kernel sigma^2 (median heuristic)
+  linalg::Matrix projection_;  // a x bits: Lambda^{-1/2} V Sigma^{-1/2}
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_AGH_H_

@@ -1,0 +1,136 @@
+#include "baselines/bgan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+#include "nn/sgd.h"
+
+namespace uhscm::baselines {
+
+namespace {
+
+/// Binary cross-entropy with logits. Fills dlogits with dL/dlogit (mean
+/// reduction) and returns the loss.
+double BceWithLogits(const linalg::Matrix& logits, float label,
+                     linalg::Matrix* dlogits) {
+  const int n = logits.rows();
+  double loss = 0.0;
+  const double inv = 1.0 / std::max(n, 1);
+  for (int i = 0; i < n; ++i) {
+    const double l = logits(i, 0);
+    // Numerically stable BCE-with-logits.
+    loss += inv * (std::max(l, 0.0) - l * label + std::log1p(std::exp(-std::fabs(l))));
+    const double sig = 1.0 / (1.0 + std::exp(-l));
+    (*dlogits)(i, 0) = static_cast<float>(inv * (sig - label));
+  }
+  return loss;
+}
+
+}  // namespace
+
+Status Bgan::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("BGAN requires a feature extractor");
+  }
+  const int n = context.train_features.rows();
+  if (n < 2) return Status::InvalidArgument("BGAN: need >= 2 images");
+
+  // Neighborhood structure: the top `neighbor_quantile` fraction of
+  // pairwise feature cosines become +1 targets, the rest -1.
+  const linalg::Matrix cos = linalg::SelfCosine(context.train_features);
+  std::vector<float> off_diag;
+  off_diag.reserve(static_cast<size_t>(n) * (n - 1));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) off_diag.push_back(cos(i, j));
+    }
+  }
+  const size_t cut = static_cast<size_t>(
+      (1.0f - options_.neighbor_quantile) * static_cast<float>(off_diag.size()));
+  std::nth_element(off_diag.begin(),
+                   off_diag.begin() + std::min(cut, off_diag.size() - 1),
+                   off_diag.end());
+  const float threshold = off_diag[std::min(cut, off_diag.size() - 1)];
+
+  linalg::Matrix target(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      target(i, j) = (i == j || cos(i, j) >= threshold) ? 1.0f : -1.0f;
+    }
+  }
+  linalg::Matrix ones(n, n, 1.0f);
+
+  Rng rng(context.seed);
+  DeepTrainOptions train = options_.train;
+  train.max_epochs = train.max_epochs * 2;  // GAN games converge slowly
+  // Adversarial losses fluctuate by construction, so plateau-based early
+  // stopping is meaningless for a GAN; run the full schedule like the
+  // original implementation does.
+  train.disable_early_stop = true;
+  train.network.bits = context.bits;
+  network_ = std::make_unique<core::HashingNetwork>(
+      context.train_pixels.cols(), train.network, &rng);
+
+  // Discriminator: codes -> real/fake logit.
+  nn::Sequential disc;
+  disc.Append(std::make_unique<nn::Linear>(context.bits, 64, &rng));
+  disc.Append(std::make_unique<nn::Relu>());
+  disc.Append(std::make_unique<nn::Linear>(64, 1, &rng));
+  nn::SgdOptions disc_sgd;
+  disc_sgd.learning_rate = 0.01f;
+  disc_sgd.momentum = 0.9f;
+  disc_sgd.weight_decay = 1e-5f;
+  nn::SgdOptimizer disc_optimizer(&disc, disc_sgd);
+
+  TrainDeepModel(
+      network_.get(), context.train_pixels,
+      [&](const linalg::Matrix& z, const std::vector<int>& batch) {
+        const int t = z.rows();
+        // --- discriminator step(s): real = uniform {-1,+1}, fake = z ---
+        for (int step = 0; step < options_.disc_steps; ++step) {
+          linalg::Matrix real(t, z.cols());
+          for (size_t v = 0; v < real.size(); ++v) {
+            real.data()[v] = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+          }
+          disc_optimizer.ZeroGrad();
+          linalg::Matrix real_logits = disc.Forward(real);
+          linalg::Matrix dreal(t, 1);
+          BceWithLogits(real_logits, 1.0f, &dreal);
+          disc.Backward(dreal);
+          linalg::Matrix fake_logits = disc.Forward(z);
+          linalg::Matrix dfake(t, 1);
+          BceWithLogits(fake_logits, 0.0f, &dfake);
+          disc.Backward(dfake);
+          disc_optimizer.Step();
+        }
+
+        // --- generator loss: similarity + fool-the-discriminator ---
+        core::LossAndGrad lg = core::MaskedL2SimilarityLoss(
+            z, SliceSquare(target, batch), SliceSquare(ones, batch),
+            options_.quantization_beta);
+
+        disc.ZeroGrad();
+        linalg::Matrix gen_logits = disc.Forward(z);
+        linalg::Matrix dlogits(t, 1);
+        const double adv_loss = BceWithLogits(gen_logits, 1.0f, &dlogits);
+        linalg::Matrix dz_adv = disc.Backward(dlogits);
+        disc.ZeroGrad();  // discard generator-pass gradients on D
+
+        lg.loss += options_.adversarial_weight * adv_loss;
+        lg.dz.AddScaled(dz_adv, options_.adversarial_weight);
+        return lg;
+      },
+      train, &rng);
+  return Status::OK();
+}
+
+linalg::Matrix Bgan::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(network_ != nullptr, "BGAN: Fit must be called first");
+  return network_->EncodeBinary(pixels);
+}
+
+}  // namespace uhscm::baselines

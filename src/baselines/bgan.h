@@ -1,0 +1,52 @@
+#ifndef UHSCM_BASELINES_BGAN_H_
+#define UHSCM_BASELINES_BGAN_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/deep_common.h"
+#include "baselines/hashing_method.h"
+#include "nn/sequential.h"
+
+namespace uhscm::baselines {
+
+/// BGAN tunables.
+struct BganOptions {
+  /// Fraction of the most-similar pairs declared neighbors when building
+  /// the similarity graph.
+  float neighbor_quantile = 0.02f;
+  /// Weight of the adversarial (code-distribution) term.
+  float adversarial_weight = 0.1f;
+  float quantization_beta = 0.001f;
+  /// Discriminator updates per generator step. GAN training runs the
+  /// discriminator several times per generator update and needs more
+  /// epochs to stabilize — the reason BGAN is one of the slowest methods
+  /// in the paper's Table 3.
+  int disc_steps = 3;
+  DeepTrainOptions train;
+};
+
+/// \brief Binary Generative Adversarial Networks for image retrieval
+/// (Song et al., AAAI'18), simplified to its two load-bearing pieces:
+/// (1) a feature-derived binary neighborhood matrix driving an L2
+/// similarity loss, and (2) an adversarial regularizer — a small
+/// discriminator trained to tell generated codes from ideal uniform
+/// {-1,+1} codes, whose fooling loss shapes the code distribution. The
+/// GAN game makes it markedly slower than the plain-SGD methods, which
+/// is the property Table 3 reports.
+class Bgan : public HashingMethod {
+ public:
+  explicit Bgan(const BganOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "BGAN"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  BganOptions options_;
+  std::unique_ptr<core::HashingNetwork> network_;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_BGAN_H_

@@ -1,0 +1,100 @@
+#include "baselines/cib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/losses.h"
+#include "nn/sgd.h"
+
+namespace uhscm::baselines {
+
+Status Cib::Fit(const TrainContext& context) {
+  const int n = context.train_pixels.rows();
+  if (n < 2) return Status::InvalidArgument("CIB: need >= 2 images");
+
+  Rng rng(context.seed);
+  DeepTrainOptions train = options_.train;
+  train.network.bits = context.bits;
+  network_ = std::make_unique<core::HashingNetwork>(
+      context.train_pixels.cols(), train.network, &rng);
+
+  nn::SgdOptions sgd;
+  sgd.learning_rate = train.learning_rate;
+  sgd.momentum = train.momentum;
+  sgd.weight_decay = train.weight_decay;
+  nn::SgdOptimizer optimizer(network_->model(), sgd);
+
+  const int batch = std::min(train.batch_size, n);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  double best_loss = std::numeric_limits<double>::max();
+  int stall_epochs = 0;
+  constexpr int kPatience = 4;
+  for (int epoch = 0; epoch < train.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int steps = 0;
+    for (int start = 0; start + 2 <= n; start += batch) {
+      const int end = std::min(start + batch, n);
+      std::vector<int> batch_idx(order.begin() + start, order.begin() + end);
+      const int t = static_cast<int>(batch_idx.size());
+      if (t < 2) continue;
+
+      const linalg::Matrix x = context.train_pixels.SelectRows(batch_idx);
+      const linalg::Matrix v1 =
+          core::AugmentPixels(x, options_.augment, &rng);
+      const linalg::Matrix v2 =
+          core::AugmentPixels(x, options_.augment, &rng);
+      linalg::Matrix stacked(2 * t, x.cols());
+      for (int i = 0; i < t; ++i) {
+        std::copy(v1.Row(i), v1.Row(i) + x.cols(), stacked.Row(i));
+        std::copy(v2.Row(i), v2.Row(i) + x.cols(), stacked.Row(t + i));
+      }
+
+      optimizer.ZeroGrad();
+      linalg::Matrix z = network_->Forward(stacked);
+      core::LossAndGrad lg =
+          core::OriginalContrastiveLoss(z, t, options_.gamma);
+
+      // Quantization over both views.
+      const double inv = 1.0 / static_cast<double>(2 * t);
+      double lq = 0.0;
+      for (int i = 0; i < 2 * t; ++i) {
+        const float* zi = z.Row(i);
+        float* dzi = lg.dz.Row(i);
+        for (int c = 0; c < z.cols(); ++c) {
+          const float b = zi[c] < 0.0f ? -1.0f : 1.0f;
+          const float diff = zi[c] - b;
+          lq += static_cast<double>(diff) * diff;
+          dzi[c] += static_cast<float>(2.0 * options_.quantization_beta *
+                                       inv * diff);
+        }
+      }
+      lg.loss += options_.quantization_beta * lq * inv;
+
+      network_->Backward(lg.dz);
+      optimizer.Step();
+      epoch_loss += lg.loss;
+      ++steps;
+    }
+    epoch_loss /= std::max(steps, 1);
+    if (best_loss - epoch_loss >
+        train.convergence_tol * std::fabs(best_loss)) {
+      best_loss = epoch_loss;
+      stall_epochs = 0;
+    } else if (++stall_epochs >= kPatience) {
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+linalg::Matrix Cib::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(network_ != nullptr, "CIB: Fit must be called first");
+  return network_->EncodeBinary(pixels);
+}
+
+}  // namespace uhscm::baselines

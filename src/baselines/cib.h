@@ -1,0 +1,41 @@
+#ifndef UHSCM_BASELINES_CIB_H_
+#define UHSCM_BASELINES_CIB_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/deep_common.h"
+#include "baselines/hashing_method.h"
+#include "core/augment.h"
+
+namespace uhscm::baselines {
+
+/// CIB tunables.
+struct CibOptions {
+  float gamma = 0.2f;           ///< contrastive temperature
+  float quantization_beta = 0.001f;
+  core::AugmentOptions augment;
+  DeepTrainOptions train;
+};
+
+/// \brief Contrastive Information Bottleneck hashing (Qiu et al.,
+/// IJCAI'21): two augmented views per image, the InfoNCE loss J_c of
+/// Eq. (10) (positives = the other view of the same image only), plus a
+/// quantization penalty. This is the baseline whose contrastive term
+/// UHSCM's modified loss generalizes.
+class Cib : public HashingMethod {
+ public:
+  explicit Cib(const CibOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "CIB"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  CibOptions options_;
+  std::unique_ptr<core::HashingNetwork> network_;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_CIB_H_

@@ -1,0 +1,102 @@
+#include "baselines/deep_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+std::vector<double> TrainDeepModel(core::HashingNetwork* network,
+                                   const linalg::Matrix& train_pixels,
+                                   const BatchLossFn& loss_fn,
+                                   const DeepTrainOptions& options, Rng* rng) {
+  UHSCM_CHECK(network != nullptr, "TrainDeepModel: null network");
+  const int n = train_pixels.rows();
+  UHSCM_CHECK(n >= 2, "TrainDeepModel: need >= 2 training rows");
+
+  nn::SgdOptions sgd;
+  sgd.learning_rate = options.learning_rate;
+  sgd.momentum = options.momentum;
+  sgd.weight_decay = options.weight_decay;
+  nn::SgdOptimizer optimizer(network->model(), sgd);
+
+  const int batch = std::min(options.batch_size, n);
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<double> epoch_losses;
+  // Patience-based stop: epoch losses are noisy under SGD.
+  double best_loss = std::numeric_limits<double>::max();
+  int stall_epochs = 0;
+  constexpr int kPatience = 4;
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double epoch_loss = 0.0;
+    int steps = 0;
+    for (int start = 0; start + 2 <= n; start += batch) {
+      const int end = std::min(start + batch, n);
+      std::vector<int> batch_idx(order.begin() + start, order.begin() + end);
+      if (batch_idx.size() < 2) continue;
+
+      const linalg::Matrix x = train_pixels.SelectRows(batch_idx);
+      optimizer.ZeroGrad();
+      linalg::Matrix z = network->Forward(x);
+      core::LossAndGrad lg = loss_fn(z, batch_idx);
+      network->Backward(lg.dz);
+      optimizer.Step();
+      epoch_loss += lg.loss;
+      ++steps;
+    }
+    epoch_loss /= std::max(steps, 1);
+    epoch_losses.push_back(epoch_loss);
+    if (best_loss - epoch_loss >
+        options.convergence_tol * std::fabs(best_loss)) {
+      best_loss = epoch_loss;
+      stall_epochs = 0;
+    } else if (!options.disable_early_stop && ++stall_epochs >= kPatience) {
+      break;
+    }
+  }
+  return epoch_losses;
+}
+
+linalg::Matrix SliceSquare(const linalg::Matrix& full,
+                           const std::vector<int>& indices) {
+  const int t = static_cast<int>(indices.size());
+  linalg::Matrix out(t, t);
+  for (int i = 0; i < t; ++i) {
+    for (int j = 0; j < t; ++j) {
+      out(i, j) = full(indices[static_cast<size_t>(i)],
+                       indices[static_cast<size_t>(j)]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> NearestNeighborsByCosine(
+    const linalg::Matrix& features, int k) {
+  const int n = features.rows();
+  k = std::min(k, n - 1);
+  const linalg::Matrix sim = linalg::SelfCosine(features);
+  std::vector<std::vector<int>> nn(static_cast<size_t>(n));
+  ParallelFor(n, [&](int i) {
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::partial_sort(order.begin(), order.begin() + k + 1, order.end(),
+                      [&](int a, int b) { return sim(i, a) > sim(i, b); });
+    std::vector<int>& mine = nn[static_cast<size_t>(i)];
+    for (int j = 0; j < n && static_cast<int>(mine.size()) < k; ++j) {
+      if (order[static_cast<size_t>(j)] != i) {
+        mine.push_back(order[static_cast<size_t>(j)]);
+      }
+    }
+  });
+  return nn;
+}
+
+}  // namespace uhscm::baselines

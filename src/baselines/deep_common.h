@@ -1,0 +1,57 @@
+#ifndef UHSCM_BASELINES_DEEP_COMMON_H_
+#define UHSCM_BASELINES_DEEP_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hashing_network.h"
+#include "core/losses.h"
+#include "linalg/matrix.h"
+#include "nn/sgd.h"
+
+namespace uhscm::baselines {
+
+/// Optimization knobs shared by the deep baselines (the paper trains all
+/// deep methods with the same backbone and optimizer family for fairness,
+/// §4.1).
+struct DeepTrainOptions {
+  int batch_size = 128;
+  int max_epochs = 25;
+  /// See UhscmConfig::learning_rate: retuned for from-scratch backbones.
+  float learning_rate = 0.02f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-5f;
+  double convergence_tol = 1e-4;
+  /// Run the full epoch schedule regardless of loss plateaus (GANs).
+  bool disable_early_stop = false;
+  core::HashingNetworkOptions network;
+};
+
+/// Computes a mini-batch loss and its gradient with respect to the batch
+/// code matrix. `batch_indices` are row positions into the training set,
+/// so similarity-guided methods can slice their precomputed matrices.
+using BatchLossFn = std::function<core::LossAndGrad(
+    const linalg::Matrix& z, const std::vector<int>& batch_indices)>;
+
+/// \brief Generic mini-batch SGD loop over a HashingNetwork: the training
+/// engine behind SSDH, GH, BGAN, MLS3RDUH and UTH (CIB has a bespoke
+/// two-view loop). Returns per-epoch mean losses.
+std::vector<double> TrainDeepModel(core::HashingNetwork* network,
+                                   const linalg::Matrix& train_pixels,
+                                   const BatchLossFn& loss_fn,
+                                   const DeepTrainOptions& options, Rng* rng);
+
+/// Slices the t x t sub-matrix of `full` at the given row/col indices.
+linalg::Matrix SliceSquare(const linalg::Matrix& full,
+                           const std::vector<int>& indices);
+
+/// Row-wise k-nearest-neighbor lists (by cosine similarity, self
+/// excluded) over the rows of `features` — shared by MLS3RDUH and UTH.
+std::vector<std::vector<int>> NearestNeighborsByCosine(
+    const linalg::Matrix& features, int k);
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_DEEP_COMMON_H_

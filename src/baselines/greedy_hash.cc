@@ -1,0 +1,93 @@
+#include "baselines/greedy_hash.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+Status GreedyHash::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("GH requires a feature extractor");
+  }
+  const int n = context.train_features.rows();
+  if (n < 2) return Status::InvalidArgument("GH: need >= 2 images");
+
+  // Standardized, signed similarity target: raw feature cosines are
+  // almost all positive, and regressing code cosines onto an all-positive
+  // target has a degenerate optimum where every code collapses onto one
+  // hypercube corner. Centering/scaling the cosines (clamped to [-1, 1])
+  // gives above-average pairs positive targets and below-average pairs
+  // negative ones, which is the structure the original GreedyHash
+  // preserves through its feature-reconstruction term.
+  linalg::Matrix target = linalg::SelfCosine(context.train_features);
+  {
+    double sum = 0.0, sum2 = 0.0;
+    int64_t count = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        sum += target(i, j);
+        sum2 += static_cast<double>(target(i, j)) * target(i, j);
+        ++count;
+      }
+    }
+    const double mean = sum / std::max<int64_t>(count, 1);
+    const double stddev = std::sqrt(
+        std::max(sum2 / std::max<int64_t>(count, 1) - mean * mean, 1e-12));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) {
+          target(i, j) = 1.0f;
+          continue;
+        }
+        const double z = (target(i, j) - mean) / (2.0 * stddev);
+        target(i, j) = static_cast<float>(std::clamp(z, -1.0, 1.0));
+      }
+    }
+  }
+  linalg::Matrix ones(n, n, 1.0f);  // all pairs count
+
+  Rng rng(context.seed);
+  DeepTrainOptions train = options_.train;
+  train.network.bits = context.bits;
+  network_ = std::make_unique<core::HashingNetwork>(
+      context.train_pixels.cols(), train.network, &rng);
+
+  const float penalty = options_.penalty;
+  TrainDeepModel(
+      network_.get(), context.train_pixels,
+      [&](const linalg::Matrix& z, const std::vector<int>& batch) {
+        core::LossAndGrad lg = core::MaskedL2SimilarityLoss(
+            z, SliceSquare(target, batch), SliceSquare(ones, batch),
+            /*beta=*/0.0f);
+        // Cubic sign penalty: penalty * (1/t) sum |z - sgn(z)|^3.
+        const int t = z.rows();
+        const double inv_t = 1.0 / static_cast<double>(t);
+        double lp = 0.0;
+        for (int i = 0; i < t; ++i) {
+          const float* zi = z.Row(i);
+          float* dzi = lg.dz.Row(i);
+          for (int c = 0; c < z.cols(); ++c) {
+            const float b = zi[c] < 0.0f ? -1.0f : 1.0f;
+            const float diff = zi[c] - b;
+            const float ad = std::fabs(diff);
+            lp += static_cast<double>(ad) * ad * ad;
+            // d|x|^3/dx = 3 x |x|.
+            dzi[c] += static_cast<float>(penalty * inv_t * 3.0f * diff * ad);
+          }
+        }
+        lg.loss += penalty * lp * inv_t;
+        return lg;
+      },
+      train, &rng);
+  return Status::OK();
+}
+
+linalg::Matrix GreedyHash::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(network_ != nullptr, "GH: Fit must be called first");
+  return network_->EncodeBinary(pixels);
+}
+
+}  // namespace uhscm::baselines

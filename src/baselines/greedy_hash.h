@@ -1,0 +1,42 @@
+#ifndef UHSCM_BASELINES_GREEDY_HASH_H_
+#define UHSCM_BASELINES_GREEDY_HASH_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/deep_common.h"
+#include "baselines/hashing_method.h"
+
+namespace uhscm::baselines {
+
+/// GH tunables.
+struct GreedyHashOptions {
+  /// Weight of the cubic sign-penalty |z - sgn(z)|^3.
+  float penalty = 0.02f;
+  DeepTrainOptions train;
+};
+
+/// \brief Greedy Hash (Su et al., NeurIPS'18), unsupervised variant.
+///
+/// Trains the network to preserve feature-cosine structure while driving
+/// activations to the hypercube vertices with the paper's cubic penalty
+/// ||z - sgn(z)||_3^3 (its "greedy" relaxation of the discrete
+/// constraint — the straight-through trick in the original is the
+/// optimizer-side view of the same objective).
+class GreedyHash : public HashingMethod {
+ public:
+  explicit GreedyHash(const GreedyHashOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "GH"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  GreedyHashOptions options_;
+  std::unique_ptr<core::HashingNetwork> network_;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_GREEDY_HASH_H_

@@ -1,0 +1,48 @@
+#ifndef UHSCM_BASELINES_HASHING_METHOD_H_
+#define UHSCM_BASELINES_HASHING_METHOD_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "features/cnn_features.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::baselines {
+
+/// Everything a baseline may consume during fitting. Per the paper's
+/// protocol (§4.1), deep methods take raw images as input while the
+/// shallow methods take features extracted by a pretrained CNN; both are
+/// provided here and each method reads what it needs.
+struct TrainContext {
+  /// Raw training images, n x pixel_dim.
+  linalg::Matrix train_pixels;
+  /// Pretrained-CNN features of the same images, n x feature_dim.
+  linalg::Matrix train_features;
+  /// The (frozen) extractor, retained by feature-based methods so they
+  /// can featurize queries at encode time. Outlives the method.
+  const features::SimulatedCnnFeatureExtractor* extractor = nullptr;
+  /// Hash code length k.
+  int bits = 64;
+  uint64_t seed = 42;
+};
+
+/// \brief Common interface over all ten unsupervised hashing baselines
+/// plus UHSCM itself (see registry.h), so the bench harness can sweep
+/// methods uniformly.
+class HashingMethod {
+ public:
+  virtual ~HashingMethod() = default;
+
+  /// Method name as printed in the paper's tables.
+  virtual std::string name() const = 0;
+
+  /// Learns the hash function on the training context.
+  virtual Status Fit(const TrainContext& context) = 0;
+
+  /// Maps raw images to {-1,+1}^{n x k}. Precondition: Fit succeeded.
+  virtual linalg::Matrix Encode(const linalg::Matrix& pixels) const = 0;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_HASHING_METHOD_H_

@@ -1,0 +1,87 @@
+#include "baselines/itq.h"
+
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+namespace {
+
+/// Thin SVD of a square matrix M = U S V^T via the symmetric eigensystem
+/// of M^T M (V, S^2) and U = M V S^{-1}. Adequate for the small k x k
+/// Procrustes problems ITQ solves.
+Status SquareSvd(const linalg::Matrix& m, linalg::Matrix* u,
+                 std::vector<double>* s, linalg::Matrix* v) {
+  Result<linalg::EigenDecomposition> eig =
+      linalg::SymmetricEigen(linalg::MatMulTransA(m, m));
+  if (!eig.ok()) return eig.status();
+  *v = std::move(eig.ValueOrDie().eigenvectors);
+  s->resize(eig.ValueOrDie().eigenvalues.size());
+  const int k = m.rows();
+  for (size_t i = 0; i < s->size(); ++i) {
+    (*s)[i] = std::sqrt(std::max(0.0, eig.ValueOrDie().eigenvalues[i]));
+  }
+  linalg::Matrix mv = linalg::MatMul(m, *v);
+  *u = linalg::Matrix(k, k);
+  for (int j = 0; j < k; ++j) {
+    const double sv = (*s)[static_cast<size_t>(j)];
+    if (sv > 1e-10) {
+      for (int i = 0; i < k; ++i) {
+        (*u)(i, j) = static_cast<float>(mv(i, j) / sv);
+      }
+    } else {
+      // Degenerate direction: any unit vector orthogonal-ish works for
+      // Procrustes; use the canonical basis vector.
+      (*u)(j, j) = 1.0f;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Itq::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("ITQ requires a feature extractor");
+  }
+  if (context.bits > context.train_features.cols()) {
+    return Status::InvalidArgument(
+        "ITQ: bits must not exceed the feature dimension");
+  }
+  extractor_ = context.extractor;
+  Result<linalg::PcaModel> pca =
+      linalg::FitPca(context.train_features, context.bits);
+  if (!pca.ok()) return pca.status();
+  pca_ = std::move(pca.ValueOrDie());
+
+  const linalg::Matrix v = pca_.Transform(context.train_features);
+  Rng rng(context.seed);
+  // Random orthogonal init: QR-free — SVD of a random Gaussian matrix.
+  linalg::Matrix g =
+      linalg::Matrix::RandomNormal(context.bits, context.bits, &rng);
+  linalg::Matrix gu, gv;
+  std::vector<double> gs;
+  UHSCM_RETURN_NOT_OK(SquareSvd(g, &gu, &gs, &gv));
+  rotation_ = linalg::MatMulTransB(gu, gv);
+
+  for (int iter = 0; iter < iterations_; ++iter) {
+    const linalg::Matrix b = linalg::Sign(linalg::MatMul(v, rotation_));
+    // Procrustes: R = W U^T where B^T V = U S W^T.
+    linalg::Matrix m = linalg::MatMulTransA(b, v);  // k x k
+    linalg::Matrix u, w;
+    std::vector<double> s;
+    UHSCM_RETURN_NOT_OK(SquareSvd(m, &u, &s, &w));
+    rotation_ = linalg::MatMulTransB(w, u);
+  }
+  return Status::OK();
+}
+
+linalg::Matrix Itq::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(extractor_ != nullptr, "ITQ: Fit must be called first");
+  const linalg::Matrix features = extractor_->Extract(pixels);
+  return linalg::Sign(linalg::MatMul(pca_.Transform(features), rotation_));
+}
+
+}  // namespace uhscm::baselines

@@ -1,0 +1,33 @@
+#ifndef UHSCM_BASELINES_ITQ_H_
+#define UHSCM_BASELINES_ITQ_H_
+
+#include <string>
+
+#include "baselines/hashing_method.h"
+#include "linalg/pca.h"
+
+namespace uhscm::baselines {
+
+/// \brief Iterative Quantization (Gong et al., TPAMI'12).
+///
+/// PCA-embeds the CNN features into k dimensions, then alternates between
+/// B = sign(V R) and the orthogonal Procrustes rotation R (via SVD of
+/// B^T V) to minimize the quantization error ||B - V R||_F.
+class Itq : public HashingMethod {
+ public:
+  explicit Itq(int iterations = 50) : iterations_(iterations) {}
+
+  std::string name() const override { return "ITQ"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  int iterations_;
+  const features::SimulatedCnnFeatureExtractor* extractor_ = nullptr;
+  linalg::PcaModel pca_;
+  linalg::Matrix rotation_;  // k x k
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_ITQ_H_

@@ -1,0 +1,27 @@
+#include "baselines/lsh.h"
+
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+Status Lsh::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("LSH requires a feature extractor");
+  }
+  if (context.bits <= 0) {
+    return Status::InvalidArgument("LSH: bits must be positive");
+  }
+  extractor_ = context.extractor;
+  Rng rng(context.seed);
+  projection_ = linalg::Matrix::RandomNormal(extractor_->feature_dim(),
+                                             context.bits, &rng);
+  return Status::OK();
+}
+
+linalg::Matrix Lsh::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(extractor_ != nullptr, "LSH: Fit must be called first");
+  const linalg::Matrix features = extractor_->Extract(pixels);
+  return linalg::Sign(linalg::MatMul(features, projection_));
+}
+
+}  // namespace uhscm::baselines

@@ -1,0 +1,26 @@
+#ifndef UHSCM_BASELINES_LSH_H_
+#define UHSCM_BASELINES_LSH_H_
+
+#include <string>
+
+#include "baselines/hashing_method.h"
+
+namespace uhscm::baselines {
+
+/// \brief Locality-Sensitive Hashing (Gionis et al., VLDB'99): sign of
+/// random Gaussian projections of the CNN features. Data-independent —
+/// Fit only samples the projection.
+class Lsh : public HashingMethod {
+ public:
+  std::string name() const override { return "LSH"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  const features::SimulatedCnnFeatureExtractor* extractor_ = nullptr;
+  linalg::Matrix projection_;  // feature_dim x bits
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_LSH_H_

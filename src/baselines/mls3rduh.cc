@@ -1,0 +1,111 @@
+#include "baselines/mls3rduh.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+Status Mls3rduh::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("MLS3RDUH requires a feature extractor");
+  }
+  const int n = context.train_features.rows();
+  if (n < 3) return Status::InvalidArgument("MLS3RDUH: need >= 3 images");
+
+  const linalg::Matrix cos = linalg::SelfCosine(context.train_features);
+  const int knn = std::min(options_.knn, n - 1);
+  const std::vector<std::vector<int>> neighbors =
+      NearestNeighborsByCosine(context.train_features, knn);
+
+  // Row-normalized kNN transition matrix W (symmetrized support).
+  linalg::Matrix w(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j : neighbors[static_cast<size_t>(i)]) {
+      const float sim = std::max(cos(i, j), 0.0f);
+      w(i, j) = sim;
+      w(j, i) = std::max(w(j, i), sim);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) sum += w(i, j);
+    if (sum > 1e-12f) {
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < n; ++j) w(i, j) *= inv;
+    }
+  }
+
+  // Manifold ranking by iterated diffusion: F <- a W F + (1-a) I.
+  // (The fixed point is the personalized-PageRank similarity; the
+  // iteration is the O(n^3)-ish step that dominates this method's cost.)
+  linalg::Matrix f = linalg::Matrix::Identity(n);
+  const float a = options_.diffusion_alpha;
+  for (int iter = 0; iter < options_.diffusion_iterations; ++iter) {
+    linalg::Matrix wf = linalg::MatMul(w, f);
+    wf.Scale(a);
+    for (int i = 0; i < n; ++i) wf(i, i) += (1.0f - a);
+    f = std::move(wf);
+  }
+
+  // Per-row manifold top-knn sets.
+  std::vector<std::vector<int>> manifold_nn(static_cast<size_t>(n));
+  ParallelFor(n, [&](int i) {
+    std::vector<int> order;
+    order.reserve(static_cast<size_t>(n - 1));
+    for (int j = 0; j < n; ++j) {
+      if (j != i) order.push_back(j);
+    }
+    std::partial_sort(order.begin(), order.begin() + knn, order.end(),
+                      [&](int x, int y) { return f(i, x) > f(i, y); });
+    order.resize(static_cast<size_t>(knn));
+    std::sort(order.begin(), order.end());
+    manifold_nn[static_cast<size_t>(i)] = std::move(order);
+  });
+
+  // Reconstructed local similarity structure.
+  linalg::Matrix target = cos;
+  for (int i = 0; i < n; ++i) {
+    const auto& mi = manifold_nn[static_cast<size_t>(i)];
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        target(i, j) = 1.0f;
+        continue;
+      }
+      const bool manifold_close =
+          std::binary_search(mi.begin(), mi.end(), j);
+      if (manifold_close) {
+        target(i, j) = 1.0f;
+      } else if (cos(i, j) < 0.0f) {
+        target(i, j) = -1.0f;
+      }
+      // else: keep the cosine as a soft target.
+    }
+  }
+  linalg::Matrix ones(n, n, 1.0f);
+
+  Rng rng(context.seed);
+  DeepTrainOptions train = options_.train;
+  train.network.bits = context.bits;
+  network_ = std::make_unique<core::HashingNetwork>(
+      context.train_pixels.cols(), train.network, &rng);
+
+  TrainDeepModel(
+      network_.get(), context.train_pixels,
+      [&](const linalg::Matrix& z, const std::vector<int>& batch) {
+        return core::MaskedL2SimilarityLoss(z, SliceSquare(target, batch),
+                                            SliceSquare(ones, batch),
+                                            options_.quantization_beta);
+      },
+      train, &rng);
+  return Status::OK();
+}
+
+linalg::Matrix Mls3rduh::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(network_ != nullptr, "MLS3RDUH: Fit must be called first");
+  return network_->EncodeBinary(pixels);
+}
+
+}  // namespace uhscm::baselines

@@ -1,0 +1,56 @@
+#ifndef UHSCM_BASELINES_MLS3RDUH_H_
+#define UHSCM_BASELINES_MLS3RDUH_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/deep_common.h"
+#include "baselines/hashing_method.h"
+
+namespace uhscm::baselines {
+
+/// MLS3RDUH tunables.
+struct Mls3rduhOptions {
+  /// kNN graph degree.
+  int knn = 10;
+  /// Manifold-ranking restart probability weight (alpha in the diffusion
+  /// F <- alpha * W F + (1-alpha) I).
+  float diffusion_alpha = 0.99f;
+  /// Manifold ranking with alpha = 0.99 converges slowly; running the
+  /// propagation near convergence is what makes MLS3RDUH the most
+  /// expensive method in the paper's Table 3.
+  int diffusion_iterations = 60;
+  /// Pairs ranked inside each other's top-knn after diffusion become +1;
+  /// pairs with low cosine AND low manifold similarity become -1; the
+  /// rest keep interpolated targets.
+  float quantization_beta = 0.001f;
+  DeepTrainOptions train;
+};
+
+/// \brief MLS3RDUH (Tu et al., IJCAI'20): Deep Unsupervised Hashing via
+/// Manifold based Local Semantic Similarity Structure Reconstructing.
+///
+/// Builds a kNN graph over CNN features, diffuses similarity along the
+/// manifold with iterated random-walk propagation (the expensive step
+/// Table 3 reflects), then reconstructs a local similarity structure:
+/// manifold-neighbors become confident positives, feature-far +
+/// manifold-far pairs confident negatives, and everything else keeps the
+/// cosine value. A deep network is trained to match the reconstructed
+/// structure with an L2 loss.
+class Mls3rduh : public HashingMethod {
+ public:
+  explicit Mls3rduh(const Mls3rduhOptions& options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "MLS3RDUH"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  Mls3rduhOptions options_;
+  std::unique_ptr<core::HashingNetwork> network_;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_MLS3RDUH_H_

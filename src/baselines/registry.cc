@@ -1,0 +1,68 @@
+#include "baselines/registry.h"
+
+#include "baselines/agh.h"
+#include "baselines/bgan.h"
+#include "baselines/cib.h"
+#include "baselines/greedy_hash.h"
+#include "baselines/itq.h"
+#include "baselines/lsh.h"
+#include "baselines/mls3rduh.h"
+#include "baselines/spectral_hashing.h"
+#include "baselines/ssdh.h"
+#include "baselines/uth.h"
+
+namespace uhscm::baselines {
+
+std::vector<std::string> Table1BaselineNames() {
+  return {"LSH", "SH", "ITQ", "AGH", "SSDH", "GH", "BGAN", "MLS3RDUH", "CIB"};
+}
+
+Result<std::unique_ptr<HashingMethod>> MakeBaseline(const std::string& name) {
+  std::unique_ptr<HashingMethod> method;
+  if (name == "LSH") {
+    method = std::make_unique<Lsh>();
+  } else if (name == "SH") {
+    method = std::make_unique<SpectralHashing>();
+  } else if (name == "ITQ") {
+    method = std::make_unique<Itq>();
+  } else if (name == "AGH") {
+    method = std::make_unique<Agh>();
+  } else if (name == "SSDH") {
+    method = std::make_unique<Ssdh>();
+  } else if (name == "GH") {
+    method = std::make_unique<GreedyHash>();
+  } else if (name == "BGAN") {
+    method = std::make_unique<Bgan>();
+  } else if (name == "MLS3RDUH") {
+    method = std::make_unique<Mls3rduh>();
+  } else if (name == "CIB") {
+    method = std::make_unique<Cib>();
+  } else if (name == "UTH") {
+    method = std::make_unique<Uth>();
+  } else {
+    return Status::NotFound("unknown baseline: " + name);
+  }
+  return method;
+}
+
+UhscmMethod::UhscmMethod(const vlp::SimulatedVlpModel* vlp,
+                         data::ConceptVocab vocab, core::UhscmConfig config)
+    : vlp_(vlp), vocab_(std::move(vocab)), config_(std::move(config)) {}
+
+Status UhscmMethod::Fit(const TrainContext& context) {
+  core::UhscmConfig config = config_;
+  config.bits = context.bits;
+  config.seed = context.seed;
+  core::UhscmTrainer trainer(vlp_, config);
+  Result<core::UhscmModel> model =
+      trainer.Train(context.train_pixels, vocab_);
+  if (!model.ok()) return model.status();
+  model_ = std::move(model.ValueOrDie());
+  return Status::OK();
+}
+
+linalg::Matrix UhscmMethod::Encode(const linalg::Matrix& pixels) const {
+  return model_.Encode(pixels);
+}
+
+}  // namespace uhscm::baselines

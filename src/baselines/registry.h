@@ -1,0 +1,53 @@
+#ifndef UHSCM_BASELINES_REGISTRY_H_
+#define UHSCM_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/hashing_method.h"
+#include "core/trainer.h"
+#include "data/concept_vocab.h"
+#include "vlp/simulated_vlp.h"
+
+namespace uhscm::baselines {
+
+/// Names of the nine comparison methods of Table 1, in the paper's row
+/// order: LSH, SH, ITQ, AGH, SSDH, GH, BGAN, MLS3RDUH, CIB. (UTH is
+/// referenced in §4.1 and available here as well.)
+std::vector<std::string> Table1BaselineNames();
+
+/// Constructs a baseline by name (see Table1BaselineNames, plus "UTH").
+/// Returns NotFound for unknown names.
+Result<std::unique_ptr<HashingMethod>> MakeBaseline(const std::string& name);
+
+/// \brief Adapter exposing UHSCM itself behind the HashingMethod
+/// interface so the bench harness sweeps it together with the baselines.
+///
+/// The VLP model and concept vocabulary are bound at construction — they
+/// are UHSCM-specific inputs no baseline consumes (Table 1's fairness
+/// argument: everyone gets the same raw images; UHSCM's extra leverage is
+/// exactly the VLP prior, which is the paper's contribution).
+class UhscmMethod : public HashingMethod {
+ public:
+  UhscmMethod(const vlp::SimulatedVlpModel* vlp, data::ConceptVocab vocab,
+              core::UhscmConfig config);
+
+  std::string name() const override { return "UHSCM"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+  /// The trained model's diagnostics (similarity matrix, retained
+  /// concepts). Precondition: Fit succeeded.
+  const core::UhscmModel& model() const { return model_; }
+
+ private:
+  const vlp::SimulatedVlpModel* vlp_;
+  data::ConceptVocab vocab_;
+  core::UhscmConfig config_;
+  core::UhscmModel model_;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_REGISTRY_H_

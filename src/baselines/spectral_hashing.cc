@@ -1,0 +1,85 @@
+#include "baselines/spectral_hashing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+Status SpectralHashing::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("SH requires a feature extractor");
+  }
+  const int bits = context.bits;
+  const int pca_dims =
+      std::min(bits, context.train_features.cols());
+  Result<linalg::PcaModel> pca = linalg::FitPca(context.train_features, pca_dims);
+  if (!pca.ok()) return pca.status();
+  pca_ = std::move(pca.ValueOrDie());
+  extractor_ = context.extractor;
+
+  const linalg::Matrix projected = pca_.Transform(context.train_features);
+  mins_.assign(static_cast<size_t>(pca_dims), 0.0f);
+  ranges_.assign(static_cast<size_t>(pca_dims), 1.0f);
+  for (int d = 0; d < pca_dims; ++d) {
+    float mn = projected(0, d);
+    float mx = projected(0, d);
+    for (int i = 1; i < projected.rows(); ++i) {
+      mn = std::min(mn, projected(i, d));
+      mx = std::max(mx, projected(i, d));
+    }
+    mins_[static_cast<size_t>(d)] = mn;
+    ranges_[static_cast<size_t>(d)] = std::max(mx - mn, 1e-6f);
+  }
+
+  // Candidate eigenfunctions: modes 1..bits on each direction, eigenvalue
+  // ~ (m / r_d)^2; take the k smallest.
+  struct Candidate {
+    double eigenvalue;
+    int direction;
+    int mode;
+  };
+  std::vector<Candidate> candidates;
+  for (int d = 0; d < pca_dims; ++d) {
+    for (int m = 1; m <= bits; ++m) {
+      const double ratio =
+          static_cast<double>(m) / ranges_[static_cast<size_t>(d)];
+      candidates.push_back({ratio * ratio, d, m});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.eigenvalue < b.eigenvalue;
+            });
+  bit_functions_.clear();
+  for (int b = 0; b < bits; ++b) {
+    bit_functions_.push_back(
+        {candidates[static_cast<size_t>(b)].direction,
+         candidates[static_cast<size_t>(b)].mode});
+  }
+  return Status::OK();
+}
+
+linalg::Matrix SpectralHashing::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(extractor_ != nullptr, "SH: Fit must be called first");
+  const linalg::Matrix features = extractor_->Extract(pixels);
+  const linalg::Matrix projected = pca_.Transform(features);
+  const float pi = 3.14159265358979f;
+  linalg::Matrix codes(pixels.rows(), static_cast<int>(bit_functions_.size()));
+  for (int i = 0; i < codes.rows(); ++i) {
+    for (size_t b = 0; b < bit_functions_.size(); ++b) {
+      const BitFunction& f = bit_functions_[b];
+      const float x =
+          (projected(i, f.direction) - mins_[static_cast<size_t>(f.direction)]) /
+          ranges_[static_cast<size_t>(f.direction)];
+      const float y = std::sin(pi / 2.0f +
+                               static_cast<float>(f.mode) * pi * x);
+      codes(i, static_cast<int>(b)) = y < 0.0f ? -1.0f : 1.0f;
+    }
+  }
+  return codes;
+}
+
+}  // namespace uhscm::baselines

@@ -1,0 +1,40 @@
+#ifndef UHSCM_BASELINES_SPECTRAL_HASHING_H_
+#define UHSCM_BASELINES_SPECTRAL_HASHING_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/hashing_method.h"
+#include "linalg/pca.h"
+
+namespace uhscm::baselines {
+
+/// \brief Spectral Hashing (Weiss et al., NIPS'09).
+///
+/// PCA-rotates the CNN features, then selects the k smallest non-trivial
+/// analytic eigenfunctions of the 1-D Laplacian along the principal
+/// directions (mode m on a direction with data range r has eigenvalue
+/// proportional to (m/r)^2); each chosen (direction, mode) pair yields a
+/// bit sign(sin(pi/2 + m*pi*x/r)).
+class SpectralHashing : public HashingMethod {
+ public:
+  std::string name() const override { return "SH"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  const features::SimulatedCnnFeatureExtractor* extractor_ = nullptr;
+  linalg::PcaModel pca_;
+  /// Per bit: the PCA direction and the sinusoid mode.
+  struct BitFunction {
+    int direction;
+    int mode;
+  };
+  std::vector<BitFunction> bit_functions_;
+  std::vector<float> mins_;    // per PCA direction
+  std::vector<float> ranges_;  // per PCA direction
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_SPECTRAL_HASHING_H_

@@ -1,0 +1,77 @@
+#include "baselines/ssdh.h"
+
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace uhscm::baselines {
+
+Status Ssdh::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("SSDH requires a feature extractor");
+  }
+  const int n = context.train_features.rows();
+  if (n < 2) return Status::InvalidArgument("SSDH: need >= 2 images");
+
+  // Semantic structure from the cosine distribution (Gaussian estimate).
+  const linalg::Matrix cos = linalg::SelfCosine(context.train_features);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  int64_t count = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      sum += cos(i, j);
+      sum2 += static_cast<double>(cos(i, j)) * cos(i, j);
+      ++count;
+    }
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double var =
+      std::max(sum2 / static_cast<double>(count) - mean * mean, 1e-12);
+  const double stddev = std::sqrt(var);
+  const float hi =
+      static_cast<float>(mean + options_.alpha_high * stddev);
+  const float lo = static_cast<float>(mean + options_.alpha_low * stddev);
+
+  // Targets +1 / -1 with a confidence mask.
+  linalg::Matrix target(n, n);
+  linalg::Matrix mask(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        target(i, j) = 1.0f;
+        mask(i, j) = 1.0f;
+      } else if (cos(i, j) >= hi) {
+        target(i, j) = 1.0f;
+        mask(i, j) = 1.0f;
+      } else if (cos(i, j) <= lo) {
+        target(i, j) = -1.0f;
+        mask(i, j) = 1.0f;
+      }
+    }
+  }
+
+  Rng rng(context.seed);
+  DeepTrainOptions train = options_.train;
+  train.network.bits = context.bits;
+  network_ = std::make_unique<core::HashingNetwork>(
+      context.train_pixels.cols(), train.network, &rng);
+
+  TrainDeepModel(
+      network_.get(), context.train_pixels,
+      [&](const linalg::Matrix& z, const std::vector<int>& batch) {
+        return core::MaskedL2SimilarityLoss(z, SliceSquare(target, batch),
+                                            SliceSquare(mask, batch),
+                                            options_.quantization_beta);
+      },
+      train, &rng);
+  return Status::OK();
+}
+
+linalg::Matrix Ssdh::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(network_ != nullptr, "SSDH: Fit must be called first");
+  return network_->EncodeBinary(pixels);
+}
+
+}  // namespace uhscm::baselines

@@ -1,0 +1,44 @@
+#ifndef UHSCM_BASELINES_SSDH_H_
+#define UHSCM_BASELINES_SSDH_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/deep_common.h"
+#include "baselines/hashing_method.h"
+
+namespace uhscm::baselines {
+
+/// SSDH tunables.
+struct SsdhOptions {
+  /// Similar pairs: cosine >= mean + alpha_high * std.
+  float alpha_high = 2.0f;
+  /// Dissimilar pairs: cosine <= mean + alpha_low * std.
+  float alpha_low = 0.0f;
+  float quantization_beta = 0.001f;
+  DeepTrainOptions train;
+};
+
+/// \brief Semantic Structure-based unsupervised Deep Hashing (Yang et
+/// al., IJCAI'18).
+///
+/// Fits a Gaussian to the distribution of pairwise feature cosines, marks
+/// confident similar/dissimilar pairs by the two thresholds, masks out
+/// the undecided middle band, and trains the network to match {+1,-1}
+/// targets on the confident pairs only.
+class Ssdh : public HashingMethod {
+ public:
+  explicit Ssdh(const SsdhOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "SSDH"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  SsdhOptions options_;
+  std::unique_ptr<core::HashingNetwork> network_;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_SSDH_H_

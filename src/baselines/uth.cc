@@ -1,0 +1,75 @@
+#include "baselines/uth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/losses.h"
+
+namespace uhscm::baselines {
+
+Status Uth::Fit(const TrainContext& context) {
+  if (context.extractor == nullptr) {
+    return Status::InvalidArgument("UTH requires a feature extractor");
+  }
+  const int n = context.train_features.rows();
+  if (n < 3) return Status::InvalidArgument("UTH: need >= 3 images");
+
+  const int k = std::min(options_.positive_neighbors, n - 2);
+  const std::vector<std::vector<int>> neighbors =
+      NearestNeighborsByCosine(context.train_features, k);
+
+  Rng rng(context.seed);
+  DeepTrainOptions train = options_.train;
+  train.network.bits = context.bits;
+  network_ = std::make_unique<core::HashingNetwork>(
+      context.train_pixels.cols(), train.network, &rng);
+
+  TrainDeepModel(
+      network_.get(), context.train_pixels,
+      [&](const linalg::Matrix& z, const std::vector<int>& batch) {
+        const int t = static_cast<int>(batch.size());
+        // Map global train index -> batch position for positive lookup.
+        std::unordered_map<int, int> position;
+        position.reserve(static_cast<size_t>(t));
+        for (int i = 0; i < t; ++i) position.emplace(batch[static_cast<size_t>(i)], i);
+
+        std::vector<core::Triplet> triplets;
+        for (int i = 0; i < t; ++i) {
+          const int anchor_global = batch[static_cast<size_t>(i)];
+          // In-batch positives among the anchor's feature neighbors.
+          std::vector<int> in_batch_pos;
+          for (int nb : neighbors[static_cast<size_t>(anchor_global)]) {
+            auto it = position.find(nb);
+            if (it != position.end()) in_batch_pos.push_back(it->second);
+          }
+          if (in_batch_pos.empty()) continue;
+          for (int r = 0; r < options_.triplets_per_anchor; ++r) {
+            const int pos = in_batch_pos[static_cast<size_t>(
+                rng.UniformInt(in_batch_pos.size()))];
+            int neg = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(t)));
+            // Reject anchors/positives as negatives (few retries suffice).
+            for (int tries = 0;
+                 tries < 8 && (neg == i ||
+                               std::find(in_batch_pos.begin(),
+                                         in_batch_pos.end(),
+                                         neg) != in_batch_pos.end());
+                 ++tries) {
+              neg = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(t)));
+            }
+            if (neg == i) continue;
+            triplets.push_back({i, pos, neg});
+          }
+        }
+        return core::TripletCosineLoss(z, triplets, options_.margin,
+                                       options_.quantization_beta);
+      },
+      train, &rng);
+  return Status::OK();
+}
+
+linalg::Matrix Uth::Encode(const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(network_ != nullptr, "UTH: Fit must be called first");
+  return network_->EncodeBinary(pixels);
+}
+
+}  // namespace uhscm::baselines

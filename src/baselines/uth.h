@@ -1,0 +1,41 @@
+#ifndef UHSCM_BASELINES_UTH_H_
+#define UHSCM_BASELINES_UTH_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/deep_common.h"
+#include "baselines/hashing_method.h"
+
+namespace uhscm::baselines {
+
+/// UTH tunables.
+struct UthOptions {
+  /// Positives are sampled among each anchor's top-k feature neighbors.
+  int positive_neighbors = 5;
+  float margin = 0.4f;
+  float quantization_beta = 0.001f;
+  int triplets_per_anchor = 2;
+  DeepTrainOptions train;
+};
+
+/// \brief Unsupervised Triplet Hashing (Huang et al., ACM MM workshops
+/// '17): mines triplets from the pretrained feature space — positive = a
+/// near feature-neighbor of the anchor, negative = a random non-neighbor
+/// — and trains with a cosine triplet margin loss plus quantization.
+class Uth : public HashingMethod {
+ public:
+  explicit Uth(const UthOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "UTH"; }
+  Status Fit(const TrainContext& context) override;
+  linalg::Matrix Encode(const linalg::Matrix& pixels) const override;
+
+ private:
+  UthOptions options_;
+  std::unique_ptr<core::HashingNetwork> network_;
+};
+
+}  // namespace uhscm::baselines
+
+#endif  // UHSCM_BASELINES_UTH_H_

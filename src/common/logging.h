@@ -1,0 +1,45 @@
+#ifndef UHSCM_COMMON_LOGGING_H_
+#define UHSCM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace uhscm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink. Flushes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace uhscm
+
+#define UHSCM_LOG(level)                                              \
+  ::uhscm::internal::LogMessage(::uhscm::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#endif  // UHSCM_COMMON_LOGGING_H_

@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace uhscm {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void CheckFailed(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "UHSCM_CHECK failed at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace uhscm

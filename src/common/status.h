@@ -1,0 +1,120 @@
+#ifndef UHSCM_COMMON_STATUS_H_
+#define UHSCM_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace uhscm {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB
+/// convention of returning a Status instead of throwing across API
+/// boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kUnimplemented,
+};
+
+/// \brief Lightweight success/error value returned by fallible operations.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// human-readable message. Status is cheap to copy (two words + a string
+/// only on the error path).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief A value-or-error union: holds T on success, a Status otherwise.
+///
+/// Usage:
+///   Result<Matrix> r = LoadMatrix(...);
+///   if (!r.ok()) return r.status();
+///   Matrix m = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors. Precondition: ok().
+  const T& ValueOrDie() const& { return *value_; }
+  T& ValueOrDie() & { return *value_; }
+  T&& ValueOrDie() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates an error Status from a fallible expression.
+#define UHSCM_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::uhscm::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Asserts an invariant in non-test code; aborts with a message on failure.
+#define UHSCM_CHECK(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) ::uhscm::internal::CheckFailed(__FILE__, __LINE__, msg); \
+  } while (false)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* msg);
+}  // namespace internal
+
+}  // namespace uhscm
+
+#endif  // UHSCM_COMMON_STATUS_H_

@@ -1,0 +1,5 @@
+#include "common/stopwatch.h"
+
+// Stopwatch is header-only; this translation unit exists so the target has a
+// stable archive member for the class and to keep the one-cc-per-header
+// layout uniform across the module.

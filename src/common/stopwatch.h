@@ -1,0 +1,31 @@
+#ifndef UHSCM_COMMON_STOPWATCH_H_
+#define UHSCM_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace uhscm {
+
+/// \brief Monotonic wall-clock timer used by the Table 3 (time consumption)
+/// bench and by trainers reporting per-epoch timings.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uhscm
+
+#endif  // UHSCM_COMMON_STOPWATCH_H_

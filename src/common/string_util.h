@@ -1,0 +1,32 @@
+#ifndef UHSCM_COMMON_STRING_UTIL_H_
+#define UHSCM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uhscm {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+}  // namespace uhscm
+
+#endif  // UHSCM_COMMON_STRING_UTIL_H_

@@ -1,0 +1,42 @@
+#ifndef UHSCM_COMMON_TABLE_WRITER_H_
+#define UHSCM_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace uhscm {
+
+/// \brief Accumulates rows of string cells and renders an aligned text
+/// table (the format the bench binaries print to mirror the paper's
+/// tables) or CSV (for downstream plotting of the figure series).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  size_t NumRows() const { return rows_.size(); }
+
+  /// Renders a fixed-width aligned table with a header rule.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas are quoted).
+  std::string ToCsv() const;
+
+  /// Writes ToText() to the stream.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace uhscm
+
+#endif  // UHSCM_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,88 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace uhscm {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 4;
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
+  if (count <= 0) return;
+  const int nthreads = num_threads();
+  if (count == 1 || nthreads == 1) {
+    for (int i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  const int chunks = std::min(count, nthreads * 4);
+  std::atomic<int> next_chunk{0};
+  std::atomic<int> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  auto body = [&] {
+    for (;;) {
+      const int c = next_chunk.fetch_add(1);
+      if (c >= chunks) break;
+      const int begin = static_cast<int>(
+          static_cast<int64_t>(c) * count / chunks);
+      const int end = static_cast<int>(
+          static_cast<int64_t>(c + 1) * count / chunks);
+      for (int i = begin; i < end; ++i) fn(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done;
+    }
+    done_cv.notify_one();
+  };
+
+  const int jobs = std::min(chunks, nthreads);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int j = 0; j < jobs; ++j) queue_.push(Task{body});
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done == jobs; });
+}
+
+void ParallelFor(int count, const std::function<void(int)>& fn) {
+  // Function-local static pointer, never deleted (static-destruction-safe).
+  static ThreadPool* pool = new ThreadPool();
+  pool->ParallelFor(count, fn);
+}
+
+}  // namespace uhscm

@@ -1,0 +1,52 @@
+#ifndef UHSCM_COMMON_THREAD_POOL_H_
+#define UHSCM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace uhscm {
+
+/// \brief Fixed-size worker pool used to parallelize embarrassingly
+/// parallel kernels: VLP scoring of image/concept grids, pairwise
+/// similarity blocks, and brute-force Hamming scans over the database.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>=1; 0 picks hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations finish. Iterations are chunked to limit scheduling
+  /// overhead. Safe to call with count == 0.
+  void ParallelFor(int count, const std::function<void(int)>& fn);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over a process-wide pool (lazily created, never
+/// destroyed per the static-destruction rules).
+void ParallelFor(int count, const std::function<void(int)>& fn);
+
+}  // namespace uhscm
+
+#endif  // UHSCM_COMMON_THREAD_POOL_H_

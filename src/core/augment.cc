@@ -1,0 +1,31 @@
+#include "core/augment.h"
+
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace uhscm::core {
+
+linalg::Matrix AugmentPixels(const linalg::Matrix& pixels,
+                             const AugmentOptions& options, Rng* rng) {
+  linalg::Matrix out = pixels;
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.Row(i);
+    const float jitter = 1.0f + static_cast<float>(rng->Uniform(
+                                    -options.intensity_jitter,
+                                    options.intensity_jitter));
+    for (int c = 0; c < out.cols(); ++c) {
+      if (options.dropout > 0.0f && rng->Bernoulli(options.dropout)) {
+        row[c] = 0.0f;
+        continue;
+      }
+      row[c] = jitter * row[c] +
+               options.noise * static_cast<float>(rng->Normal()) /
+                   std::sqrt(static_cast<float>(out.cols()));
+    }
+  }
+  linalg::NormalizeRowsL2(&out);
+  return out;
+}
+
+}  // namespace uhscm::core

@@ -1,0 +1,25 @@
+#ifndef UHSCM_CORE_AUGMENT_H_
+#define UHSCM_CORE_AUGMENT_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::core {
+
+/// Parameters of the synthetic "data augmentation" used by the two-view
+/// contrastive baselines (CIB, UHSCM_CL). In pixel space a view is the
+/// image plus Gaussian perturbation, per-dimension dropout, and a global
+/// intensity jitter — the vector-space analogue of crop/color-jitter.
+struct AugmentOptions {
+  float noise = 0.15f;
+  float dropout = 0.1f;
+  float intensity_jitter = 0.2f;
+};
+
+/// Returns an augmented copy of `pixels` (one independent view per row).
+linalg::Matrix AugmentPixels(const linalg::Matrix& pixels,
+                             const AugmentOptions& options, Rng* rng);
+
+}  // namespace uhscm::core
+
+#endif  // UHSCM_CORE_AUGMENT_H_

@@ -1,0 +1,83 @@
+#include "core/concept_denoiser.h"
+
+#include <algorithm>
+
+#include "linalg/kmeans.h"
+
+namespace uhscm::core {
+
+std::vector<int> ConceptFrequencies(const linalg::Matrix& distributions) {
+  std::vector<int> freq(static_cast<size_t>(distributions.cols()), 0);
+  for (int i = 0; i < distributions.rows(); ++i) {
+    const float* row = distributions.Row(i);
+    int best = 0;
+    for (int j = 1; j < distributions.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    ++freq[static_cast<size_t>(best)];
+  }
+  return freq;
+}
+
+DenoiseResult DenoiseConcepts(const linalg::Matrix& distributions,
+                              const data::ConceptVocab& vocab) {
+  UHSCM_CHECK(distributions.cols() == vocab.size(),
+              "DenoiseConcepts: vocab / distribution width mismatch");
+  DenoiseResult result;
+  result.frequencies = ConceptFrequencies(distributions);
+
+  const double n = static_cast<double>(distributions.rows());
+  const double m = static_cast<double>(vocab.size());
+  const double lo = 0.5 * n / m;  // Eq. (5) lower bound
+  const double hi = 0.5 * n;      // Eq. (5) upper bound
+
+  for (int j = 0; j < vocab.size(); ++j) {
+    const double f = static_cast<double>(result.frequencies[static_cast<size_t>(j)]);
+    if (f >= lo && f <= hi) result.kept_positions.push_back(j);
+  }
+  if (result.kept_positions.empty()) {
+    // Degenerate fall-back: keep everything rather than return an empty
+    // concept set.
+    result.kept_positions.resize(static_cast<size_t>(vocab.size()));
+    for (int j = 0; j < vocab.size(); ++j) {
+      result.kept_positions[static_cast<size_t>(j)] = j;
+    }
+  }
+  result.vocab = data::SubsetVocab(vocab, result.kept_positions);
+  return result;
+}
+
+Result<linalg::Matrix> ClusterConceptsKMeans(const linalg::Matrix& scores,
+                                             int num_clusters, Rng* rng) {
+  if (num_clusters <= 0 || num_clusters > scores.cols()) {
+    return Status::InvalidArgument(
+        "ClusterConceptsKMeans: num_clusters out of range");
+  }
+  // Each concept is a point described by its score profile over images.
+  linalg::Matrix concept_profiles = scores.Transposed();  // m x n
+  Result<linalg::KMeansResult> km =
+      linalg::KMeans(concept_profiles, num_clusters, rng);
+  if (!km.ok()) return km.status();
+
+  // Merged score = mean of member concepts' scores.
+  linalg::Matrix merged(scores.rows(), num_clusters);
+  std::vector<int> counts(static_cast<size_t>(num_clusters), 0);
+  for (int j = 0; j < scores.cols(); ++j) {
+    ++counts[static_cast<size_t>(km.ValueOrDie().assignments[static_cast<size_t>(j)])];
+  }
+  for (int i = 0; i < scores.rows(); ++i) {
+    const float* src = scores.Row(i);
+    float* dst = merged.Row(i);
+    for (int j = 0; j < scores.cols(); ++j) {
+      dst[km.ValueOrDie().assignments[static_cast<size_t>(j)]] += src[j];
+    }
+    for (int c = 0; c < num_clusters; ++c) {
+      if (counts[static_cast<size_t>(c)] > 0) {
+        dst[c] /= static_cast<float>(counts[static_cast<size_t>(c)]);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace uhscm::core

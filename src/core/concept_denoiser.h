@@ -1,0 +1,52 @@
+#ifndef UHSCM_CORE_CONCEPT_DENOISER_H_
+#define UHSCM_CORE_CONCEPT_DENOISER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/concept_vocab.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::core {
+
+/// Per-concept argmax frequencies f(c_i) over a distribution matrix
+/// (Eq. 4): the number of images whose highest-probability concept is i.
+std::vector<int> ConceptFrequencies(const linalg::Matrix& distributions);
+
+/// Result of a denoising pass.
+struct DenoiseResult {
+  /// Positions (into the original vocabulary) of the retained concepts.
+  std::vector<int> kept_positions;
+  /// The denoised vocabulary C'.
+  data::ConceptVocab vocab;
+  /// f(c_i) for every original concept (diagnostics / tests).
+  std::vector<int> frequencies;
+};
+
+/// \brief The frequency-band concept filter of §3.3.2 (Eq. 4-5).
+///
+/// A concept is discarded when its argmax frequency falls outside
+/// [0.5 * n/m, 0.5 * n]: too rare means the concept does not occur in the
+/// dataset (spurious matches only), too common means it would declare most
+/// of the dataset mutually similar. If the filter would discard
+/// everything (degenerate inputs), the original vocabulary is returned
+/// unchanged and `kept_positions` lists all positions — a deviation only
+/// reachable on inputs the paper does not encounter.
+DenoiseResult DenoiseConcepts(const linalg::Matrix& distributions,
+                              const data::ConceptVocab& vocab);
+
+/// \brief The clustering alternative evaluated in Table 2 rows 8-12
+/// (UHSCM_cN): k-means over concept score columns; each cluster becomes
+/// one merged pseudo-concept whose per-image score is the mean of its
+/// members' scores.
+///
+/// \param scores raw n x m VLP score matrix (Eq. 1, before softmax).
+/// \param num_clusters the N of UHSCM_cN.
+/// \returns the n x num_clusters merged score matrix.
+Result<linalg::Matrix> ClusterConceptsKMeans(const linalg::Matrix& scores,
+                                             int num_clusters, Rng* rng);
+
+}  // namespace uhscm::core
+
+#endif  // UHSCM_CORE_CONCEPT_DENOISER_H_

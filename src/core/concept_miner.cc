@@ -1,0 +1,36 @@
+#include "core/concept_miner.h"
+
+#include "common/status.h"
+#include "linalg/ops.h"
+
+namespace uhscm::core {
+
+ConceptMiner::ConceptMiner(const vlp::SimulatedVlpModel* vlp,
+                           const ConceptMinerOptions& options)
+    : vlp_(vlp), options_(options) {
+  UHSCM_CHECK(vlp != nullptr, "ConceptMiner: null VLP model");
+  UHSCM_CHECK(options_.tau_multiplier > 0.0f,
+              "ConceptMiner: tau_multiplier must be positive");
+}
+
+linalg::Matrix ConceptMiner::ScoreConcepts(
+    const linalg::Matrix& pixels, const data::ConceptVocab& vocab) const {
+  UHSCM_CHECK(vocab.size() > 0, "ScoreConcepts: empty vocabulary");
+  return vlp_->ScoreImagesAgainstConcepts(pixels, vocab.ids, options_.prompt);
+}
+
+linalg::Matrix ConceptMiner::DistributionsFromScores(
+    const linalg::Matrix& scores) const {
+  const int m = options_.tau_concepts_override > 0
+                    ? options_.tau_concepts_override
+                    : scores.cols();
+  const float tau = options_.tau_multiplier * static_cast<float>(m);
+  return linalg::SoftmaxRows(scores, tau);
+}
+
+linalg::Matrix ConceptMiner::MineDistributions(
+    const linalg::Matrix& pixels, const data::ConceptVocab& vocab) const {
+  return DistributionsFromScores(ScoreConcepts(pixels, vocab));
+}
+
+}  // namespace uhscm::core

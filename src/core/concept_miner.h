@@ -1,0 +1,59 @@
+#ifndef UHSCM_CORE_CONCEPT_MINER_H_
+#define UHSCM_CORE_CONCEPT_MINER_H_
+
+#include "data/concept_vocab.h"
+#include "linalg/matrix.h"
+#include "vlp/simulated_vlp.h"
+
+namespace uhscm::core {
+
+/// Options for concept mining (§3.3.1).
+struct ConceptMinerOptions {
+  /// Softmax temperature multiplier: tau = tau_multiplier * m where m is
+  /// the vocabulary size. The paper sweeps 1m..4m and settles on 3m
+  /// (§4.6).
+  float tau_multiplier = 3.0f;
+  /// When > 0, tau uses this concept count instead of the current
+  /// vocabulary size. The trainer pins it to the *original* collected
+  /// vocabulary size so that re-mining after denoising keeps the same
+  /// temperature (otherwise dropping concepts would soften the softmax
+  /// and partially undo the denoising gain).
+  int tau_concepts_override = 0;
+  vlp::PromptTemplate prompt = vlp::PromptTemplate::kAPhotoOfThe;
+};
+
+/// \brief Mines per-image concept distributions with a VLP model through
+/// prompting (Eq. 1-2).
+///
+/// For images X and a concept vocabulary C, computes the n x m score
+/// matrix s_ij = F_VLP(x_i, prompt(c_j)) and turns each row into a
+/// distribution d_i by a temperature softmax with tau = tau_multiplier*m.
+class ConceptMiner {
+ public:
+  ConceptMiner(const vlp::SimulatedVlpModel* vlp,
+               const ConceptMinerOptions& options = {});
+
+  /// Raw VLP scores (Eq. 1), n x m in [0, 1].
+  linalg::Matrix ScoreConcepts(const linalg::Matrix& pixels,
+                               const data::ConceptVocab& vocab) const;
+
+  /// Concept distributions (Eq. 2): row-softmax of the scores with
+  /// tau = tau_multiplier * vocab.size(). Rows sum to 1.
+  linalg::Matrix MineDistributions(const linalg::Matrix& pixels,
+                                   const data::ConceptVocab& vocab) const;
+
+  /// Softmax-only step, exposed so callers holding a precomputed score
+  /// matrix (e.g. the denoiser, which re-normalizes after dropping
+  /// columns) can reuse it.
+  linalg::Matrix DistributionsFromScores(const linalg::Matrix& scores) const;
+
+  const ConceptMinerOptions& options() const { return options_; }
+
+ private:
+  const vlp::SimulatedVlpModel* vlp_;
+  ConceptMinerOptions options_;
+};
+
+}  // namespace uhscm::core
+
+#endif  // UHSCM_CORE_CONCEPT_MINER_H_

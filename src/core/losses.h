@@ -1,0 +1,85 @@
+#ifndef UHSCM_CORE_LOSSES_H_
+#define UHSCM_CORE_LOSSES_H_
+
+#include "linalg/matrix.h"
+
+namespace uhscm::core {
+
+/// Loss value plus the gradient with respect to the code matrix that
+/// produced it.
+struct LossAndGrad {
+  double loss = 0.0;
+  linalg::Matrix dz;
+};
+
+/// Hyper-parameters of the UHSCM objective (Eq. 11).
+struct UhscmLossOptions {
+  float alpha = 0.2f;   ///< weight of the modified contrastive loss
+  float beta = 0.001f;  ///< weight of the quantization loss
+  float gamma = 0.2f;   ///< contrastive temperature
+  float lambda = 0.8f;  ///< similarity threshold defining Psi_i
+  /// Drop the modified-contrastive term entirely (UHSCM_w/o_MCL).
+  bool disable_contrastive = false;
+};
+
+/// Given the gradient G = dL/dH of a loss over the cosine-similarity
+/// matrix H(i,j) = cos(z_i, z_j), returns dL/dZ. The Jacobian of the row
+/// normalization projects out the component along each normalized row, so
+/// diagonal entries of G (cos(z_i,z_i) == 1 identically) contribute
+/// nothing, as they must.
+linalg::Matrix CosineSimilarityBackward(const linalg::Matrix& z,
+                                        const linalg::Matrix& g);
+
+/// \brief The full UHSCM batch objective (Eq. 11):
+///   L = Ls + beta * Lq + alpha * Lc
+/// with Ls the mean squared error between code cosine similarities and the
+/// semantic similarity sub-matrix `q_batch` (Eq. 7), Lq the quantization
+/// penalty ||z - sgn(z)||^2, and Lc the modified contrastive term (Eq. 8)
+/// over within-batch positive sets Psi_i = {j != i : q_ij >= lambda}.
+///
+/// NOTE on Eq. (8): minimizing the fraction exactly as printed in the
+/// paper would *reduce* the similarity of positive pairs — the opposite of
+/// the behaviour the surrounding text describes ("the Hamming similarity
+/// between b_i and b_j will be larger..."). Like every InfoNCE-family
+/// loss (and the CIB loss Eq. 10 references), the intended term is the
+/// negative log of that fraction; we implement -log, which reproduces the
+/// described behaviour and the ablation ordering.
+///
+/// \param z t x k real-valued batch codes (network outputs in [-1,1]).
+/// \param q_batch t x t semantic similarity sub-matrix for the batch.
+LossAndGrad UhscmBatchLoss(const linalg::Matrix& z,
+                           const linalg::Matrix& q_batch,
+                           const UhscmLossOptions& options);
+
+/// \brief The original CIB contrastive loss J_c (Eq. 10) on two views,
+/// used by the UHSCM_CL ablation and by the CIB baseline.
+///
+/// `z_views` stacks the two views: rows [0, t) are view 1, rows [t, 2t)
+/// are view 2. For anchor i the positive is t+i and the negatives are
+/// both views of every other image. Implemented as -log(...) (see note
+/// above). Returns the gradient for the full 2t x k stack.
+LossAndGrad OriginalContrastiveLoss(const linalg::Matrix& z_views, int t,
+                                    float gamma);
+
+/// \brief Masked L2 similarity loss used by the SSDH-style baselines:
+///   L = sum_ij mask_ij (cos(z_i,z_j) - s_ij)^2 / sum_ij mask_ij
+/// plus beta * quantization.
+LossAndGrad MaskedL2SimilarityLoss(const linalg::Matrix& z,
+                                   const linalg::Matrix& s_batch,
+                                   const linalg::Matrix& mask, float beta);
+
+/// \brief Cosine triplet loss for the UTH baseline:
+///   mean over triplets of max(0, margin - cos(z_a,z_p) + cos(z_a,z_n)).
+/// Triplets index into rows of z.
+struct Triplet {
+  int anchor;
+  int positive;
+  int negative;
+};
+LossAndGrad TripletCosineLoss(const linalg::Matrix& z,
+                              const std::vector<Triplet>& triplets,
+                              float margin, float beta);
+
+}  // namespace uhscm::core
+
+#endif  // UHSCM_CORE_LOSSES_H_

@@ -1,0 +1,52 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "linalg/ops.h"
+
+namespace uhscm::core {
+
+linalg::Matrix SimilarityFromDistributions(const linalg::Matrix& d) {
+  return linalg::SelfCosine(d);
+}
+
+linalg::Matrix AverageSimilarity(const std::vector<linalg::Matrix>& mats) {
+  UHSCM_CHECK(!mats.empty(), "AverageSimilarity: empty input");
+  linalg::Matrix out = mats[0];
+  for (size_t i = 1; i < mats.size(); ++i) {
+    out.Add(mats[i]);
+  }
+  out.Scale(1.0f / static_cast<float>(mats.size()));
+  return out;
+}
+
+SimilarityStats ComputeSimilarityStats(const linalg::Matrix& q,
+                                       float threshold) {
+  SimilarityStats stats;
+  if (q.size() == 0) return stats;
+  stats.min = q.data()[0];
+  stats.max = q.data()[0];
+  double sum = 0.0;
+  int64_t above = 0;
+  int64_t off_diag = 0;
+  for (int i = 0; i < q.rows(); ++i) {
+    const float* row = q.Row(i);
+    for (int j = 0; j < q.cols(); ++j) {
+      stats.min = std::min(stats.min, row[j]);
+      stats.max = std::max(stats.max, row[j]);
+      sum += row[j];
+      if (i != j) {
+        ++off_diag;
+        if (row[j] >= threshold) ++above;
+      }
+    }
+  }
+  stats.mean = static_cast<float>(sum / static_cast<double>(q.size()));
+  stats.frac_above_threshold =
+      off_diag > 0 ? static_cast<float>(above) / static_cast<float>(off_diag)
+                   : 0.0f;
+  return stats;
+}
+
+}  // namespace uhscm::core

@@ -1,0 +1,34 @@
+#ifndef UHSCM_CORE_SIMILARITY_H_
+#define UHSCM_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace uhscm::core {
+
+/// Q(i,j) = cosine(d_i, d_j) over rows of a distribution (or feature)
+/// matrix — Eq. (3)/(6). Since concept distributions are non-negative,
+/// entries lie in [0, 1]; the diagonal is exactly 1.
+linalg::Matrix SimilarityFromDistributions(const linalg::Matrix& d);
+
+/// Element-wise mean of several similarity matrices (the UHSCM_avg prompt
+/// ablation, Table 2 row 6). Precondition: same shapes, non-empty list.
+linalg::Matrix AverageSimilarity(const std::vector<linalg::Matrix>& mats);
+
+/// Summary statistics of a similarity matrix used by tests and the
+/// similarity-quality diagnostics in the examples.
+struct SimilarityStats {
+  float min = 0.0f;
+  float max = 0.0f;
+  float mean = 0.0f;
+  /// Fraction of off-diagonal entries >= threshold.
+  float frac_above_threshold = 0.0f;
+};
+
+SimilarityStats ComputeSimilarityStats(const linalg::Matrix& q,
+                                       float threshold);
+
+}  // namespace uhscm::core
+
+#endif  // UHSCM_CORE_SIMILARITY_H_

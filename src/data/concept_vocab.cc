@@ -1,0 +1,53 @@
+#include "data/concept_vocab.h"
+
+#include <set>
+
+#include "common/status.h"
+#include "data/concepts.h"
+
+namespace uhscm::data {
+
+namespace {
+ConceptVocab FromNames(const std::vector<std::string>& names,
+                       SemanticWorld* world) {
+  ConceptVocab vocab;
+  std::set<int> seen;
+  for (const std::string& name : names) {
+    const int id = world->RegisterConcept(name);
+    if (seen.insert(id).second) {
+      vocab.names.push_back(CanonicalConceptName(name));
+      vocab.ids.push_back(id);
+    }
+  }
+  return vocab;
+}
+}  // namespace
+
+ConceptVocab MakeNusVocab(SemanticWorld* world) {
+  return FromNames(NusWide81Concepts(), world);
+}
+
+ConceptVocab MakeCocoVocab(SemanticWorld* world) {
+  return FromNames(Coco80Concepts(), world);
+}
+
+ConceptVocab MakeCombinedVocab(SemanticWorld* world) {
+  std::vector<std::string> all = NusWide81Concepts();
+  const std::vector<std::string>& coco = Coco80Concepts();
+  all.insert(all.end(), coco.begin(), coco.end());
+  return FromNames(all, world);
+}
+
+ConceptVocab SubsetVocab(const ConceptVocab& vocab,
+                         const std::vector<int>& keep) {
+  ConceptVocab out;
+  for (int pos : keep) {
+    UHSCM_CHECK(pos >= 0 && pos < vocab.size(),
+                "SubsetVocab: position out of range");
+    out.names.push_back(vocab.names[static_cast<size_t>(pos)]);
+    out.ids.push_back(vocab.ids[static_cast<size_t>(pos)]);
+  }
+  return out;
+}
+
+}  // namespace uhscm::data

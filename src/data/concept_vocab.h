@@ -1,0 +1,42 @@
+#ifndef UHSCM_DATA_CONCEPT_VOCAB_H_
+#define UHSCM_DATA_CONCEPT_VOCAB_H_
+
+#include <string>
+#include <vector>
+
+#include "data/world.h"
+
+namespace uhscm::data {
+
+/// \brief The "randomly collected set of concepts" C = {c_i} of §3.3.1:
+/// surface names plus their universe concept ids for a given world.
+///
+/// Factories mirror the paper's three choices: the 81 NUS-WIDE categories
+/// (default), the 80 MS-COCO categories (UHSCM_coco), and their union
+/// deduplicated on canonical names (UHSCM_nus&coco, 153 in the paper;
+/// slightly fewer here because canonicalization merges synonyms — the
+/// overlap structure is what the ablation depends on).
+struct ConceptVocab {
+  std::vector<std::string> names;
+  std::vector<int> ids;
+
+  int size() const { return static_cast<int>(names.size()); }
+};
+
+/// 81 NUS-WIDE concepts.
+ConceptVocab MakeNusVocab(SemanticWorld* world);
+
+/// 80 MS-COCO categories.
+ConceptVocab MakeCocoVocab(SemanticWorld* world);
+
+/// Union of the two, deduplicated on canonical concept ids.
+ConceptVocab MakeCombinedVocab(SemanticWorld* world);
+
+/// Keeps only the vocabulary entries whose position is in `keep`
+/// (ascending positions into the original vocab).
+ConceptVocab SubsetVocab(const ConceptVocab& vocab,
+                         const std::vector<int>& keep);
+
+}  // namespace uhscm::data
+
+#endif  // UHSCM_DATA_CONCEPT_VOCAB_H_

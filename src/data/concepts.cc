@@ -1,0 +1,118 @@
+#include "data/concepts.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace uhscm::data {
+
+const std::vector<std::string>& NusWide81Concepts() {
+  static const auto* kList = new std::vector<std::string>{
+      "airport",    "animal",    "beach",     "bear",      "birds",
+      "boats",      "book",      "bridge",    "buildings", "cars",
+      "castle",     "cat",       "cityscape", "clouds",    "computer",
+      "coral",      "cow",       "dancing",   "dog",       "earthquake",
+      "elk",        "fire",      "fish",      "flags",     "flowers",
+      "food",       "fox",       "frost",     "garden",    "glacier",
+      "grass",      "harbor",    "horses",    "house",     "lake",
+      "leaf",       "map",       "military",  "moon",      "mountain",
+      "nighttime",  "ocean",     "person",    "plane",     "plants",
+      "police",     "protest",   "railroad",  "rainbow",   "reflection",
+      "road",       "rocks",     "running",   "sand",      "sign",
+      "sky",        "snow",      "soccer",    "sports",    "statue",
+      "street",     "sun",       "sunset",    "surf",      "swimmers",
+      "tattoo",     "temple",    "tiger",     "tower",     "town",
+      "toy",        "train",     "tree",      "valley",    "vehicle",
+      "water",      "waterfall", "wedding",   "whales",    "window",
+      "zebra"};
+  return *kList;
+}
+
+const std::vector<std::string>& NusWide21Classes() {
+  static const auto* kList = new std::vector<std::string>{
+      "animal",  "beach",      "buildings", "clouds", "flowers",
+      "grass",   "lake",       "mountain",  "ocean",  "person",
+      "plants",  "reflection", "road",      "rocks",  "sky",
+      "snow",    "sunset",     "tree",      "vehicle", "water",
+      "window"};
+  return *kList;
+}
+
+const std::vector<std::string>& Coco80Concepts() {
+  static const auto* kList = new std::vector<std::string>{
+      "person",        "bicycle",      "car",           "motorcycle",
+      "airplane",      "bus",          "train",         "truck",
+      "boat",          "traffic light", "fire hydrant",  "stop sign",
+      "parking meter", "bench",        "bird",          "cat",
+      "dog",           "horse",        "sheep",         "cow",
+      "elephant",      "bear",         "zebra",         "giraffe",
+      "backpack",      "umbrella",     "handbag",       "tie",
+      "suitcase",      "frisbee",      "skis",          "snowboard",
+      "sports ball",   "kite",         "baseball bat",  "baseball glove",
+      "skateboard",    "surfboard",    "tennis racket", "bottle",
+      "wine glass",    "cup",          "fork",          "knife",
+      "spoon",         "bowl",         "banana",        "apple",
+      "sandwich",      "orange",       "broccoli",      "carrot",
+      "hot dog",       "pizza",        "donut",         "cake",
+      "chair",         "couch",        "potted plant",  "bed",
+      "dining table",  "toilet",       "tv",            "laptop",
+      "mouse",         "remote",       "keyboard",      "cell phone",
+      "microwave",     "oven",         "toaster",       "sink",
+      "refrigerator",  "book",         "clock",         "vase",
+      "scissors",      "teddy bear",   "hair drier",    "toothbrush"};
+  return *kList;
+}
+
+const std::vector<std::string>& Cifar10Classes() {
+  static const auto* kList = new std::vector<std::string>{
+      "airplane", "automobile", "bird",  "cat",  "deer",
+      "dog",      "frog",       "horse", "ship", "truck"};
+  return *kList;
+}
+
+const std::vector<std::string>& MirFlickr24Classes() {
+  static const auto* kList = new std::vector<std::string>{
+      "animals", "baby",       "bird",   "car",       "clouds",
+      "dog",     "female",     "flower", "food",      "indoor",
+      "lake",    "male",       "night",  "people",    "plant_life",
+      "portrait", "river",     "sea",    "sky",       "structures",
+      "sunset",  "transport",  "tree",   "water"};
+  return *kList;
+}
+
+std::string CanonicalConceptName(const std::string& name) {
+  static const auto* kSynonyms =
+      new std::unordered_map<std::string, std::string>{
+          // Plural / singular unification.
+          {"birds", "bird"},
+          {"horses", "horse"},
+          {"boats", "boat"},
+          {"cars", "car"},
+          {"flowers", "flower"},
+          {"whales", "whale"},
+          {"plants", "plant"},
+          {"animals", "animal"},
+          {"people", "person"},
+          {"rocks", "rock"},
+          {"flags", "flag"},
+          {"swimmers", "swimmer"},
+          // Cross-dataset synonyms.
+          {"airplane", "plane"},
+          {"automobile", "car"},
+          {"ship", "boat"},
+          {"plant_life", "plant"},
+          {"sea", "ocean"},
+          {"transport", "vehicle"},
+          {"structures", "buildings"},
+          {"nighttime", "night"},
+      };
+  std::string key = ToLower(name);
+  for (char& c : key) {
+    if (c == ' ') c = '_';
+  }
+  auto it = kSynonyms->find(key);
+  if (it != kSynonyms->end()) return it->second;
+  return key;
+}
+
+}  // namespace uhscm::data

@@ -1,0 +1,34 @@
+#ifndef UHSCM_DATA_CONCEPTS_H_
+#define UHSCM_DATA_CONCEPTS_H_
+
+#include <string>
+#include <vector>
+
+namespace uhscm::data {
+
+/// The 81 NUS-WIDE concept labels (the paper's default random concept set,
+/// §3.3.1 / §4.1).
+const std::vector<std::string>& NusWide81Concepts();
+
+/// The 21 most-frequent NUS-WIDE classes used for retrieval evaluation
+/// (§4.1).
+const std::vector<std::string>& NusWide21Classes();
+
+/// The 80 MS-COCO categories (UHSCM_coco ablation, §4.4.1).
+const std::vector<std::string>& Coco80Concepts();
+
+/// The 10 CIFAR10 classes.
+const std::vector<std::string>& Cifar10Classes();
+
+/// The 24 MIRFlickr-25K annotation classes.
+const std::vector<std::string>& MirFlickr24Classes();
+
+/// Maps surface forms to a canonical concept name so that, e.g., CIFAR's
+/// "automobile", COCO's "car" and NUS-WIDE's "cars" denote the same latent
+/// semantic concept. Unknown names canonicalize to themselves
+/// (lower-cased, spaces -> underscores).
+std::string CanonicalConceptName(const std::string& name);
+
+}  // namespace uhscm::data
+
+#endif  // UHSCM_DATA_CONCEPTS_H_

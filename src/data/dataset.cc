@@ -1,0 +1,60 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace uhscm::data {
+
+bool Dataset::Relevant(int i, int j) const {
+  const auto& a = labels[static_cast<size_t>(i)];
+  const auto& b = labels[static_cast<size_t>(j)];
+  // Both sets are sorted ascending; merge-intersect.
+  size_t x = 0, y = 0;
+  while (x < a.size() && y < b.size()) {
+    if (a[x] == b[y]) return true;
+    if (a[x] < b[y]) {
+      ++x;
+    } else {
+      ++y;
+    }
+  }
+  return false;
+}
+
+linalg::Matrix LabelMatrix(const Dataset& dataset) {
+  std::unordered_map<int, int> class_pos;
+  for (size_t c = 0; c < dataset.class_ids.size(); ++c) {
+    class_pos.emplace(dataset.class_ids[c], static_cast<int>(c));
+  }
+  linalg::Matrix out(dataset.num_images(), dataset.num_classes());
+  for (int i = 0; i < dataset.num_images(); ++i) {
+    for (int id : dataset.labels[static_cast<size_t>(i)]) {
+      auto it = class_pos.find(id);
+      UHSCM_CHECK(it != class_pos.end(),
+                  "LabelMatrix: label not among dataset classes");
+      out(i, it->second) = 1.0f;
+    }
+  }
+  return out;
+}
+
+std::vector<int> PrimaryClassIndex(const Dataset& dataset) {
+  std::unordered_map<int, int> class_pos;
+  for (size_t c = 0; c < dataset.class_ids.size(); ++c) {
+    class_pos.emplace(dataset.class_ids[c], static_cast<int>(c));
+  }
+  std::vector<int> out(static_cast<size_t>(dataset.num_images()), 0);
+  for (int i = 0; i < dataset.num_images(); ++i) {
+    const auto& lab = dataset.labels[static_cast<size_t>(i)];
+    UHSCM_CHECK(!lab.empty(), "PrimaryClassIndex: image without labels");
+    auto it = class_pos.find(lab[0]);
+    UHSCM_CHECK(it != class_pos.end(),
+                "PrimaryClassIndex: label not among dataset classes");
+    out[static_cast<size_t>(i)] = it->second;
+  }
+  return out;
+}
+
+}  // namespace uhscm::data

@@ -1,0 +1,57 @@
+#ifndef UHSCM_DATA_DATASET_H_
+#define UHSCM_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace uhscm::data {
+
+/// Train/database/query index partition following the paper's protocol
+/// (§4.1): queries are held out; the training set is a subset of the
+/// database.
+struct Split {
+  std::vector<int> train;
+  std::vector<int> database;
+  std::vector<int> query;
+};
+
+/// \brief An image collection with ground-truth labels.
+///
+/// `labels[i]` holds the universe concept ids an image is annotated with
+/// (one id for single-label datasets). Ground truth is used only for
+/// evaluation (and by the generative simulators) — the hashing methods
+/// under test never see it.
+struct Dataset {
+  std::string name;
+  /// n x pixel_dim raw image matrix.
+  linalg::Matrix pixels;
+  /// Per-image label sets (universe concept ids, ascending).
+  std::vector<std::vector<int>> labels;
+  /// Universe concept ids of the dataset's classes.
+  std::vector<int> class_ids;
+  /// Human-readable class names aligned with class_ids.
+  std::vector<std::string> class_names;
+  bool multi_label = false;
+  Split split;
+
+  int num_images() const { return pixels.rows(); }
+  int num_classes() const { return static_cast<int>(class_ids.size()); }
+
+  /// Ground-truth relevance for retrieval metrics: two images are a
+  /// similar pair iff they share at least one label (§4.2).
+  bool Relevant(int i, int j) const;
+};
+
+/// Returns `labels` re-encoded as a dense n x num_classes 0/1 matrix in
+/// class_ids order (used by the evaluation metrics and t-SNE coloring).
+linalg::Matrix LabelMatrix(const Dataset& dataset);
+
+/// For single-label use (coloring, per-class sampling): the index into
+/// class_ids of the first label of each image.
+std::vector<int> PrimaryClassIndex(const Dataset& dataset);
+
+}  // namespace uhscm::data
+
+#endif  // UHSCM_DATA_DATASET_H_

@@ -1,0 +1,112 @@
+#include "data/world.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "data/concepts.h"
+#include "linalg/ops.h"
+
+namespace uhscm::data {
+
+SemanticWorld::SemanticWorld(uint64_t seed, const WorldOptions& options)
+    : options_(options), seed_(seed) {
+  UHSCM_CHECK(options_.pixel_dim > 0, "pixel_dim must be positive");
+  UHSCM_CHECK(options_.num_groups > 0, "num_groups must be positive");
+  UHSCM_CHECK(options_.group_correlation >= 0.0f &&
+                  options_.group_correlation < 1.0f,
+              "group_correlation must be in [0, 1)");
+  // Deterministic group means from the seed.
+  Rng rng(seed_ ^ 0xA5A5A5A5ULL);
+  group_means_.reserve(static_cast<size_t>(options_.num_groups));
+  for (int g = 0; g < options_.num_groups; ++g) {
+    linalg::Vector mean(static_cast<size_t>(options_.pixel_dim));
+    for (auto& v : mean) v = static_cast<float>(rng.Normal());
+    const float norm = linalg::Norm2(mean);
+    for (auto& v : mean) v /= norm;
+    group_means_.push_back(std::move(mean));
+  }
+  Rng style_rng(seed_ ^ 0x57F1E5ULL);
+  styles_.reserve(static_cast<size_t>(std::max(options_.num_styles, 0)));
+  for (int s = 0; s < options_.num_styles; ++s) {
+    linalg::Vector style(static_cast<size_t>(options_.pixel_dim));
+    for (auto& v : style) v = static_cast<float>(style_rng.Normal());
+    const float norm = linalg::Norm2(style);
+    for (auto& v : style) v /= norm;
+    styles_.push_back(std::move(style));
+  }
+}
+
+int SemanticWorld::RegisterConcept(const std::string& name) {
+  const std::string canon = CanonicalConceptName(name);
+  auto it = ids_.find(canon);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(canon);
+  ids_.emplace(canon, id);
+  prototypes_.push_back(MakePrototype(id));
+  return id;
+}
+
+int SemanticWorld::FindConcept(const std::string& name) const {
+  auto it = ids_.find(CanonicalConceptName(name));
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const linalg::Vector& SemanticWorld::Prototype(int id) const {
+  UHSCM_CHECK(id >= 0 && id < num_concepts(), "Prototype: id out of range");
+  return prototypes_[static_cast<size_t>(id)];
+}
+
+linalg::Vector SemanticWorld::MakePrototype(int id) {
+  // Prototype = sqrt(1 - rho^2) * g_id + rho * group_mean, unit-normalized.
+  // Deterministic per (seed, id).
+  Rng rng(seed_ + 0x1000003ULL * static_cast<uint64_t>(id + 1));
+  linalg::Vector proto(static_cast<size_t>(options_.pixel_dim));
+  for (auto& v : proto) v = static_cast<float>(rng.Normal());
+  float norm = linalg::Norm2(proto);
+  for (auto& v : proto) v /= norm;
+
+  const float rho = options_.group_correlation;
+  const int group = id % options_.num_groups;
+  const linalg::Vector& mean = group_means_[static_cast<size_t>(group)];
+  const float a = std::sqrt(1.0f - rho * rho);
+  for (size_t i = 0; i < proto.size(); ++i) {
+    proto[i] = a * proto[i] + rho * mean[i];
+  }
+  norm = linalg::Norm2(proto);
+  for (auto& v : proto) v /= norm;
+  return proto;
+}
+
+linalg::Vector SemanticWorld::RenderImage(const std::vector<int>& label_ids,
+                                          float noise_scale, Rng* rng) const {
+  UHSCM_CHECK(!label_ids.empty(), "RenderImage: image needs >= 1 label");
+  linalg::Vector img(static_cast<size_t>(options_.pixel_dim), 0.0f);
+  for (int id : label_ids) {
+    const linalg::Vector& proto = Prototype(id);
+    const float w = static_cast<float>(rng->Uniform(0.7, 1.3));
+    for (size_t i = 0; i < img.size(); ++i) img[i] += w * proto[i];
+  }
+  // Style component: one shared nuisance direction per image.
+  if (!styles_.empty() && options_.style_strength > 0.0f) {
+    const linalg::Vector& style = styles_[static_cast<size_t>(
+        rng->UniformInt(styles_.size()))];
+    for (size_t i = 0; i < img.size(); ++i) {
+      img[i] += options_.style_strength * style[i];
+    }
+  }
+  // Noise is scaled so its expected norm is `noise_scale` relative to the
+  // unit-norm signal mixture (per-dimension sigma = scale / sqrt(dim)).
+  const float sigma =
+      noise_scale / std::sqrt(static_cast<float>(options_.pixel_dim));
+  for (auto& v : img) {
+    v += sigma * static_cast<float>(rng->Normal());
+  }
+  const float norm = linalg::Norm2(img);
+  if (norm > 1e-12f) {
+    for (auto& v : img) v /= norm;
+  }
+  return img;
+}
+
+}  // namespace uhscm::data

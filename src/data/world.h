@@ -1,0 +1,96 @@
+#ifndef UHSCM_DATA_WORLD_H_
+#define UHSCM_DATA_WORLD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::data {
+
+/// Tunables of the synthetic semantic universe.
+struct WorldOptions {
+  /// Dimensionality of the "pixel" (raw image) space every image is
+  /// rendered into.
+  int pixel_dim = 256;
+  /// Number of correlated prototype groups; concepts in the same group get
+  /// visually confusable prototypes (this is what makes some vocabulary
+  /// concepts behave as plausible-but-wrong detections, motivating the
+  /// paper's denoising step).
+  int num_groups = 12;
+  /// Within-group prototype correlation in [0, 1).
+  float group_correlation = 0.45f;
+  /// Non-semantic appearance structure: each rendered image carries one
+  /// of `num_styles` shared pixel-space style vectors (background, color
+  /// cast, lighting) at `style_strength` relative to the unit-norm
+  /// semantic mixture. Styles cut across classes, so they create exactly
+  /// the plausible-but-wrong neighbors that pollute feature-cosine
+  /// similarity matrices (the paper's motivation for concept mining) —
+  /// and, being visible in pixel space, a hashing network *can* be misled
+  /// by them unless its guiding similarity is style-free.
+  int num_styles = 32;
+  float style_strength = 1.2f;
+};
+
+/// \brief The latent semantic universe shared by datasets, the simulated
+/// VLP model, and the simulated CNN feature extractor.
+///
+/// Every concept name (canonicalized) maps to a stable integer id with an
+/// associated unit-norm pixel-space prototype. Images are rendered as
+/// noisy mixtures of their labels' prototypes; the simulated VLP "knows"
+/// the prototypes (its pretraining), which is how it scores image/concept
+/// pairs from pixels alone.
+class SemanticWorld {
+ public:
+  explicit SemanticWorld(uint64_t seed, const WorldOptions& options = {});
+
+  /// Returns the id for `name` (canonicalized), registering it on first
+  /// use. Prototypes are a deterministic function of (seed, id), so
+  /// registration order affects ids but not experiment semantics as long
+  /// as callers keep their own id lists.
+  int RegisterConcept(const std::string& name);
+
+  /// Id lookup without registration; -1 if unknown.
+  int FindConcept(const std::string& name) const;
+
+  int num_concepts() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int id) const { return names_[static_cast<size_t>(id)]; }
+  int pixel_dim() const { return options_.pixel_dim; }
+  const WorldOptions& options() const { return options_; }
+
+  /// Unit-norm pixel prototype of concept `id` (size pixel_dim).
+  const linalg::Vector& Prototype(int id) const;
+
+  /// Style dictionary (see WorldOptions): shared non-semantic pixel
+  /// directions. Exposed so the simulated VLP's image tower can respond
+  /// to appearance the way a real encoder does.
+  int num_styles() const { return static_cast<int>(styles_.size()); }
+  const linalg::Vector& Style(int s) const {
+    return styles_[static_cast<size_t>(s)];
+  }
+
+  /// Renders an image: unit-normalized sum of label prototypes with
+  /// per-label weights in [0.7, 1.3] plus isotropic Gaussian pixel noise
+  /// whose expected norm is `noise_scale` relative to the unit-norm
+  /// signal (so cos(image, prototype) ~ 1/sqrt(1 + noise_scale^2) for a
+  /// single-label image).
+  linalg::Vector RenderImage(const std::vector<int>& label_ids,
+                             float noise_scale, Rng* rng) const;
+
+ private:
+  linalg::Vector MakePrototype(int id);
+
+  WorldOptions options_;
+  uint64_t seed_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+  std::vector<linalg::Vector> prototypes_;
+  std::vector<linalg::Vector> group_means_;
+  std::vector<linalg::Vector> styles_;
+};
+
+}  // namespace uhscm::data
+
+#endif  // UHSCM_DATA_WORLD_H_

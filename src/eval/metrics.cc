@@ -1,0 +1,132 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace uhscm::eval {
+
+double AveragePrecision(const std::vector<bool>& relevant, int top_n) {
+  const int n = std::min<int>(top_n, static_cast<int>(relevant.size()));
+  int hits = 0;
+  double sum_prec = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (relevant[static_cast<size_t>(i)]) {
+      ++hits;
+      sum_prec += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  if (hits == 0) return 0.0;
+  return sum_prec / static_cast<double>(hits);
+}
+
+double PrecisionAtN(const std::vector<bool>& relevant, int top_n) {
+  const int n = std::min<int>(top_n, static_cast<int>(relevant.size()));
+  if (n == 0) return 0.0;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (relevant[static_cast<size_t>(i)]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+std::vector<PrPoint> PrCurveByRadius(const std::vector<int>& distances,
+                                     const std::vector<bool>& relevant,
+                                     int total_relevant, int max_radius) {
+  UHSCM_CHECK(distances.size() == relevant.size(),
+              "PrCurveByRadius: size mismatch");
+  // Histogram retrieved / relevant-retrieved by distance.
+  std::vector<int> retrieved_at(static_cast<size_t>(max_radius + 1), 0);
+  std::vector<int> relevant_at(static_cast<size_t>(max_radius + 1), 0);
+  for (size_t i = 0; i < distances.size(); ++i) {
+    const int d = std::min(distances[i], max_radius);
+    ++retrieved_at[static_cast<size_t>(d)];
+    if (relevant[i]) ++relevant_at[static_cast<size_t>(d)];
+  }
+  std::vector<PrPoint> curve(static_cast<size_t>(max_radius + 1));
+  int cum_retrieved = 0;
+  int cum_relevant = 0;
+  for (int r = 0; r <= max_radius; ++r) {
+    cum_retrieved += retrieved_at[static_cast<size_t>(r)];
+    cum_relevant += relevant_at[static_cast<size_t>(r)];
+    PrPoint& p = curve[static_cast<size_t>(r)];
+    p.precision = cum_retrieved > 0 ? static_cast<double>(cum_relevant) /
+                                          static_cast<double>(cum_retrieved)
+                                    : 1.0;
+    p.recall = total_relevant > 0 ? static_cast<double>(cum_relevant) /
+                                        static_cast<double>(total_relevant)
+                                  : 0.0;
+  }
+  return curve;
+}
+
+std::vector<PrPoint> AveragePrCurves(
+    const std::vector<std::vector<PrPoint>>& curves) {
+  UHSCM_CHECK(!curves.empty(), "AveragePrCurves: no curves");
+  const size_t len = curves[0].size();
+  std::vector<PrPoint> mean(len);
+  for (const auto& curve : curves) {
+    UHSCM_CHECK(curve.size() == len, "AveragePrCurves: length mismatch");
+    for (size_t i = 0; i < len; ++i) {
+      mean[i].precision += curve[i].precision;
+      mean[i].recall += curve[i].recall;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(curves.size());
+  for (auto& p : mean) {
+    p.precision *= inv;
+    p.recall *= inv;
+  }
+  return mean;
+}
+
+double MeanSilhouette(const std::vector<float>& points, int dim,
+                      const std::vector<int>& labels) {
+  UHSCM_CHECK(dim > 0, "MeanSilhouette: dim must be positive");
+  const int n = static_cast<int>(labels.size());
+  UHSCM_CHECK(points.size() == static_cast<size_t>(n) * dim,
+              "MeanSilhouette: buffer size mismatch");
+  if (n < 2) return 0.0;
+
+  // Cluster sizes.
+  std::unordered_map<int, int> cluster_size;
+  for (int lab : labels) ++cluster_size[lab];
+
+  auto dist = [&](int i, int j) {
+    double s = 0.0;
+    for (int c = 0; c < dim; ++c) {
+      const double d = static_cast<double>(points[static_cast<size_t>(i) * dim + c]) -
+                       points[static_cast<size_t>(j) * dim + c];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  };
+
+  double total = 0.0;
+  int counted = 0;
+  for (int i = 0; i < n; ++i) {
+    const int li = labels[static_cast<size_t>(i)];
+    if (cluster_size[li] < 2) continue;  // silhouette undefined
+    std::unordered_map<int, double> sum_by_cluster;
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum_by_cluster[labels[static_cast<size_t>(j)]] += dist(i, j);
+    }
+    const double a =
+        sum_by_cluster[li] / static_cast<double>(cluster_size[li] - 1);
+    double b = std::numeric_limits<double>::max();
+    for (const auto& [lab, sum] : sum_by_cluster) {
+      if (lab == li) continue;
+      b = std::min(b, sum / static_cast<double>(cluster_size[lab]));
+    }
+    if (b == std::numeric_limits<double>::max()) continue;
+    total += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace uhscm::eval

@@ -1,0 +1,44 @@
+#ifndef UHSCM_EVAL_METRICS_H_
+#define UHSCM_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace uhscm::eval {
+
+/// Average Precision of one ranked result list (Eq. 12): `relevant[i]`
+/// flags whether the i-th retrieved item is relevant; only the first
+/// `top_n` items count. Returns 0 when nothing relevant appears.
+double AveragePrecision(const std::vector<bool>& relevant, int top_n);
+
+/// Precision among the first `top_n` ranked items.
+double PrecisionAtN(const std::vector<bool>& relevant, int top_n);
+
+/// One (recall, precision) point.
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+};
+
+/// Precision/recall when retrieving everything within each Hamming radius
+/// 0..max_radius (the hash-lookup protocol, §4.2). `distances[i]` and
+/// `relevant[i]` describe database item i relative to one query;
+/// `total_relevant` is the number of relevant database items. Points
+/// where nothing is retrieved contribute precision 1 recall 0 by the
+/// usual convention.
+std::vector<PrPoint> PrCurveByRadius(const std::vector<int>& distances,
+                                     const std::vector<bool>& relevant,
+                                     int total_relevant, int max_radius);
+
+/// Averages per-query PR curves point-wise (all must share a length).
+std::vector<PrPoint> AveragePrCurves(
+    const std::vector<std::vector<PrPoint>>& curves);
+
+/// Mean silhouette coefficient of 2-D (or any-D) points under the given
+/// integer labeling — the quantitative readout for the Figure 5 t-SNE
+/// comparison. Points are rows of a flattened row-major buffer.
+double MeanSilhouette(const std::vector<float>& points, int dim,
+                      const std::vector<int>& labels);
+
+}  // namespace uhscm::eval
+
+#endif  // UHSCM_EVAL_METRICS_H_

@@ -1,0 +1,95 @@
+#include "eval/retrieval_eval.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "index/linear_scan.h"
+#include "index/packed_codes.h"
+
+namespace uhscm::eval {
+
+RetrievalEvalResult EvaluateRetrieval(const data::Dataset& dataset,
+                                      const linalg::Matrix& database_codes,
+                                      const linalg::Matrix& query_codes,
+                                      const RetrievalEvalOptions& options) {
+  const auto& db_ids = dataset.split.database;
+  const auto& query_ids = dataset.split.query;
+  UHSCM_CHECK(database_codes.rows() == static_cast<int>(db_ids.size()),
+              "EvaluateRetrieval: database code count mismatch");
+  UHSCM_CHECK(query_codes.rows() == static_cast<int>(query_ids.size()),
+              "EvaluateRetrieval: query code count mismatch");
+  UHSCM_CHECK(database_codes.cols() == query_codes.cols(),
+              "EvaluateRetrieval: bit width mismatch");
+
+  const int bits = database_codes.cols();
+  const int n_db = database_codes.rows();
+  const int n_query = query_codes.rows();
+  const int map_at = std::min(options.map_at, n_db);
+  const int max_topn =
+      options.topn_points.empty()
+          ? 0
+          : *std::max_element(options.topn_points.begin(),
+                              options.topn_points.end());
+  const int rank_depth = std::min(n_db, std::max(map_at, max_topn));
+
+  const index::PackedCodes packed_db =
+      index::PackedCodes::FromSignMatrix(database_codes);
+  const index::PackedCodes packed_q =
+      index::PackedCodes::FromSignMatrix(query_codes);
+  const index::LinearScanIndex scan(packed_db);
+
+  std::vector<double> ap(static_cast<size_t>(n_query), 0.0);
+  std::vector<std::vector<double>> pn(
+      static_cast<size_t>(n_query),
+      std::vector<double>(options.topn_points.size(), 0.0));
+  std::vector<std::vector<PrPoint>> pr(static_cast<size_t>(n_query));
+
+  ParallelFor(n_query, [&](int q) {
+    const int query_image = query_ids[static_cast<size_t>(q)];
+    const std::vector<index::Neighbor> ranked =
+        scan.TopK(packed_q.code(q), rank_depth);
+
+    std::vector<bool> relevant(ranked.size());
+    for (size_t r = 0; r < ranked.size(); ++r) {
+      relevant[r] =
+          dataset.Relevant(query_image, db_ids[static_cast<size_t>(ranked[r].id)]);
+    }
+    ap[static_cast<size_t>(q)] = AveragePrecision(relevant, map_at);
+    for (size_t p = 0; p < options.topn_points.size(); ++p) {
+      pn[static_cast<size_t>(q)][p] =
+          PrecisionAtN(relevant, options.topn_points[p]);
+    }
+
+    if (options.compute_pr_curve) {
+      const std::vector<int> distances = scan.AllDistances(packed_q.code(q));
+      std::vector<bool> rel_all(static_cast<size_t>(n_db));
+      int total_relevant = 0;
+      for (int i = 0; i < n_db; ++i) {
+        rel_all[static_cast<size_t>(i)] =
+            dataset.Relevant(query_image, db_ids[static_cast<size_t>(i)]);
+        if (rel_all[static_cast<size_t>(i)]) ++total_relevant;
+      }
+      pr[static_cast<size_t>(q)] =
+          PrCurveByRadius(distances, rel_all, total_relevant, bits);
+    }
+  });
+
+  RetrievalEvalResult result;
+  for (double v : ap) result.map += v;
+  result.map /= std::max(n_query, 1);
+  result.precision_at_n.assign(options.topn_points.size(), 0.0);
+  for (int q = 0; q < n_query; ++q) {
+    for (size_t p = 0; p < options.topn_points.size(); ++p) {
+      result.precision_at_n[p] += pn[static_cast<size_t>(q)][p];
+    }
+  }
+  for (auto& v : result.precision_at_n) v /= std::max(n_query, 1);
+  if (options.compute_pr_curve && n_query > 0) {
+    result.pr_curve = AveragePrCurves(pr);
+  }
+  return result;
+}
+
+}  // namespace uhscm::eval

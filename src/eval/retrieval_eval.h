@@ -1,0 +1,45 @@
+#ifndef UHSCM_EVAL_RETRIEVAL_EVAL_H_
+#define UHSCM_EVAL_RETRIEVAL_EVAL_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::eval {
+
+/// What the retrieval driver should compute.
+struct RetrievalEvalOptions {
+  /// MAP cut-off (the paper uses n = 5000; clamped to the database size).
+  int map_at = 5000;
+  /// N values for the P@N curves (Figure 2).
+  std::vector<int> topn_points = {100, 300, 500, 700, 900, 1000};
+  bool compute_pr_curve = false;
+};
+
+/// Results of evaluating one method's codes on one dataset.
+struct RetrievalEvalResult {
+  double map = 0.0;
+  /// Aligned with options.topn_points.
+  std::vector<double> precision_at_n;
+  /// Mean PR curve over queries, indexed by Hamming radius 0..k.
+  std::vector<PrPoint> pr_curve;
+};
+
+/// \brief Runs the full §4.2 protocol: ranks the database for every query
+/// by Hamming distance and aggregates MAP@map_at (Eq. 12), P@N, and (if
+/// requested) PR-by-radius curves. Relevance: share >= 1 label.
+///
+/// \param database_codes |database| x k {-1,+1} codes in the order of
+///        dataset.split.database.
+/// \param query_codes |query| x k codes in the order of
+///        dataset.split.query.
+RetrievalEvalResult EvaluateRetrieval(const data::Dataset& dataset,
+                                      const linalg::Matrix& database_codes,
+                                      const linalg::Matrix& query_codes,
+                                      const RetrievalEvalOptions& options = {});
+
+}  // namespace uhscm::eval
+
+#endif  // UHSCM_EVAL_RETRIEVAL_EVAL_H_

@@ -1,0 +1,158 @@
+#include "eval/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+#include "linalg/ops.h"
+
+namespace uhscm::eval {
+
+namespace {
+
+/// Row-stochastic conditional affinities with per-row bandwidth solved by
+/// bisection to match the target perplexity.
+linalg::Matrix ConditionalAffinities(const linalg::Matrix& d2,
+                                     double perplexity) {
+  const int n = d2.rows();
+  linalg::Matrix p(n, n);
+  const double log_perp = std::log(perplexity);
+  ParallelFor(n, [&](int i) {
+    double beta_lo = 1e-20;
+    double beta_hi = 1e20;
+    double beta = 1.0;
+    const float* drow = d2.Row(i);
+    float* prow = p.Row(i);
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      double sum_dp = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) {
+          prow[j] = 0.0f;
+          continue;
+        }
+        const double e = std::exp(-beta * static_cast<double>(drow[j]));
+        prow[j] = static_cast<float>(e);
+        sum += e;
+        sum_dp += e * drow[j];
+      }
+      if (sum <= 1e-300) {
+        beta_hi = beta;
+        beta = 0.5 * (beta_lo + beta_hi);
+        continue;
+      }
+      // Shannon entropy of the row distribution.
+      const double h = std::log(sum) + beta * sum_dp / sum;
+      const double diff = h - log_perp;
+      if (std::fabs(diff) < 1e-5) break;
+      if (diff > 0) {
+        beta_lo = beta;
+        beta = beta_hi > 1e19 ? beta * 2.0 : 0.5 * (beta_lo + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = beta_lo < 1e-19 ? beta / 2.0 : 0.5 * (beta_lo + beta_hi);
+      }
+    }
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) sum += prow[j];
+    if (sum > 0.0) {
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int j = 0; j < n; ++j) prow[j] *= inv;
+    }
+  });
+  return p;
+}
+
+}  // namespace
+
+Result<linalg::Matrix> RunTsne(const linalg::Matrix& x,
+                               const TsneOptions& options, Rng* rng) {
+  const int n = x.rows();
+  if (n < 5) {
+    return Status::InvalidArgument("RunTsne: need at least 5 points");
+  }
+  if (options.perplexity >= n) {
+    return Status::InvalidArgument("RunTsne: perplexity must be < n");
+  }
+
+  // Pairwise squared distances in input space.
+  linalg::Matrix d2(n, n);
+  ParallelFor(n, [&](int i) {
+    for (int j = 0; j < n; ++j) {
+      d2(i, j) = linalg::SquaredDistance(x.Row(i), x.Row(j), x.cols());
+    }
+  });
+
+  // Symmetrized joint affinities P.
+  linalg::Matrix p = ConditionalAffinities(d2, options.perplexity);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const float v =
+          (p(i, j) + p(j, i)) / (2.0f * static_cast<float>(n));
+      p(i, j) = std::max(v, 1e-12f);
+      p(j, i) = p(i, j);
+    }
+    p(i, i) = 0.0f;
+  }
+
+  const int dim = options.output_dim;
+  linalg::Matrix y = linalg::Matrix::RandomNormal(n, dim, rng, 1e-2f);
+  linalg::Matrix velocity(n, dim);
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.exaggeration : 1.0;
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.momentum_initial
+                                : options.momentum_final;
+
+    // Student-t affinities in the embedding.
+    linalg::Matrix num(n, n);
+    double q_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const float d = linalg::SquaredDistance(y.Row(i), y.Row(j), dim);
+        const float v = 1.0f / (1.0f + d);
+        num(i, j) = v;
+        num(j, i) = v;
+        q_sum += 2.0 * v;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    // Gradient: 4 sum_j (exag*P_ij - Q_ij) num_ij (y_i - y_j).
+    linalg::Matrix grad(n, dim);
+    ParallelFor(n, [&](int i) {
+      float* grow = grad.Row(i);
+      const float* yi = y.Row(i);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double q_ij = num(i, j) / q_sum;
+        const double coeff =
+            4.0 * (exaggeration * p(i, j) - q_ij) * num(i, j);
+        const float* yj = y.Row(j);
+        for (int c = 0; c < dim; ++c) {
+          grow[c] += static_cast<float>(coeff * (yi[c] - yj[c]));
+        }
+      }
+    });
+
+    for (int i = 0; i < n; ++i) {
+      float* vrow = velocity.Row(i);
+      float* yrow = y.Row(i);
+      const float* grow = grad.Row(i);
+      for (int c = 0; c < dim; ++c) {
+        vrow[c] = static_cast<float>(momentum) * vrow[c] -
+                  static_cast<float>(options.learning_rate) * grow[c];
+        yrow[c] += vrow[c];
+      }
+    }
+
+    // Re-center to keep the embedding bounded.
+    linalg::Vector mean = linalg::ColumnMeans(y);
+    linalg::CenterRows(&y, mean);
+  }
+  return y;
+}
+
+}  // namespace uhscm::eval

@@ -1,0 +1,38 @@
+#ifndef UHSCM_EVAL_TSNE_H_
+#define UHSCM_EVAL_TSNE_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::eval {
+
+/// t-SNE hyper-parameters (van der Maaten & Hinton 2008 defaults).
+struct TsneOptions {
+  int output_dim = 2;
+  double perplexity = 30.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int momentum_switch_iter = 100;
+  /// Early exaggeration factor and duration.
+  double exaggeration = 4.0;
+  int exaggeration_iters = 80;
+};
+
+/// \brief Exact O(n^2) t-SNE used to regenerate Figure 5.
+///
+/// Binary-searches per-point bandwidths to the target perplexity, then
+/// minimizes KL(P||Q) by gradient descent with momentum and early
+/// exaggeration. Suited to the <= a-few-thousand code vectors Figure 5
+/// embeds.
+///
+/// \param x n x d input rows (e.g. {-1,+1} hash codes).
+/// \returns n x output_dim embedding.
+Result<linalg::Matrix> RunTsne(const linalg::Matrix& x,
+                               const TsneOptions& options, Rng* rng);
+
+}  // namespace uhscm::eval
+
+#endif  // UHSCM_EVAL_TSNE_H_

@@ -1,0 +1,95 @@
+#include "features/cnn_features.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "linalg/ops.h"
+
+namespace uhscm::features {
+
+namespace {
+uint64_t HashRow(const float* row, int n, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (int i = 0; i < n; ++i) {
+    uint32_t bits;
+    __builtin_memcpy(&bits, &row[i], sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+}  // namespace
+
+SimulatedCnnFeatureExtractor::SimulatedCnnFeatureExtractor(
+    int pixel_dim, const CnnFeatureOptions& options)
+    : pixel_dim_(pixel_dim), options_(options) {
+  UHSCM_CHECK(pixel_dim > 0, "pixel_dim must be positive");
+  Rng rng(options_.seed);
+  const float s1 = 1.0f / std::sqrt(static_cast<float>(pixel_dim));
+  const float s2 = 1.0f / std::sqrt(static_cast<float>(options_.hidden_dim));
+  w1_ = linalg::Matrix::RandomNormal(pixel_dim, options_.hidden_dim, &rng, s1);
+  b1_.assign(static_cast<size_t>(options_.hidden_dim), 0.0f);
+  for (auto& v : b1_) v = static_cast<float>(rng.Normal(0.0, 0.01));
+  w2_ = linalg::Matrix::RandomNormal(options_.hidden_dim,
+                                     options_.feature_dim, &rng, s2);
+  const float ss = 1.0f / std::sqrt(static_cast<float>(options_.feature_dim));
+  styles_ = linalg::Matrix::RandomNormal(std::max(options_.num_styles, 1),
+                                         options_.feature_dim, &rng, ss);
+}
+
+linalg::Matrix SimulatedCnnFeatureExtractor::Extract(
+    const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(pixels.cols() == pixel_dim_, "Extract: pixel dim mismatch");
+  const int n = pixels.rows();
+  linalg::Matrix out(n, options_.feature_dim);
+  ParallelFor(n, [&](int i) {
+    // Hidden = ReLU(x W1 + b1).
+    std::vector<float> hidden(static_cast<size_t>(options_.hidden_dim), 0.0f);
+    const float* x = pixels.Row(i);
+    for (int p = 0; p < pixel_dim_; ++p) {
+      const float xv = x[p];
+      if (xv == 0.0f) continue;
+      const float* wrow = w1_.Row(p);
+      for (int h = 0; h < options_.hidden_dim; ++h) hidden[static_cast<size_t>(h)] += xv * wrow[h];
+    }
+    for (int h = 0; h < options_.hidden_dim; ++h) {
+      float v = hidden[static_cast<size_t>(h)] + b1_[static_cast<size_t>(h)];
+      hidden[static_cast<size_t>(h)] = v > 0.0f ? v : 0.0f;
+    }
+    // Out = hidden W2 + deterministic per-image noise.
+    float* row = out.Row(i);
+    for (int h = 0; h < options_.hidden_dim; ++h) {
+      const float hv = hidden[static_cast<size_t>(h)];
+      if (hv == 0.0f) continue;
+      const float* wrow = w2_.Row(h);
+      for (int f = 0; f < options_.feature_dim; ++f) row[f] += hv * wrow[f];
+    }
+    float norm = linalg::Norm2(row, options_.feature_dim);
+    if (norm > 1e-12f) {
+      for (int f = 0; f < options_.feature_dim; ++f) row[f] /= norm;
+    }
+    Rng noise_rng(HashRow(x, pixel_dim_, options_.seed));
+    const float sigma = options_.feature_noise /
+                        std::sqrt(static_cast<float>(options_.feature_dim));
+    for (int f = 0; f < options_.feature_dim; ++f) {
+      row[f] += sigma * static_cast<float>(noise_rng.Normal());
+    }
+    if (options_.num_styles > 0 && options_.style_strength > 0.0f) {
+      const int style = static_cast<int>(
+          noise_rng.UniformInt(static_cast<uint64_t>(options_.num_styles)));
+      const float* srow = styles_.Row(style);
+      // Style vectors are ~unit norm; scale by strength.
+      for (int f = 0; f < options_.feature_dim; ++f) {
+        row[f] += options_.style_strength * srow[f];
+      }
+    }
+    norm = linalg::Norm2(row, options_.feature_dim);
+    if (norm > 1e-12f) {
+      for (int f = 0; f < options_.feature_dim; ++f) row[f] /= norm;
+    }
+  });
+  return out;
+}
+
+}  // namespace uhscm::features

@@ -1,0 +1,70 @@
+#ifndef UHSCM_FEATURES_CNN_FEATURES_H_
+#define UHSCM_FEATURES_CNN_FEATURES_H_
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::features {
+
+/// Tunables of the simulated pretrained CNN.
+struct CnnFeatureOptions {
+  /// Output feature dimensionality (the paper uses VGG19 fc7 = 4096; the
+  /// default here is smaller for laptop-scale runs but configurable).
+  int feature_dim = 384;
+  /// Hidden width of the fixed random two-layer extractor.
+  int hidden_dim = 288;
+  /// Additive isotropic feature noise, modelling the domain gap between
+  /// ImageNet pretraining and the target dataset.
+  float feature_noise = 0.6f;
+  /// Correlated "style" noise: every image is deterministically assigned
+  /// one of `num_styles` shared style vectors (think background, color
+  /// cast, lighting) added with `style_strength` before normalization.
+  /// Images sharing a style look alike in feature space regardless of
+  /// class — the structured false positives that make the *extreme tail*
+  /// of real feature-cosine distributions unreliable, which is the
+  /// failure mode of threshold-on-cosine similarity constructions the
+  /// paper's intro argues against.
+  int num_styles = 32;
+  /// Feature-level style defaults to off: the dataset-level pixel style
+  /// (data::WorldOptions) is the canonical confound; this knob exists for
+  /// extractor-only ablations.
+  float style_strength = 0.0f;
+  uint64_t seed = 0x5EEDF00DULL;
+};
+
+/// \brief A stand-in for frozen ImageNet-pretrained VGG19 features.
+///
+/// A fixed (never trained) random two-layer network x -> ReLU(xW1+b1)W2,
+/// followed by deterministic per-image noise and L2 normalization. By
+/// Johnson-Lindenstrauss the random layers approximately preserve the
+/// pixel-space geometry, so features correlate with semantics — but more
+/// diffusely than the VLP's prototype-matching scores, reproducing the
+/// paper's premise that feature-cosine similarity matrices are weaker
+/// guiding information than mined concept distributions (§1, §4.4.2).
+///
+/// Consumed by the four shallow baselines (LSH/SH/ITQ/AGH) and by the
+/// deep baselines that build a similarity matrix from pretrained features
+/// (SSDH, MLS3RDUH, BGAN, UTH).
+class SimulatedCnnFeatureExtractor {
+ public:
+  explicit SimulatedCnnFeatureExtractor(int pixel_dim,
+                                        const CnnFeatureOptions& options = {});
+
+  int feature_dim() const { return options_.feature_dim; }
+  int pixel_dim() const { return pixel_dim_; }
+
+  /// n x feature_dim unit-norm features.
+  linalg::Matrix Extract(const linalg::Matrix& pixels) const;
+
+ private:
+  int pixel_dim_;
+  CnnFeatureOptions options_;
+  linalg::Matrix w1_;      // pixel_dim x hidden
+  linalg::Vector b1_;      // hidden
+  linalg::Matrix w2_;      // hidden x feature_dim
+  linalg::Matrix styles_;  // num_styles x feature_dim
+};
+
+}  // namespace uhscm::features
+
+#endif  // UHSCM_FEATURES_CNN_FEATURES_H_

@@ -1,0 +1,44 @@
+#include "index/linear_scan.h"
+
+#include <algorithm>
+
+namespace uhscm::index {
+
+LinearScanIndex::LinearScanIndex(PackedCodes database)
+    : database_(std::move(database)) {}
+
+std::vector<Neighbor> LinearScanIndex::TopK(const uint64_t* query,
+                                            int k) const {
+  k = std::min(k, database_.size());
+  if (k <= 0) return {};
+  std::vector<Neighbor> all(static_cast<size_t>(database_.size()));
+  for (int i = 0; i < database_.size(); ++i) {
+    all[static_cast<size_t>(i)] = {i, database_.DistanceTo(i, query)};
+  }
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+  };
+  std::partial_sort(all.begin(), all.begin() + k, all.end(), cmp);
+  all.resize(static_cast<size_t>(k));
+  return all;
+}
+
+std::vector<int> LinearScanIndex::AllDistances(const uint64_t* query) const {
+  std::vector<int> out(static_cast<size_t>(database_.size()));
+  for (int i = 0; i < database_.size(); ++i) {
+    out[static_cast<size_t>(i)] = database_.DistanceTo(i, query);
+  }
+  return out;
+}
+
+std::vector<Neighbor> LinearScanIndex::WithinRadius(const uint64_t* query,
+                                                    int r) const {
+  std::vector<Neighbor> out;
+  for (int i = 0; i < database_.size(); ++i) {
+    const int d = database_.DistanceTo(i, query);
+    if (d <= r) out.push_back({i, d});
+  }
+  return out;
+}
+
+}  // namespace uhscm::index

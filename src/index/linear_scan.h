@@ -1,0 +1,47 @@
+#ifndef UHSCM_INDEX_LINEAR_SCAN_H_
+#define UHSCM_INDEX_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "index/packed_codes.h"
+
+namespace uhscm::index {
+
+/// One retrieval hit: database position + Hamming distance.
+struct Neighbor {
+  int id;
+  int distance;
+};
+
+/// \brief Exact Hamming-ranking retrieval by brute-force popcount scan.
+///
+/// This is the Hamming-ranking protocol of §4.2: all database codes are
+/// ranked by distance to the query (ties broken by database id, matching
+/// the deterministic tie-breaking the evaluation metrics assume).
+class LinearScanIndex {
+ public:
+  /// Takes ownership of the packed database codes.
+  explicit LinearScanIndex(PackedCodes database);
+
+  int size() const { return database_.size(); }
+  int bits() const { return database_.bits(); }
+  const PackedCodes& database() const { return database_; }
+
+  /// Top-k nearest database codes to the packed query (ascending
+  /// distance, then ascending id). k is clamped to the database size.
+  std::vector<Neighbor> TopK(const uint64_t* query, int k) const;
+
+  /// Distances from the query to every database code (used to build PR
+  /// curves over all Hamming radii in one pass).
+  std::vector<int> AllDistances(const uint64_t* query) const;
+
+  /// All database codes within Hamming radius r (ascending id).
+  std::vector<Neighbor> WithinRadius(const uint64_t* query, int r) const;
+
+ private:
+  PackedCodes database_;
+};
+
+}  // namespace uhscm::index
+
+#endif  // UHSCM_INDEX_LINEAR_SCAN_H_

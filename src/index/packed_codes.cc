@@ -1,0 +1,75 @@
+#include "index/packed_codes.h"
+
+#include <bit>
+
+#include "common/status.h"
+
+namespace uhscm::index {
+
+int HammingDistance(const uint64_t* a, const uint64_t* b, int words) {
+  int d = 0;
+  for (int w = 0; w < words; ++w) {
+    d += std::popcount(a[w] ^ b[w]);
+  }
+  return d;
+}
+
+PackedCodes PackedCodes::FromSignMatrix(const linalg::Matrix& codes) {
+  PackedCodes packed;
+  packed.num_codes_ = codes.rows();
+  packed.bits_ = codes.cols();
+  packed.words_per_code_ = (codes.cols() + 63) / 64;
+  packed.words_.assign(
+      static_cast<size_t>(packed.num_codes_) * packed.words_per_code_, 0);
+  for (int i = 0; i < codes.rows(); ++i) {
+    const float* row = codes.Row(i);
+    uint64_t* dst =
+        packed.words_.data() +
+        static_cast<size_t>(i) * packed.words_per_code_;
+    for (int b = 0; b < codes.cols(); ++b) {
+      if (row[b] > 0.0f) {
+        dst[b >> 6] |= (1ULL << (b & 63));
+      }
+    }
+  }
+  return packed;
+}
+
+PackedCodes PackedCodes::FromRawWords(int num_codes, int bits,
+                                      std::vector<uint64_t> words) {
+  PackedCodes packed;
+  packed.num_codes_ = num_codes;
+  packed.bits_ = bits;
+  packed.words_per_code_ = (bits + 63) / 64;
+  UHSCM_CHECK(words.size() == static_cast<size_t>(num_codes) *
+                                  static_cast<size_t>(packed.words_per_code_),
+              "FromRawWords: word buffer size mismatch");
+  packed.words_ = std::move(words);
+  return packed;
+}
+
+int PackedCodes::Distance(int i, int j) const {
+  UHSCM_CHECK(i >= 0 && i < num_codes_ && j >= 0 && j < num_codes_,
+              "PackedCodes::Distance: index out of range");
+  return HammingDistance(code(i), code(j), words_per_code_);
+}
+
+int PackedCodes::DistanceTo(int i, const uint64_t* other) const {
+  UHSCM_CHECK(i >= 0 && i < num_codes_,
+              "PackedCodes::DistanceTo: index out of range");
+  return HammingDistance(code(i), other, words_per_code_);
+}
+
+std::vector<float> PackedCodes::Unpack(int i) const {
+  UHSCM_CHECK(i >= 0 && i < num_codes_,
+              "PackedCodes::Unpack: index out of range");
+  std::vector<float> out(static_cast<size_t>(bits_));
+  const uint64_t* src = code(i);
+  for (int b = 0; b < bits_; ++b) {
+    out[static_cast<size_t>(b)] =
+        (src[b >> 6] >> (b & 63)) & 1ULL ? 1.0f : -1.0f;
+  }
+  return out;
+}
+
+}  // namespace uhscm::index

@@ -1,0 +1,62 @@
+#ifndef UHSCM_INDEX_PACKED_CODES_H_
+#define UHSCM_INDEX_PACKED_CODES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace uhscm::index {
+
+/// \brief Bit-packed hash codes with popcount Hamming distance.
+///
+/// Codes arrive as {-1,+1} float rows (the sgn() output of a hashing
+/// model); bit b is set iff the float is positive. Each code occupies
+/// ceil(k/64) uint64 words; Hamming distance is XOR + popcount per word —
+/// the storage/lookup layer every retrieval protocol in the paper runs
+/// on.
+class PackedCodes {
+ public:
+  PackedCodes() = default;
+
+  /// Packs an n x k {-1,+1} (or real-valued: sign is taken) code matrix.
+  static PackedCodes FromSignMatrix(const linalg::Matrix& codes);
+
+  /// Rebuilds from raw packed words (deserialization path). Precondition:
+  /// words.size() == num_codes * ceil(bits/64).
+  static PackedCodes FromRawWords(int num_codes, int bits,
+                                  std::vector<uint64_t> words);
+
+  /// Raw packed storage, row-major per code (serialization path).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  int size() const { return num_codes_; }
+  int bits() const { return bits_; }
+  int words_per_code() const { return words_per_code_; }
+
+  const uint64_t* code(int i) const {
+    return words_.data() + static_cast<size_t>(i) * words_per_code_;
+  }
+
+  /// Hamming distance between stored codes i and j.
+  int Distance(int i, int j) const;
+
+  /// Hamming distance between stored code i and an external packed code.
+  int DistanceTo(int i, const uint64_t* other) const;
+
+  /// Unpacks code i back to a {-1,+1} float vector (round-trip tests).
+  std::vector<float> Unpack(int i) const;
+
+ private:
+  int num_codes_ = 0;
+  int bits_ = 0;
+  int words_per_code_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Hamming distance between two word arrays of the given length.
+int HammingDistance(const uint64_t* a, const uint64_t* b, int words);
+
+}  // namespace uhscm::index
+
+#endif  // UHSCM_INDEX_PACKED_CODES_H_

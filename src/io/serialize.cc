@@ -1,0 +1,259 @@
+#include "io/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace uhscm::io {
+
+namespace {
+
+constexpr uint32_t kVersion = 1;
+
+/// FNV-1a over a byte range.
+uint64_t Checksum(const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// RAII FILE wrapper.
+struct File {
+  explicit File(std::FILE* f) : fp(f) {}
+  ~File() {
+    if (fp != nullptr) std::fclose(fp);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+  std::FILE* fp;
+};
+
+Status WriteBytes(std::FILE* fp, const void* data, size_t bytes) {
+  if (std::fwrite(data, 1, bytes, fp) != bytes) {
+    return Status::Internal("short write");
+  }
+  return Status::OK();
+}
+
+Status ReadBytes(std::FILE* fp, void* data, size_t bytes) {
+  if (std::fread(data, 1, bytes, fp) != bytes) {
+    return Status::Internal("short read (file truncated?)");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+Status WritePod(std::FILE* fp, const T& value) {
+  return WriteBytes(fp, &value, sizeof(T));
+}
+
+template <typename T>
+Status ReadPod(std::FILE* fp, T* value) {
+  return ReadBytes(fp, value, sizeof(T));
+}
+
+/// Header: 4-char magic + version.
+Status WriteHeader(std::FILE* fp, const char magic[4]) {
+  UHSCM_RETURN_NOT_OK(WriteBytes(fp, magic, 4));
+  return WritePod(fp, kVersion);
+}
+
+Status CheckHeader(std::FILE* fp, const char magic[4],
+                   const std::string& path) {
+  char got[4];
+  UHSCM_RETURN_NOT_OK(ReadBytes(fp, got, 4));
+  if (std::memcmp(got, magic, 4) != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s: wrong artifact type (magic mismatch)", path.c_str()));
+  }
+  uint32_t version = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(fp, &version));
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unsupported version %u", path.c_str(), version));
+  }
+  return Status::OK();
+}
+
+Status WriteMatrixBody(std::FILE* fp, const linalg::Matrix& m) {
+  const int32_t rows = m.rows();
+  const int32_t cols = m.cols();
+  UHSCM_RETURN_NOT_OK(WritePod(fp, rows));
+  UHSCM_RETURN_NOT_OK(WritePod(fp, cols));
+  const size_t bytes = m.size() * sizeof(float);
+  UHSCM_RETURN_NOT_OK(WriteBytes(fp, m.data(), bytes));
+  return WritePod(fp, Checksum(m.data(), bytes));
+}
+
+Result<linalg::Matrix> ReadMatrixBody(std::FILE* fp,
+                                      const std::string& path) {
+  int32_t rows = 0;
+  int32_t cols = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(fp, &rows));
+  UHSCM_RETURN_NOT_OK(ReadPod(fp, &cols));
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument(path + ": negative matrix dimensions");
+  }
+  std::vector<float> data(static_cast<size_t>(rows) * cols);
+  const size_t bytes = data.size() * sizeof(float);
+  UHSCM_RETURN_NOT_OK(ReadBytes(fp, data.data(), bytes));
+  uint64_t checksum = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(fp, &checksum));
+  if (checksum != Checksum(data.data(), bytes)) {
+    return Status::InvalidArgument(path + ": checksum mismatch (corrupt)");
+  }
+  return linalg::Matrix::FromRowMajor(rows, cols, std::move(data));
+}
+
+}  // namespace
+
+Status SaveMatrix(const linalg::Matrix& m, const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(WriteHeader(file.fp, "UHSM"));
+  return WriteMatrixBody(file.fp, m);
+}
+
+Result<linalg::Matrix> LoadMatrix(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(CheckHeader(file.fp, "UHSM", path));
+  return ReadMatrixBody(file.fp, path);
+}
+
+Status SaveModelParameters(nn::Layer* model, const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(WriteHeader(file.fp, "UHSN"));
+  std::vector<nn::Parameter> params = model->Parameters();
+  const int32_t count = static_cast<int32_t>(params.size());
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, count));
+  for (const nn::Parameter& p : params) {
+    UHSCM_RETURN_NOT_OK(WriteMatrixBody(file.fp, *p.value));
+  }
+  return Status::OK();
+}
+
+Status LoadModelParameters(nn::Layer* model, const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(CheckHeader(file.fp, "UHSN", path));
+  std::vector<nn::Parameter> params = model->Parameters();
+  int32_t count = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &count));
+  if (count != static_cast<int32_t>(params.size())) {
+    return Status::InvalidArgument(
+        StrFormat("%s: parameter count mismatch (file %d, model %zu)",
+                  path.c_str(), count, params.size()));
+  }
+  for (nn::Parameter& p : params) {
+    Result<linalg::Matrix> m = ReadMatrixBody(file.fp, path);
+    if (!m.ok()) return m.status();
+    if (m->rows() != p.value->rows() || m->cols() != p.value->cols()) {
+      return Status::InvalidArgument(
+          StrFormat("%s: parameter shape mismatch (file %dx%d, model %dx%d)",
+                    path.c_str(), m->rows(), m->cols(), p.value->rows(),
+                    p.value->cols()));
+    }
+    *p.value = std::move(m.ValueOrDie());
+  }
+  return Status::OK();
+}
+
+Status SaveHashingNetwork(const core::HashingNetwork& network,
+                          const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(WriteHeader(file.fp, "UHSH"));
+  const int32_t input_dim = network.input_dim();
+  const int32_t hidden1 = network.options().hidden1;
+  const int32_t hidden2 = network.options().hidden2;
+  const int32_t bits = network.bits();
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, input_dim));
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, hidden1));
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, hidden2));
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, bits));
+  // Parameters, in Parameters() order.
+  nn::Sequential* model = const_cast<core::HashingNetwork&>(network).model();
+  for (const nn::Parameter& p : model->Parameters()) {
+    UHSCM_RETURN_NOT_OK(WriteMatrixBody(file.fp, *p.value));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<core::HashingNetwork>> LoadHashingNetwork(
+    const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(CheckHeader(file.fp, "UHSH", path));
+  int32_t input_dim = 0, hidden1 = 0, hidden2 = 0, bits = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &input_dim));
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &hidden1));
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &hidden2));
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &bits));
+  if (input_dim <= 0 || hidden1 <= 0 || hidden2 <= 0 || bits <= 0) {
+    return Status::InvalidArgument(path + ": corrupt architecture header");
+  }
+  core::HashingNetworkOptions options;
+  options.hidden1 = hidden1;
+  options.hidden2 = hidden2;
+  options.bits = bits;
+  Rng rng(0);  // weights are overwritten below
+  auto network =
+      std::make_unique<core::HashingNetwork>(input_dim, options, &rng);
+  for (nn::Parameter& p : network->model()->Parameters()) {
+    Result<linalg::Matrix> m = ReadMatrixBody(file.fp, path);
+    if (!m.ok()) return m.status();
+    if (m->rows() != p.value->rows() || m->cols() != p.value->cols()) {
+      return Status::InvalidArgument(path + ": parameter shape mismatch");
+    }
+    *p.value = std::move(m.ValueOrDie());
+  }
+  return network;
+}
+
+Status SavePackedCodes(const index::PackedCodes& codes,
+                       const std::string& path) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(WriteHeader(file.fp, "UHSC"));
+  const int32_t size = codes.size();
+  const int32_t bits = codes.bits();
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, size));
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, bits));
+  const size_t bytes = codes.words().size() * sizeof(uint64_t);
+  UHSCM_RETURN_NOT_OK(WriteBytes(file.fp, codes.words().data(), bytes));
+  return WritePod(file.fp, Checksum(codes.words().data(), bytes));
+}
+
+Result<index::PackedCodes> LoadPackedCodes(const std::string& path) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(CheckHeader(file.fp, "UHSC", path));
+  int32_t size = 0, bits = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &size));
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &bits));
+  if (size < 0 || bits <= 0) {
+    return Status::InvalidArgument(path + ": corrupt code header");
+  }
+  const size_t words_per_code = static_cast<size_t>((bits + 63) / 64);
+  std::vector<uint64_t> words(static_cast<size_t>(size) * words_per_code);
+  const size_t bytes = words.size() * sizeof(uint64_t);
+  UHSCM_RETURN_NOT_OK(ReadBytes(file.fp, words.data(), bytes));
+  uint64_t checksum = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &checksum));
+  if (checksum != Checksum(words.data(), bytes)) {
+    return Status::InvalidArgument(path + ": checksum mismatch (corrupt)");
+  }
+  return index::PackedCodes::FromRawWords(size, bits, std::move(words));
+}
+
+}  // namespace uhscm::io

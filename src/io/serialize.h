@@ -1,0 +1,56 @@
+#ifndef UHSCM_IO_SERIALIZE_H_
+#define UHSCM_IO_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/trainer.h"
+#include "index/packed_codes.h"
+#include "linalg/matrix.h"
+#include "nn/sequential.h"
+
+namespace uhscm::io {
+
+/// \brief Binary (de)serialization for the artifacts a deployment needs
+/// to persist: matrices, trained hashing networks, and packed code
+/// databases.
+///
+/// Format: little-endian, magic + version header per artifact; payload
+/// checksummed with FNV-1a so silently truncated files are rejected.
+/// Files are self-describing enough to fail loudly — never silently —
+/// on mismatch.
+
+/// Writes a matrix ("UHSM" block).
+Status SaveMatrix(const linalg::Matrix& m, const std::string& path);
+
+/// Reads a matrix written by SaveMatrix.
+Result<linalg::Matrix> LoadMatrix(const std::string& path);
+
+/// Writes all parameters of a model in Parameters() order ("UHSN"
+/// block). The loader must be called on an identically-shaped model.
+Status SaveModelParameters(nn::Layer* model, const std::string& path);
+
+/// Restores parameters saved by SaveModelParameters into `model`.
+/// Fails with InvalidArgument when shapes mismatch.
+Status LoadModelParameters(nn::Layer* model, const std::string& path);
+
+/// Writes a trained UHSCM hashing network together with its
+/// architecture so it can be reconstructed without the original config
+/// ("UHSH" block).
+Status SaveHashingNetwork(const core::HashingNetwork& network,
+                          const std::string& path);
+
+/// Reconstructs a hashing network saved by SaveHashingNetwork.
+Result<std::unique_ptr<core::HashingNetwork>> LoadHashingNetwork(
+    const std::string& path);
+
+/// Writes a packed code database ("UHSC" block).
+Status SavePackedCodes(const index::PackedCodes& codes,
+                       const std::string& path);
+
+/// Reads a packed code database.
+Result<index::PackedCodes> LoadPackedCodes(const std::string& path);
+
+}  // namespace uhscm::io
+
+#endif  // UHSCM_IO_SERIALIZE_H_

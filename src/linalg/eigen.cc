@@ -1,0 +1,126 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace uhscm::linalg {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen: matrix must be square");
+  }
+  const int n = a.rows();
+  if (n == 0) {
+    return Status::InvalidArgument("SymmetricEigen: empty matrix");
+  }
+
+  // Work in double for numerical robustness.
+  std::vector<double> m(static_cast<size_t>(n) * n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      // Symmetrize defensively.
+      m[static_cast<size_t>(i) * n + j] =
+          0.5 * (static_cast<double>(a(i, j)) + static_cast<double>(a(j, i)));
+    }
+  }
+  std::vector<double> v(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i) * n + i] = 1.0;
+
+  auto at = [&](std::vector<double>& buf, int i, int j) -> double& {
+    return buf[static_cast<size_t>(i) * n + j];
+  };
+
+  const double tol = 1e-12;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) off += at(m, i, j) * at(m, i, j);
+    }
+    if (off < tol) break;
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = at(m, p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = at(m, p, p);
+        const double aqq = at(m, q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int k = 0; k < n; ++k) {
+          const double mkp = at(m, k, p);
+          const double mkq = at(m, k, q);
+          at(m, k, p) = c * mkp - s * mkq;
+          at(m, k, q) = s * mkp + c * mkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double mpk = at(m, p, k);
+          const double mqk = at(m, q, k);
+          at(m, p, k) = c * mpk - s * mqk;
+          at(m, q, k) = s * mpk + c * mqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = at(v, k, p);
+          const double vkq = at(v, k, q);
+          at(v, k, p) = c * vkp - s * vkq;
+          at(v, k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  double off = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) off += at(m, i, j) * at(m, i, j);
+  }
+  // Scale-aware convergence check.
+  double diag = 0.0;
+  for (int i = 0; i < n; ++i) diag += at(m, i, i) * at(m, i, i);
+  if (off > 1e-8 * std::max(1.0, diag)) {
+    return Status::Internal("SymmetricEigen failed to converge");
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<int> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> evals(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) evals[static_cast<size_t>(i)] = at(m, i, i);
+  std::sort(order.begin(), order.end(),
+            [&](int x, int y) { return evals[static_cast<size_t>(x)] > evals[static_cast<size_t>(y)]; });
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(static_cast<size_t>(n));
+  out.eigenvectors = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    const int src = order[static_cast<size_t>(j)];
+    out.eigenvalues[static_cast<size_t>(j)] = evals[static_cast<size_t>(src)];
+    for (int i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = static_cast<float>(at(v, i, src));
+    }
+  }
+  return out;
+}
+
+Result<EigenDecomposition> TopKEigen(const Matrix& a, int k) {
+  if (k <= 0 || k > a.rows()) {
+    return Status::InvalidArgument("TopKEigen: k out of range");
+  }
+  Result<EigenDecomposition> full = SymmetricEigen(a);
+  if (!full.ok()) return full.status();
+  EigenDecomposition& d = full.ValueOrDie();
+  EigenDecomposition out;
+  out.eigenvalues.assign(d.eigenvalues.begin(), d.eigenvalues.begin() + k);
+  out.eigenvectors = Matrix(a.rows(), k);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < k; ++j) {
+      out.eigenvectors(i, j) = d.eigenvectors(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace uhscm::linalg

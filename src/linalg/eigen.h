@@ -1,0 +1,38 @@
+#ifndef UHSCM_LINALG_EIGEN_H_
+#define UHSCM_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::linalg {
+
+/// Eigen-decomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> eigenvalues;
+  /// Column j of `eigenvectors` is the unit eigenvector for
+  /// eigenvalues[j]; shape n x n.
+  Matrix eigenvectors;
+};
+
+/// \brief Cyclic Jacobi eigensolver for symmetric matrices.
+///
+/// Used by Spectral Hashing (PCA directions), ITQ, AGH (anchor-graph
+/// Laplacian), and PCA. Accumulates in double internally. O(n^3) per
+/// sweep; intended for the n <= a-few-thousand matrices that arise here.
+///
+/// \param a symmetric matrix (only the upper triangle is trusted).
+/// \param max_sweeps number of full Jacobi sweeps before giving up.
+/// \returns InvalidArgument if `a` is not square, Internal if the off-
+///          diagonal mass fails to fall below tolerance.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64);
+
+/// Convenience: the top-k eigenpairs (k columns) of a symmetric matrix.
+Result<EigenDecomposition> TopKEigen(const Matrix& a, int k);
+
+}  // namespace uhscm::linalg
+
+#endif  // UHSCM_LINALG_EIGEN_H_

@@ -1,0 +1,136 @@
+#include "linalg/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/thread_pool.h"
+#include "linalg/ops.h"
+
+namespace uhscm::linalg {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance to the nearest chosen centroid.
+Matrix PlusPlusInit(const Matrix& x, int k, Rng* rng) {
+  const int n = x.rows();
+  const int d = x.cols();
+  Matrix centroids(k, d);
+  std::vector<float> min_d2(static_cast<size_t>(n),
+                            std::numeric_limits<float>::max());
+
+  int first = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+  std::copy(x.Row(first), x.Row(first) + d, centroids.Row(0));
+
+  for (int c = 1; c < k; ++c) {
+    const float* prev = centroids.Row(c - 1);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const float d2 = SquaredDistance(x.Row(i), prev, d);
+      if (d2 < min_d2[static_cast<size_t>(i)]) min_d2[static_cast<size_t>(i)] = d2;
+      total += min_d2[static_cast<size_t>(i)];
+    }
+    int chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng->Uniform() * total;
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) {
+        acc += min_d2[static_cast<size_t>(i)];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int>(rng->UniformInt(static_cast<uint64_t>(n)));
+    }
+    std::copy(x.Row(chosen), x.Row(chosen) + d, centroids.Row(c));
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const Matrix& x, int k, Rng* rng,
+                            const KMeansOptions& options) {
+  const int n = x.rows();
+  const int d = x.cols();
+  if (k <= 0 || k > n) {
+    return Status::InvalidArgument("KMeans: k must be in [1, n]");
+  }
+
+  KMeansResult result;
+  if (options.plus_plus_init) {
+    result.centroids = PlusPlusInit(x, k, rng);
+  } else {
+    std::vector<int> seeds = rng->SampleWithoutReplacement(n, k);
+    result.centroids = x.SelectRows(seeds);
+  }
+  result.assignments.assign(static_cast<size_t>(n), 0);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step (parallel over points).
+    std::vector<float> point_d2(static_cast<size_t>(n), 0.0f);
+    ParallelFor(n, [&](int i) {
+      const float* xi = x.Row(i);
+      float best = std::numeric_limits<float>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const float d2 = SquaredDistance(xi, result.centroids.Row(c), d);
+        if (d2 < best) {
+          best = d2;
+          best_c = c;
+        }
+      }
+      result.assignments[static_cast<size_t>(i)] = best_c;
+      point_d2[static_cast<size_t>(i)] = best;
+    });
+
+    double inertia = 0.0;
+    for (float v : point_d2) inertia += v;
+    result.inertia = inertia;
+
+    // Update step.
+    Matrix sums(k, d);
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      float* srow = sums.Row(c);
+      const float* xi = x.Row(i);
+      for (int j = 0; j < d; ++j) srow[j] += xi[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Re-seed an empty cluster at the point farthest from its centroid.
+        int far_i = 0;
+        float far_d = -1.0f;
+        for (int i = 0; i < n; ++i) {
+          if (point_d2[static_cast<size_t>(i)] > far_d) {
+            far_d = point_d2[static_cast<size_t>(i)];
+            far_i = i;
+          }
+        }
+        std::copy(x.Row(far_i), x.Row(far_i) + d, result.centroids.Row(c));
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[static_cast<size_t>(c)]);
+      float* crow = result.centroids.Row(c);
+      const float* srow = sums.Row(c);
+      for (int j = 0; j < d; ++j) crow[j] = srow[j] * inv;
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max()) {
+      const double rel =
+          (prev_inertia - inertia) / std::max(prev_inertia, 1e-12);
+      if (rel >= 0.0 && rel < options.rel_tolerance) break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace uhscm::linalg

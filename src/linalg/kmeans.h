@@ -1,0 +1,45 @@
+#ifndef UHSCM_LINALG_KMEANS_H_
+#define UHSCM_LINALG_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::linalg {
+
+/// Result of a Lloyd's-iterations run.
+struct KMeansResult {
+  /// k x d centroid matrix.
+  Matrix centroids;
+  /// Per-row cluster assignment (size n).
+  std::vector<int> assignments;
+  /// Final within-cluster sum of squared distances.
+  double inertia = 0.0;
+  /// Number of Lloyd iterations executed.
+  int iterations = 0;
+};
+
+/// Options for KMeans.
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Stop when inertia improves by less than this relative amount.
+  double rel_tolerance = 1e-5;
+  /// Use k-means++ seeding (recommended); otherwise uniform random rows.
+  bool plus_plus_init = true;
+};
+
+/// \brief Lloyd's k-means with k-means++ seeding.
+///
+/// Substrates: AGH anchors, the UHSCM_cN denoising-by-clustering ablation
+/// (Table 2 rows 8-12), and the synthetic dataset sanity tests.
+///
+/// \param x n x d data (rows are points).
+/// \param k number of clusters, 1 <= k <= n.
+Result<KMeansResult> KMeans(const Matrix& x, int k, Rng* rng,
+                            const KMeansOptions& options = {});
+
+}  // namespace uhscm::linalg
+
+#endif  // UHSCM_LINALG_KMEANS_H_

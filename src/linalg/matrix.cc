@@ -1,0 +1,135 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace uhscm::linalg {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f) {
+  UHSCM_CHECK(rows >= 0 && cols >= 0, "Matrix dims must be non-negative");
+}
+
+Matrix::Matrix(int rows, int cols, float fill) : Matrix(rows, cols) {
+  Fill(fill);
+}
+
+Matrix Matrix::FromRowMajor(int rows, int cols, std::vector<float> data) {
+  UHSCM_CHECK(data.size() ==
+                  static_cast<size_t>(rows) * static_cast<size_t>(cols),
+              "FromRowMajor: buffer size mismatch");
+  Matrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.data_ = std::move(data);
+  return m;
+}
+
+Matrix Matrix::RandomNormal(int rows, int cols, Rng* rng, float stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) {
+    v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix Matrix::RandomUniform(int rows, int cols, Rng* rng, float lo,
+                             float hi) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) {
+    v = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+std::vector<float> Matrix::RowVector(int r) const {
+  UHSCM_CHECK(r >= 0 && r < rows_, "RowVector: row out of range");
+  return std::vector<float>(Row(r), Row(r) + cols_);
+}
+
+std::vector<float> Matrix::ColVector(int c) const {
+  UHSCM_CHECK(c >= 0 && c < cols_, "ColVector: column out of range");
+  std::vector<float> out(static_cast<size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) out[static_cast<size_t>(r)] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(int r, const std::vector<float>& v) {
+  UHSCM_CHECK(r >= 0 && r < rows_, "SetRow: row out of range");
+  UHSCM_CHECK(static_cast<int>(v.size()) == cols_, "SetRow: size mismatch");
+  std::copy(v.begin(), v.end(), Row(r));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const float* src = Row(r);
+    for (int c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+Matrix Matrix::SelectRows(const std::vector<int>& row_indices) const {
+  Matrix out(static_cast<int>(row_indices.size()), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    const int r = row_indices[i];
+    UHSCM_CHECK(r >= 0 && r < rows_, "SelectRows: row out of range");
+    std::copy(Row(r), Row(r) + cols_, out.Row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Scale(float factor) {
+  for (auto& v : data_) v *= factor;
+}
+
+void Matrix::Add(const Matrix& other) {
+  UHSCM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "Add: shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::AddScaled(const Matrix& other, float factor) {
+  UHSCM_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "AddScaled: shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += factor * other.data_[i];
+  }
+}
+
+float Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(sum));
+}
+
+std::string Matrix::DebugString(int max_rows, int max_cols) const {
+  std::string out = StrFormat("Matrix %dx%d\n", rows_, cols_);
+  const int rr = std::min(rows_, max_rows);
+  const int cc = std::min(cols_, max_cols);
+  for (int r = 0; r < rr; ++r) {
+    out += "  [";
+    for (int c = 0; c < cc; ++c) {
+      out += StrFormat("%s%8.4f", c ? ", " : "", (*this)(r, c));
+    }
+    if (cc < cols_) out += ", ...";
+    out += "]\n";
+  }
+  if (rr < rows_) out += "  ...\n";
+  return out;
+}
+
+}  // namespace uhscm::linalg

@@ -1,0 +1,105 @@
+#ifndef UHSCM_LINALG_MATRIX_H_
+#define UHSCM_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace uhscm::linalg {
+
+/// \brief Dense row-major float matrix.
+///
+/// The single numeric container used throughout the library: images are
+/// rows of a Matrix, concept distributions are rows of a Matrix, hash codes
+/// before packing are rows of a Matrix. Kept intentionally simple — the
+/// heavy kernels live in ops.h so they can be profiled and parallelized
+/// independently of the container.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(int rows, int cols);
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(int rows, int cols, float fill);
+
+  /// Builds from a flat row-major buffer. Precondition:
+  /// data.size() == rows * cols.
+  static Matrix FromRowMajor(int rows, int cols, std::vector<float> data);
+
+  /// i.i.d. N(0, stddev) entries.
+  static Matrix RandomNormal(int rows, int cols, Rng* rng,
+                             float stddev = 1.0f);
+
+  /// i.i.d. U(lo, hi) entries.
+  static Matrix RandomUniform(int rows, int cols, Rng* rng, float lo = 0.0f,
+                              float hi = 1.0f);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  size_t size() const { return data_.size(); }
+
+  float& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Raw row pointers for kernel code.
+  float* Row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* Row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Copies row r into a vector.
+  std::vector<float> RowVector(int r) const;
+
+  /// Copies column c into a vector.
+  std::vector<float> ColVector(int c) const;
+
+  /// Overwrites row r. Precondition: v.size() == cols().
+  void SetRow(int r, const std::vector<float>& v);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Returns the sub-matrix made of the given rows (gather).
+  Matrix SelectRows(const std::vector<int>& row_indices) const;
+
+  /// Element-wise in-place operations.
+  void Fill(float value);
+  void Scale(float factor);
+  void Add(const Matrix& other);                       ///< this += other.
+  void AddScaled(const Matrix& other, float factor);   ///< this += f*other.
+
+  /// Frobenius norm.
+  float FrobeniusNorm() const;
+
+  /// Human-readable preview (first rows/cols) for debugging.
+  std::string DebugString(int max_rows = 6, int max_cols = 8) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// A vector is a 1-D float buffer; rows of matrices convert to/from it.
+using Vector = std::vector<float>;
+
+}  // namespace uhscm::linalg
+
+#endif  // UHSCM_LINALG_MATRIX_H_

@@ -1,0 +1,214 @@
+#include "linalg/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace uhscm::linalg {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  UHSCM_CHECK(a.cols() == b.rows(), "MatMul: inner dims mismatch");
+  Matrix c(a.rows(), b.cols());
+  const int k = a.cols();
+  const int n = b.cols();
+  ParallelFor(a.rows(), [&](int i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  UHSCM_CHECK(a.rows() == b.rows(), "MatMulTransA: dims mismatch");
+  Matrix c(a.cols(), b.cols());
+  const int n = b.cols();
+  // Accumulate outer products serially per k-slice; parallelize over output
+  // rows by transposing the loop: c(i,j) = sum_p a(p,i) * b(p,j).
+  ParallelFor(a.cols(), [&](int i) {
+    float* crow = c.Row(i);
+    for (int p = 0; p < a.rows(); ++p) {
+      const float av = a(p, i);
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  UHSCM_CHECK(a.cols() == b.cols(), "MatMulTransB: dims mismatch");
+  Matrix c(a.rows(), b.rows());
+  const int k = a.cols();
+  ParallelFor(a.rows(), [&](int i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      crow[j] = Dot(arow, b.Row(j), k);
+    }
+  });
+  return c;
+}
+
+Vector MatVec(const Matrix& a, const Vector& x) {
+  UHSCM_CHECK(static_cast<int>(x.size()) == a.cols(),
+              "MatVec: size mismatch");
+  Vector y(static_cast<size_t>(a.rows()), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    y[static_cast<size_t>(i)] = Dot(a.Row(i), x.data(), a.cols());
+  }
+  return y;
+}
+
+float Dot(const float* a, const float* b, int n) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) s0 += a[i] * b[i];
+  return s0 + s1 + s2 + s3;
+}
+
+float Dot(const Vector& a, const Vector& b) {
+  UHSCM_CHECK(a.size() == b.size(), "Dot: size mismatch");
+  return Dot(a.data(), b.data(), static_cast<int>(a.size()));
+}
+
+float Norm2(const float* a, int n) {
+  return std::sqrt(std::max(0.0f, Dot(a, a, n)));
+}
+
+float Norm2(const Vector& a) { return Norm2(a.data(), static_cast<int>(a.size())); }
+
+float SquaredDistance(const float* a, const float* b, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+float CosineSimilarity(const float* a, const float* b, int n) {
+  const float na = Norm2(a, n);
+  const float nb = Norm2(b, n);
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return Dot(a, b, n) / (na * nb);
+}
+
+void NormalizeRowsL2(Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    const float norm = Norm2(row, m->cols());
+    if (norm > 1e-12f) {
+      const float inv = 1.0f / norm;
+      for (int c = 0; c < m->cols(); ++c) row[c] *= inv;
+    }
+  }
+}
+
+Matrix SoftmaxRows(const Matrix& m, float tau) {
+  Matrix out(m.rows(), m.cols());
+  for (int r = 0; r < m.rows(); ++r) {
+    const float* src = m.Row(r);
+    float* dst = out.Row(r);
+    float max_v = src[0];
+    for (int c = 1; c < m.cols(); ++c) max_v = std::max(max_v, src[c]);
+    double sum = 0.0;
+    for (int c = 0; c < m.cols(); ++c) {
+      const double e = std::exp(static_cast<double>(tau) * (src[c] - max_v));
+      dst[c] = static_cast<float>(e);
+      sum += e;
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int c = 0; c < m.cols(); ++c) dst[c] *= inv;
+  }
+  return out;
+}
+
+Matrix PairwiseCosine(const Matrix& a, const Matrix& b) {
+  UHSCM_CHECK(a.cols() == b.cols(), "PairwiseCosine: dims mismatch");
+  Matrix an = a;
+  Matrix bn = b;
+  NormalizeRowsL2(&an);
+  NormalizeRowsL2(&bn);
+  return MatMulTransB(an, bn);
+}
+
+Matrix SelfCosine(const Matrix& a) {
+  Matrix an = a;
+  NormalizeRowsL2(&an);
+  Matrix s = MatMulTransB(an, an);
+  // Clamp tiny asymmetries from float accumulation.
+  for (int i = 0; i < s.rows(); ++i) s(i, i) = 1.0f;
+  return s;
+}
+
+Vector ColumnMeans(const Matrix& m) {
+  Vector mean(static_cast<size_t>(m.cols()), 0.0f);
+  if (m.rows() == 0) return mean;
+  for (int r = 0; r < m.rows(); ++r) {
+    const float* row = m.Row(r);
+    for (int c = 0; c < m.cols(); ++c) mean[static_cast<size_t>(c)] += row[c];
+  }
+  const float inv = 1.0f / static_cast<float>(m.rows());
+  for (auto& v : mean) v *= inv;
+  return mean;
+}
+
+void CenterRows(Matrix* m, const Vector& mean) {
+  UHSCM_CHECK(static_cast<int>(mean.size()) == m->cols(),
+              "CenterRows: size mismatch");
+  for (int r = 0; r < m->rows(); ++r) {
+    float* row = m->Row(r);
+    for (int c = 0; c < m->cols(); ++c) row[c] -= mean[static_cast<size_t>(c)];
+  }
+}
+
+Matrix Covariance(const Matrix& m) {
+  UHSCM_CHECK(m.rows() >= 2, "Covariance needs at least 2 rows");
+  Matrix centered = m;
+  CenterRows(&centered, ColumnMeans(m));
+  Matrix cov = MatMulTransA(centered, centered);
+  cov.Scale(1.0f / static_cast<float>(m.rows() - 1));
+  return cov;
+}
+
+Matrix Sign(const Matrix& m) {
+  Matrix out(m.rows(), m.cols());
+  const float* src = m.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    dst[i] = src[i] < 0.0f ? -1.0f : 1.0f;
+  }
+  return out;
+}
+
+Matrix Tanh(const Matrix& m) {
+  Matrix out(m.rows(), m.cols());
+  const float* src = m.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < m.size(); ++i) dst[i] = std::tanh(src[i]);
+  return out;
+}
+
+float Mean(const Matrix& m) {
+  if (m.size() == 0) return 0.0f;
+  double sum = 0.0;
+  for (size_t i = 0; i < m.size(); ++i) sum += m.data()[i];
+  return static_cast<float>(sum / static_cast<double>(m.size()));
+}
+
+}  // namespace uhscm::linalg

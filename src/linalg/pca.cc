@@ -1,0 +1,31 @@
+#include "linalg/pca.h"
+
+#include "linalg/eigen.h"
+#include "linalg/ops.h"
+
+namespace uhscm::linalg {
+
+Matrix PcaModel::Transform(const Matrix& x) const {
+  Matrix centered = x;
+  CenterRows(&centered, mean);
+  return MatMul(centered, components);
+}
+
+Result<PcaModel> FitPca(const Matrix& x, int k) {
+  if (k <= 0 || k > x.cols()) {
+    return Status::InvalidArgument("FitPca: k must be in [1, d]");
+  }
+  if (x.rows() < 2) {
+    return Status::InvalidArgument("FitPca: need at least 2 rows");
+  }
+  PcaModel model;
+  model.mean = ColumnMeans(x);
+  Matrix cov = Covariance(x);
+  Result<EigenDecomposition> eig = TopKEigen(cov, k);
+  if (!eig.ok()) return eig.status();
+  model.components = std::move(eig.ValueOrDie().eigenvectors);
+  model.explained_variance = std::move(eig.ValueOrDie().eigenvalues);
+  return model;
+}
+
+}  // namespace uhscm::linalg

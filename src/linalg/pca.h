@@ -1,0 +1,34 @@
+#ifndef UHSCM_LINALG_PCA_H_
+#define UHSCM_LINALG_PCA_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::linalg {
+
+/// Principal-component model fitted on row-observations.
+struct PcaModel {
+  /// Column means of the training data (size d).
+  Vector mean;
+  /// d x k projection; columns are unit principal directions ordered by
+  /// decreasing explained variance.
+  Matrix components;
+  /// Variance captured by each component (size k).
+  std::vector<double> explained_variance;
+
+  /// Projects rows of x: (x - mean) * components. Shape n x k.
+  Matrix Transform(const Matrix& x) const;
+};
+
+/// \brief Fits PCA by Jacobi eigen-decomposition of the covariance.
+///
+/// Substrate for Spectral Hashing and ITQ (both start from a PCA
+/// projection of the CNN features, per the original papers).
+///
+/// \param x n x d data, rows are observations.
+/// \param k number of components, 1 <= k <= d.
+Result<PcaModel> FitPca(const Matrix& x, int k);
+
+}  // namespace uhscm::linalg
+
+#endif  // UHSCM_LINALG_PCA_H_

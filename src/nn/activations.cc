@@ -1,0 +1,44 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace uhscm::nn {
+
+linalg::Matrix Tanh::Forward(const linalg::Matrix& input) {
+  linalg::Matrix out(input.rows(), input.cols());
+  for (size_t i = 0; i < input.size(); ++i) {
+    out.data()[i] = std::tanh(input.data()[i]);
+  }
+  cached_output_ = out;
+  return out;
+}
+
+linalg::Matrix Tanh::Backward(const linalg::Matrix& grad_output) {
+  linalg::Matrix grad(grad_output.rows(), grad_output.cols());
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    const float y = cached_output_.data()[i];
+    grad.data()[i] = grad_output.data()[i] * (1.0f - y * y);
+  }
+  return grad;
+}
+
+linalg::Matrix Relu::Forward(const linalg::Matrix& input) {
+  cached_input_ = input;
+  linalg::Matrix out(input.rows(), input.cols());
+  for (size_t i = 0; i < input.size(); ++i) {
+    const float v = input.data()[i];
+    out.data()[i] = v > 0.0f ? v : 0.0f;
+  }
+  return out;
+}
+
+linalg::Matrix Relu::Backward(const linalg::Matrix& grad_output) {
+  linalg::Matrix grad(grad_output.rows(), grad_output.cols());
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    grad.data()[i] =
+        cached_input_.data()[i] > 0.0f ? grad_output.data()[i] : 0.0f;
+  }
+  return grad;
+}
+
+}  // namespace uhscm::nn

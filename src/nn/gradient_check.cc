@@ -1,0 +1,61 @@
+#include "nn/gradient_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uhscm::nn {
+
+double MaxRelativeGradientError(
+    Layer* model, const linalg::Matrix& input,
+    const std::function<double(const linalg::Matrix& output,
+                               linalg::Matrix* grad_out)>& loss_fn,
+    Rng* rng, int max_entries_per_param, double eps) {
+  // Analytic pass.
+  model->ZeroGrad();
+  linalg::Matrix out = model->Forward(input);
+  linalg::Matrix grad_out(out.rows(), out.cols());
+  loss_fn(out, &grad_out);
+  model->Backward(grad_out);
+
+  std::vector<Parameter> params = model->Parameters();
+  // Snapshot analytic gradients (they live inside the model and later
+  // forward passes must not disturb the comparison).
+  std::vector<linalg::Matrix> analytic;
+  analytic.reserve(params.size());
+  for (const Parameter& p : params) analytic.push_back(*p.grad);
+
+  linalg::Matrix unused_grad;
+  auto eval_loss = [&]() {
+    linalg::Matrix o = model->Forward(input);
+    linalg::Matrix g(o.rows(), o.cols());
+    return loss_fn(o, &g);
+  };
+
+  double max_rel_err = 0.0;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    linalg::Matrix& w = *params[pi].value;
+    const size_t total = w.size();
+    const int checks =
+        std::min<size_t>(static_cast<size_t>(max_entries_per_param), total);
+    for (int c = 0; c < checks; ++c) {
+      const size_t j = static_cast<size_t>(rng->UniformInt(total));
+      const float orig = w.data()[j];
+      w.data()[j] = orig + static_cast<float>(eps);
+      const double lp = eval_loss();
+      w.data()[j] = orig - static_cast<float>(eps);
+      const double lm = eval_loss();
+      w.data()[j] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic_g = analytic[pi].data()[j];
+      // Floor of 1e-3 keeps float-precision noise on near-zero gradients
+      // from dominating the relative error.
+      const double denom =
+          std::max({std::fabs(numeric), std::fabs(analytic_g), 1e-3});
+      max_rel_err =
+          std::max(max_rel_err, std::fabs(numeric - analytic_g) / denom);
+    }
+  }
+  return max_rel_err;
+}
+
+}  // namespace uhscm::nn

@@ -1,0 +1,28 @@
+#ifndef UHSCM_NN_GRADIENT_CHECK_H_
+#define UHSCM_NN_GRADIENT_CHECK_H_
+
+#include <functional>
+
+#include "nn/layer.h"
+
+namespace uhscm::nn {
+
+/// \brief Numerically verifies a model's analytic gradients.
+///
+/// `loss_fn` maps the model output to a scalar loss and must also populate
+/// `grad_out` (dL/d output). The checker runs Forward/Backward to obtain
+/// analytic parameter gradients, then perturbs each of up to
+/// `max_entries_per_param` randomly chosen parameter entries by +-eps and
+/// compares the central finite difference. Returns the maximum relative
+/// error observed — tests assert it is small. Used by the nn unit tests
+/// and by the UHSCM loss tests to certify every hand-derived gradient in
+/// the repo.
+double MaxRelativeGradientError(
+    Layer* model, const linalg::Matrix& input,
+    const std::function<double(const linalg::Matrix& output,
+                               linalg::Matrix* grad_out)>& loss_fn,
+    Rng* rng, int max_entries_per_param = 8, double eps = 1e-3);
+
+}  // namespace uhscm::nn
+
+#endif  // UHSCM_NN_GRADIENT_CHECK_H_

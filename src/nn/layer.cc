@@ -1,0 +1,11 @@
+#include "nn/layer.h"
+
+namespace uhscm::nn {
+
+void Layer::ZeroGrad() {
+  for (Parameter& p : Parameters()) {
+    p.grad->Fill(0.0f);
+  }
+}
+
+}  // namespace uhscm::nn

@@ -1,0 +1,41 @@
+#include "nn/sequential.h"
+
+namespace uhscm::nn {
+
+void Sequential::Append(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+}
+
+linalg::Matrix Sequential::Forward(const linalg::Matrix& input) {
+  linalg::Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+linalg::Matrix Sequential::Backward(const linalg::Matrix& grad_output) {
+  linalg::Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter> Sequential::Parameters() {
+  std::vector<Parameter> params;
+  for (auto& layer : layers_) {
+    for (Parameter p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::string Sequential::name() const {
+  std::string out = "Sequential[";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += layers_[i]->name();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace uhscm::nn

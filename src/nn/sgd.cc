@@ -1,0 +1,42 @@
+#include "nn/sgd.h"
+
+#include "common/status.h"
+
+namespace uhscm::nn {
+
+SgdOptimizer::SgdOptimizer(Layer* model, const SgdOptions& options)
+    : model_(model), options_(options) {
+  UHSCM_CHECK(model != nullptr, "SgdOptimizer: null model");
+}
+
+void SgdOptimizer::Step() {
+  std::vector<Parameter> params = model_->Parameters();
+  if (!initialized_) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const Parameter& p : params) {
+      velocity_.emplace_back(p.value->rows(), p.value->cols());
+    }
+    initialized_ = true;
+  }
+  UHSCM_CHECK(velocity_.size() == params.size(),
+              "SgdOptimizer: parameter list changed between steps");
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    linalg::Matrix& w = *params[i].value;
+    const linalg::Matrix& g = *params[i].grad;
+    linalg::Matrix& v = velocity_[i];
+    const float lr = options_.learning_rate;
+    const float mu = options_.momentum;
+    const float wd = options_.weight_decay;
+    for (size_t j = 0; j < w.size(); ++j) {
+      const float grad = g.data()[j] + wd * w.data()[j];
+      v.data()[j] = mu * v.data()[j] + grad;
+      w.data()[j] -= lr * v.data()[j];
+    }
+  }
+}
+
+void SgdOptimizer::ZeroGrad() { model_->ZeroGrad(); }
+
+}  // namespace uhscm::nn

@@ -1,0 +1,48 @@
+#ifndef UHSCM_NN_SGD_H_
+#define UHSCM_NN_SGD_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace uhscm::nn {
+
+/// Configuration mirrors the paper's optimizer (§4.1): mini-batch SGD with
+/// 0.9 momentum, learning rate 0.006, weight decay 1e-5.
+struct SgdOptions {
+  float learning_rate = 0.006f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-5f;
+};
+
+/// \brief SGD with classical momentum and decoupled-from-loss L2 weight
+/// decay (applied as grad += wd * w, the torch.optim.SGD convention the
+/// paper's PyTorch implementation uses).
+class SgdOptimizer {
+ public:
+  /// Binds to the model's parameter list; momentum buffers are allocated
+  /// lazily on the first Step(). The model must outlive the optimizer and
+  /// its parameter list must not change between steps.
+  SgdOptimizer(Layer* model, const SgdOptions& options);
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// model, then leaves gradients untouched (call ZeroGrad before the next
+  /// backward pass).
+  void Step();
+
+  /// Zeroes all model gradients.
+  void ZeroGrad();
+
+  const SgdOptions& options() const { return options_; }
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+
+ private:
+  Layer* model_;
+  SgdOptions options_;
+  std::vector<linalg::Matrix> velocity_;
+  bool initialized_ = false;
+};
+
+}  // namespace uhscm::nn
+
+#endif  // UHSCM_NN_SGD_H_

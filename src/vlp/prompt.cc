@@ -1,0 +1,32 @@
+#include "vlp/prompt.h"
+
+#include "common/string_util.h"
+
+namespace uhscm::vlp {
+
+std::string RenderPrompt(PromptTemplate tmpl,
+                         const std::string& concept_name) {
+  switch (tmpl) {
+    case PromptTemplate::kAPhotoOfThe:
+      return StrFormat("a photo of the %s.", concept_name.c_str());
+    case PromptTemplate::kThe:
+      return StrFormat("the %s.", concept_name.c_str());
+    case PromptTemplate::kItContainsThe:
+      return StrFormat("it contains the %s.", concept_name.c_str());
+  }
+  return concept_name;
+}
+
+const char* PromptTemplateName(PromptTemplate tmpl) {
+  switch (tmpl) {
+    case PromptTemplate::kAPhotoOfThe:
+      return "photo";
+    case PromptTemplate::kThe:
+      return "the";
+    case PromptTemplate::kItContainsThe:
+      return "contains";
+  }
+  return "?";
+}
+
+}  // namespace uhscm::vlp

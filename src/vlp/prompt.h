@@ -1,0 +1,26 @@
+#ifndef UHSCM_VLP_PROMPT_H_
+#define UHSCM_VLP_PROMPT_H_
+
+#include <string>
+
+namespace uhscm::vlp {
+
+/// The three prompt templates studied in the paper (§4.4.3).
+enum class PromptTemplate {
+  /// "a photo of the {}." — the paper's default and best template.
+  kAPhotoOfThe = 0,
+  /// "the {}." — UHSCM_P1.
+  kThe = 1,
+  /// "it contains the {}." — UHSCM_P2.
+  kItContainsThe = 2,
+};
+
+/// Renders the prompt text for a concept name.
+std::string RenderPrompt(PromptTemplate tmpl, const std::string& concept_name);
+
+/// Short identifier for tables ("photo", "the", "contains").
+const char* PromptTemplateName(PromptTemplate tmpl);
+
+}  // namespace uhscm::vlp
+
+#endif  // UHSCM_VLP_PROMPT_H_

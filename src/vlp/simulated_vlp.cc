@@ -1,0 +1,182 @@
+#include "vlp/simulated_vlp.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "linalg/ops.h"
+
+namespace uhscm::vlp {
+
+namespace {
+
+/// Content hash of a pixel row -> deterministic per-image noise stream.
+uint64_t HashPixels(const float* row, int n, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (int i = 0; i < n; ++i) {
+    uint32_t bits;
+    static_assert(sizeof(bits) == sizeof(float));
+    __builtin_memcpy(&bits, &row[i], sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void NormalizeInPlace(float* v, int n) {
+  const float norm = linalg::Norm2(v, n);
+  if (norm > 1e-12f) {
+    const float inv = 1.0f / norm;
+    for (int i = 0; i < n; ++i) v[i] *= inv;
+  }
+}
+
+}  // namespace
+
+SimulatedVlpModel::SimulatedVlpModel(const data::SemanticWorld* world,
+                                     const VlpOptions& options)
+    : world_(world),
+      options_(options),
+      num_concepts_(world->num_concepts()),
+      concept_embeddings_(world->num_concepts(), options.embed_dim) {
+  UHSCM_CHECK(world != nullptr, "SimulatedVlpModel: null world");
+  UHSCM_CHECK(num_concepts_ > 0,
+              "SimulatedVlpModel: world has no registered concepts");
+  style_embeddings_ = linalg::Matrix(world->num_styles(), options.embed_dim);
+  for (int st = 0; st < world->num_styles(); ++st) {
+    Rng rng(options_.seed * 0x2545F4914F6CDD1DULL +
+            0xABCD0000ULL + static_cast<uint64_t>(st));
+    float* row = style_embeddings_.Row(st);
+    for (int j = 0; j < options_.embed_dim; ++j) {
+      row[j] = static_cast<float>(rng.Normal());
+    }
+    NormalizeInPlace(row, options_.embed_dim);
+  }
+  for (int id = 0; id < num_concepts_; ++id) {
+    // Base embedding deterministic per (vlp seed, concept id).
+    Rng rng(options_.seed * 0x9E3779B97F4A7C15ULL +
+            static_cast<uint64_t>(id + 1));
+    float* row = concept_embeddings_.Row(id);
+    for (int j = 0; j < options_.embed_dim; ++j) {
+      row[j] = static_cast<float>(rng.Normal());
+    }
+    NormalizeInPlace(row, options_.embed_dim);
+  }
+}
+
+linalg::Vector SimulatedVlpModel::BaseTextEmbedding(int concept_id) const {
+  UHSCM_CHECK(concept_id >= 0 && concept_id < num_concepts_,
+              "BaseTextEmbedding: concept unknown to this VLP snapshot");
+  return concept_embeddings_.RowVector(concept_id);
+}
+
+linalg::Matrix SimulatedVlpModel::EncodeImages(
+    const linalg::Matrix& pixels) const {
+  UHSCM_CHECK(pixels.cols() == world_->pixel_dim(),
+              "EncodeImages: pixel dim mismatch");
+  const int n = pixels.rows();
+  const int e = options_.embed_dim;
+  linalg::Matrix out(n, e);
+  ParallelFor(n, [&](int i) {
+    const float* x = pixels.Row(i);
+    // Recognize: soft-threshold detection per concept. Every concept
+    // whose prototype affinity clears the threshold contributes, so a
+    // multi-label image embeds near the mean of all its labels'
+    // embeddings instead of collapsing onto the strongest one.
+    std::vector<float> weight(static_cast<size_t>(num_concepts_));
+    int best = 0;
+    float best_affinity = -2.0f;
+    double total_weight = 0.0;
+    for (int u = 0; u < num_concepts_; ++u) {
+      const linalg::Vector& proto = world_->Prototype(u);
+      const float a =
+          linalg::CosineSimilarity(x, proto.data(), world_->pixel_dim());
+      if (a > best_affinity) {
+        best_affinity = a;
+        best = u;
+      }
+      const double logit = (a - options_.recognition_threshold) /
+                           options_.recognition_temperature;
+      const double w = 1.0 / (1.0 + std::exp(-logit));
+      weight[static_cast<size_t>(u)] = static_cast<float>(w);
+      total_weight += w;
+    }
+    if (total_weight < 1e-3) {
+      // Nothing detected (extremely noisy image): fall back to the
+      // nearest prototype so the embedding stays informative.
+      weight[static_cast<size_t>(best)] = 1.0f;
+    }
+    // Compose: weighted sum of concept embeddings.
+    float* row = out.Row(i);
+    for (int u = 0; u < num_concepts_; ++u) {
+      const float w = weight[static_cast<size_t>(u)];
+      if (w < 1e-4f) continue;
+      const float* c = concept_embeddings_.Row(u);
+      for (int j = 0; j < e; ++j) row[j] += w * c[j];
+    }
+    // Appearance response: the tower also encodes the detected styles.
+    if (options_.style_response > 0.0f) {
+      for (int st = 0; st < world_->num_styles(); ++st) {
+        const linalg::Vector& sdir = world_->Style(st);
+        const float a =
+            linalg::CosineSimilarity(x, sdir.data(), world_->pixel_dim());
+        const double logit = (a - options_.recognition_threshold) /
+                             options_.recognition_temperature;
+        const float w = static_cast<float>(1.0 / (1.0 + std::exp(-logit)));
+        if (w < 1e-4f) continue;
+        const float* srow = style_embeddings_.Row(st);
+        for (int j = 0; j < e; ++j) {
+          row[j] += options_.style_response * w * srow[j];
+        }
+      }
+    }
+    // Deterministic per-image encoder noise.
+    Rng noise_rng(HashPixels(x, world_->pixel_dim(), options_.seed));
+    for (int j = 0; j < e; ++j) {
+      row[j] += options_.image_noise / std::sqrt(static_cast<float>(e)) *
+                static_cast<float>(noise_rng.Normal());
+    }
+    NormalizeInPlace(row, e);
+  });
+  return out;
+}
+
+linalg::Matrix SimulatedVlpModel::EncodeConcepts(
+    const std::vector<int>& concept_ids, PromptTemplate tmpl) const {
+  const int m = static_cast<int>(concept_ids.size());
+  const int e = options_.embed_dim;
+  linalg::Matrix out(m, e);
+  const float sigma =
+      options_.template_noise[static_cast<int>(tmpl)] /
+      std::sqrt(static_cast<float>(e));
+  for (int j = 0; j < m; ++j) {
+    const int id = concept_ids[static_cast<size_t>(j)];
+    linalg::Vector base = BaseTextEmbedding(id);
+    // Template misalignment: deterministic per (template, concept).
+    Rng rng(options_.seed + 0xBEEF0000ULL +
+            static_cast<uint64_t>(static_cast<int>(tmpl)) * 0x10001ULL +
+            static_cast<uint64_t>(id) * 7919ULL);
+    float* row = out.Row(j);
+    for (int c = 0; c < e; ++c) {
+      row[c] = base[static_cast<size_t>(c)] +
+               sigma * static_cast<float>(rng.Normal());
+    }
+    NormalizeInPlace(row, e);
+  }
+  return out;
+}
+
+linalg::Matrix SimulatedVlpModel::ScoreImagesAgainstConcepts(
+    const linalg::Matrix& pixels, const std::vector<int>& concept_ids,
+    PromptTemplate tmpl) const {
+  const linalg::Matrix img = EncodeImages(pixels);
+  const linalg::Matrix txt = EncodeConcepts(concept_ids, tmpl);
+  linalg::Matrix scores = linalg::MatMulTransB(img, txt);  // cosines
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores.data()[i] =
+        options_.score_offset + options_.score_scale * scores.data()[i];
+  }
+  return scores;
+}
+
+}  // namespace uhscm::vlp

@@ -1,0 +1,211 @@
+// Gap-filling tests: pixel augmentation (the two-view substrate of CIB /
+// UHSCM_CL), the style confound in the semantic world, Zipf label
+// popularity, and the HashingNetwork wrapper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "common/rng.h"
+#include "core/augment.h"
+#include "core/hashing_network.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "linalg/ops.h"
+
+namespace uhscm {
+namespace {
+
+// ----------------------------------------------------------- augmentation
+
+TEST(AugmentTest, ViewsStayCloseToOriginal) {
+  data::SemanticWorld world(1);
+  const int cat = world.RegisterConcept("cat");
+  Rng rng(2);
+  linalg::Matrix pixels(8, world.pixel_dim());
+  for (int i = 0; i < 8; ++i) {
+    pixels.SetRow(i, world.RenderImage({cat}, 0.5f, &rng));
+  }
+  core::AugmentOptions options;  // defaults
+  const linalg::Matrix view = core::AugmentPixels(pixels, options, &rng);
+  ASSERT_EQ(view.rows(), 8);
+  for (int i = 0; i < 8; ++i) {
+    const float cos = linalg::CosineSimilarity(pixels.Row(i), view.Row(i),
+                                               pixels.cols());
+    EXPECT_GT(cos, 0.8f) << "augmentation destroyed image identity";
+    EXPECT_LT(cos, 1.0f) << "augmentation did nothing";
+    EXPECT_NEAR(linalg::Norm2(view.Row(i), view.cols()), 1.0f, 1e-4f);
+  }
+}
+
+TEST(AugmentTest, TwoViewsDiffer) {
+  data::SemanticWorld world(3);
+  const int dog = world.RegisterConcept("dog");
+  Rng rng(4);
+  linalg::Matrix pixels(4, world.pixel_dim());
+  for (int i = 0; i < 4; ++i) {
+    pixels.SetRow(i, world.RenderImage({dog}, 0.5f, &rng));
+  }
+  core::AugmentOptions options;
+  const linalg::Matrix v1 = core::AugmentPixels(pixels, options, &rng);
+  const linalg::Matrix v2 = core::AugmentPixels(pixels, options, &rng);
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < v1.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(v1.data()[i] - v2.data()[i]));
+  }
+  EXPECT_GT(max_diff, 1e-4f);
+}
+
+TEST(AugmentTest, ZeroStrengthIsNormalizeOnly) {
+  data::SemanticWorld world(5);
+  const int car = world.RegisterConcept("car");
+  Rng rng(6);
+  linalg::Matrix pixels(2, world.pixel_dim());
+  for (int i = 0; i < 2; ++i) {
+    pixels.SetRow(i, world.RenderImage({car}, 0.5f, &rng));
+  }
+  core::AugmentOptions off;
+  off.noise = 0.0f;
+  off.dropout = 0.0f;
+  off.intensity_jitter = 0.0f;
+  const linalg::Matrix view = core::AugmentPixels(pixels, off, &rng);
+  for (int i = 0; i < 2; ++i) {
+    const float cos = linalg::CosineSimilarity(pixels.Row(i), view.Row(i),
+                                               pixels.cols());
+    EXPECT_NEAR(cos, 1.0f, 1e-5f);
+  }
+}
+
+// ----------------------------------------------------------------- styles
+
+TEST(WorldStyleTest, StyleRaisesCrossClassSimilarity) {
+  // With styles on, some cross-class image pairs (those sharing a style)
+  // are much more similar than the cross-class average — the confound
+  // driving the paper's critique of feature-based similarity matrices.
+  data::WorldOptions with_styles;
+  with_styles.num_styles = 4;  // few styles -> many collisions
+  with_styles.style_strength = 1.2f;
+  data::SemanticWorld world(7, with_styles);
+  const int cat = world.RegisterConcept("cat");
+  const int car = world.RegisterConcept("car");
+  Rng rng(8);
+  const int n = 40;
+  linalg::Matrix cats(n, world.pixel_dim());
+  linalg::Matrix cars(n, world.pixel_dim());
+  for (int i = 0; i < n; ++i) {
+    cats.SetRow(i, world.RenderImage({cat}, 0.5f, &rng));
+    cars.SetRow(i, world.RenderImage({car}, 0.5f, &rng));
+  }
+  // Cross-class cosine distribution must be bimodal-ish: max well above
+  // mean (same-style pairs), since 1/4 of pairs share one of 4 styles.
+  double mean = 0.0;
+  float max_cos = -1.0f;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float c = linalg::CosineSimilarity(cats.Row(i), cars.Row(j),
+                                               world.pixel_dim());
+      mean += c;
+      max_cos = std::max(max_cos, c);
+    }
+  }
+  mean /= n * n;
+  EXPECT_GT(max_cos, mean + 0.3);
+}
+
+TEST(WorldStyleTest, DisablingStylesRemovesConfound) {
+  data::WorldOptions no_styles;
+  no_styles.num_styles = 0;
+  data::SemanticWorld world(9, no_styles);
+  EXPECT_EQ(world.num_styles(), 0);
+  const int cat = world.RegisterConcept("cat");
+  Rng rng(10);
+  const linalg::Vector img = world.RenderImage({cat}, 0.3f, &rng);
+  const float cos = linalg::CosineSimilarity(
+      img.data(), world.Prototype(cat).data(), world.pixel_dim());
+  // Without style mass, the class prototype dominates the image.
+  EXPECT_GT(cos, 0.9f);
+}
+
+// ------------------------------------------------------------------- zipf
+
+TEST(ZipfLabelsTest, PopularClassesDominate) {
+  data::SemanticWorld world(11);
+  data::SyntheticOptions options;
+  options.sizes = {2000, 100, 10};
+  options.zipf_exponent = 1.0f;
+  Rng rng(12);
+  const data::Dataset d = data::MakeNusWideLike(&world, options, &rng);
+  std::map<int, int> counts;
+  for (const auto& labels : d.labels) {
+    for (int id : labels) ++counts[id];
+  }
+  // Rank-0 class (first in the published order) must occur far more often
+  // than the last-rank class.
+  const int first = counts[d.class_ids.front()];
+  const int last = counts[d.class_ids.back()];
+  EXPECT_GT(first, 5 * std::max(last, 1));
+}
+
+TEST(ZipfLabelsTest, ZeroExponentIsUniform) {
+  data::SemanticWorld world(13);
+  data::SyntheticOptions options;
+  options.sizes = {3000, 100, 10};
+  options.zipf_exponent = 0.0f;
+  options.extra_label_prob = 0.0f;  // single label -> clean counts
+  Rng rng(14);
+  const data::Dataset d = data::MakeNusWideLike(&world, options, &rng);
+  std::map<int, int> counts;
+  for (const auto& labels : d.labels) ++counts[labels[0]];
+  const double expected = 3010.0 / d.num_classes();
+  for (int id : d.class_ids) {
+    EXPECT_NEAR(counts[id], expected, expected * 0.5) << id;
+  }
+}
+
+// -------------------------------------------------------- hashing network
+
+TEST(HashingNetworkTest, OutputIsBoundedAndBinaryAfterSign) {
+  Rng rng(15);
+  core::HashingNetworkOptions options;
+  options.hidden1 = 24;
+  options.hidden2 = 16;
+  options.bits = 12;
+  core::HashingNetwork network(10, options, &rng);
+  EXPECT_EQ(network.bits(), 12);
+  EXPECT_EQ(network.input_dim(), 10);
+
+  const linalg::Matrix x = linalg::Matrix::RandomNormal(6, 10, &rng);
+  const linalg::Matrix z = network.Forward(x);
+  EXPECT_EQ(z.rows(), 6);
+  EXPECT_EQ(z.cols(), 12);
+  for (size_t i = 0; i < z.size(); ++i) {
+    EXPECT_LE(std::fabs(z.data()[i]), 1.0f);
+  }
+  const linalg::Matrix b = network.EncodeBinary(x);
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_TRUE(b.data()[i] == 1.0f || b.data()[i] == -1.0f);
+  }
+}
+
+TEST(HashingNetworkTest, BackwardAccumulatesGradients) {
+  Rng rng(16);
+  core::HashingNetworkOptions options;
+  options.hidden1 = 16;
+  options.hidden2 = 12;
+  options.bits = 8;
+  core::HashingNetwork network(6, options, &rng);
+  const linalg::Matrix x = linalg::Matrix::RandomNormal(4, 6, &rng);
+  network.Forward(x);
+  linalg::Matrix g(4, 8, 1.0f);
+  network.Backward(g);
+  bool any = false;
+  for (nn::Parameter p : network.model()->Parameters()) {
+    for (size_t i = 0; i < p.grad->size(); ++i) {
+      if (p.grad->data()[i] != 0.0f) any = true;
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+}  // namespace
+}  // namespace uhscm

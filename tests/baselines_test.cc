@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/registry.h"
+#include "eval/retrieval_eval.h"
+#include "test_util.h"
+
+namespace uhscm::baselines {
+namespace {
+
+using testing::MakeTinyEnv;
+using testing::TinyEnv;
+
+/// Shared fixture: one tiny CIFAR-like environment plus a prepared
+/// TrainContext (fast settings) reused across methods.
+class BaselinesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Large enough that the threshold-on-cosine methods (SSDH, BGAN) get
+    // a usable confident-pair tail despite the style confound.
+    env_ = MakeTinyEnv("cifar", 400, 200, 60);
+    context_.train_pixels =
+        env_.dataset.pixels.SelectRows(env_.dataset.split.train);
+    context_.train_features = env_.extractor->Extract(context_.train_pixels);
+    context_.extractor = env_.extractor.get();
+    context_.bits = 32;
+    context_.seed = 11;
+  }
+
+  /// Fits the method and returns MAP on the tiny retrieval protocol.
+  double FitAndMap(HashingMethod* method) {
+    Status st = method->Fit(context_);
+    EXPECT_TRUE(st.ok()) << method->name() << ": " << st.ToString();
+    const linalg::Matrix db = method->Encode(
+        env_.dataset.pixels.SelectRows(env_.dataset.split.database));
+    const linalg::Matrix q = method->Encode(
+        env_.dataset.pixels.SelectRows(env_.dataset.split.query));
+    EXPECT_EQ(db.cols(), context_.bits);
+    for (size_t i = 0; i < db.size(); ++i) {
+      EXPECT_TRUE(db.data()[i] == 1.0f || db.data()[i] == -1.0f);
+    }
+    eval::RetrievalEvalOptions options;
+    options.map_at = 100;
+    options.topn_points = {};
+    return eval::EvaluateRetrieval(env_.dataset, db, q, options).map;
+  }
+
+  TinyEnv env_;
+  TrainContext context_;
+};
+
+/// Chance MAP for 10 balanced classes is ~0.1; any working method must
+/// clear this with margin.
+constexpr double kChanceMap = 0.13;
+
+class BaselineSweep : public BaselinesFixture,
+                      public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(BaselineSweep, FitsEncodesAndBeatsChance) {
+  Result<std::unique_ptr<HashingMethod>> method = MakeBaseline(GetParam());
+  ASSERT_TRUE(method.ok()) << method.status().ToString();
+  EXPECT_EQ((*method)->name(), GetParam());
+  const double map = FitAndMap(method->get());
+  EXPECT_GT(map, kChanceMap) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BaselineSweep,
+                         ::testing::Values("LSH", "SH", "ITQ", "AGH", "SSDH",
+                                           "GH", "BGAN", "MLS3RDUH", "CIB",
+                                           "UTH"));
+
+TEST_F(BaselinesFixture, RegistryRejectsUnknownName) {
+  EXPECT_FALSE(MakeBaseline("NOPE").ok());
+  EXPECT_EQ(MakeBaseline("NOPE").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BaselinesFixture, Table1NamesMatchPaperOrder) {
+  const std::vector<std::string> names = Table1BaselineNames();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "LSH");
+  EXPECT_EQ(names.back(), "CIB");
+  for (const std::string& name : names) {
+    EXPECT_TRUE(MakeBaseline(name).ok()) << name;
+  }
+}
+
+TEST_F(BaselinesFixture, ShallowMethodsRequireExtractor) {
+  TrainContext no_extractor = context_;
+  no_extractor.extractor = nullptr;
+  for (const char* name : {"LSH", "SH", "ITQ", "AGH"}) {
+    auto method = MakeBaseline(name);
+    ASSERT_TRUE(method.ok());
+    EXPECT_FALSE((*method)->Fit(no_extractor).ok()) << name;
+  }
+}
+
+TEST_F(BaselinesFixture, LshDeterministicForSeed) {
+  auto m1 = MakeBaseline("LSH");
+  auto m2 = MakeBaseline("LSH");
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  ASSERT_TRUE((*m1)->Fit(context_).ok());
+  ASSERT_TRUE((*m2)->Fit(context_).ok());
+  const linalg::Matrix a = (*m1)->Encode(context_.train_pixels);
+  const linalg::Matrix b = (*m2)->Encode(context_.train_pixels);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST_F(BaselinesFixture, ItqBeatsLshOnAverage) {
+  // ITQ's learned rotation should beat data-oblivious LSH on the tiny
+  // protocol (the Table 1 ordering at the small scale).
+  auto lsh = MakeBaseline("LSH");
+  auto itq = MakeBaseline("ITQ");
+  ASSERT_TRUE(lsh.ok() && itq.ok());
+  const double map_lsh = FitAndMap(lsh->get());
+  const double map_itq = FitAndMap(itq->get());
+  EXPECT_GT(map_itq, map_lsh);
+}
+
+TEST_F(BaselinesFixture, UhscmMethodAdapterFitsAndWins) {
+  core::UhscmConfig config = core::DefaultConfigFor("cifar", 32);
+  config.max_epochs = 30;
+  config.batch_size = 64;
+  config.network.hidden1 = 64;
+  config.network.hidden2 = 48;
+  UhscmMethod uhscm(env_.vlp.get(), env_.vocab, config);
+  EXPECT_EQ(uhscm.name(), "UHSCM");
+  const double map_uhscm = FitAndMap(&uhscm);
+
+  auto lsh = MakeBaseline("LSH");
+  ASSERT_TRUE(lsh.ok());
+  const double map_lsh = FitAndMap(lsh->get());
+  EXPECT_GT(map_uhscm, map_lsh + 0.1);
+  EXPECT_FALSE(uhscm.model().retained_concepts.empty());
+}
+
+TEST_F(BaselinesFixture, BitWidthIsRespectedAcrossMethods) {
+  for (int bits : {8, 24, 32}) {
+    TrainContext ctx = context_;
+    ctx.bits = bits;
+    // A representative from each family.
+    for (const char* name : {"LSH", "ITQ", "SSDH"}) {
+      auto method = MakeBaseline(name);
+      ASSERT_TRUE(method.ok());
+      ASSERT_TRUE((*method)->Fit(ctx).ok()) << name << " bits=" << bits;
+      EXPECT_EQ((*method)->Encode(ctx.train_pixels).cols(), bits);
+    }
+  }
+}
+
+TEST_F(BaselinesFixture, ItqRejectsBitsBeyondFeatureDim) {
+  TrainContext ctx = context_;
+  ctx.bits = context_.train_features.cols() + 1;
+  auto itq = MakeBaseline("ITQ");
+  ASSERT_TRUE(itq.ok());
+  EXPECT_FALSE((*itq)->Fit(ctx).ok());
+}
+
+}  // namespace
+}  // namespace uhscm::baselines

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/eigen.h"
+#include "linalg/ops.h"
+#include "linalg/pca.h"
+
+namespace uhscm::linalg {
+namespace {
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Matrix a = Matrix::FromRowMajor(3, 3, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  Result<EigenDecomposition> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NEAR(r->eigenvalues[0], 3.0, 1e-9);
+  EXPECT_NEAR(r->eigenvalues[1], 2.0, 1e-9);
+  EXPECT_NEAR(r->eigenvalues[2], 1.0, 1e-9);
+}
+
+TEST(SymmetricEigenTest, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix a = Matrix::FromRowMajor(2, 2, {2, 1, 1, 2});
+  Result<EigenDecomposition> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->eigenvalues[0], 3.0, 1e-9);
+  EXPECT_NEAR(r->eigenvalues[1], 1.0, 1e-9);
+}
+
+TEST(SymmetricEigenTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SymmetricEigen(a).ok());
+  EXPECT_FALSE(SymmetricEigen(Matrix()).ok());
+}
+
+class RandomSymmetricEigen : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSymmetricEigen, SatisfiesEigenEquationAndOrthonormality) {
+  const int n = GetParam();
+  Rng rng(1000 + n);
+  Matrix g = Matrix::RandomNormal(n, n, &rng);
+  // Symmetrize.
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = 0.5f * (g(i, j) + g(j, i));
+  }
+  Result<EigenDecomposition> r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const EigenDecomposition& d = r.ValueOrDie();
+
+  // Sorted descending.
+  for (int j = 1; j < n; ++j) {
+    EXPECT_GE(d.eigenvalues[static_cast<size_t>(j - 1)],
+              d.eigenvalues[static_cast<size_t>(j)] - 1e-9);
+  }
+  // A v = lambda v for each pair.
+  for (int j = 0; j < n; ++j) {
+    Vector v = d.eigenvectors.ColVector(j);
+    Vector av = MatVec(a, v);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[static_cast<size_t>(i)],
+                  d.eigenvalues[static_cast<size_t>(j)] * v[static_cast<size_t>(i)],
+                  1e-3);
+    }
+  }
+  // Orthonormal columns.
+  for (int j = 0; j < n; ++j) {
+    for (int k = j; k < n; ++k) {
+      Vector vj = d.eigenvectors.ColVector(j);
+      Vector vk = d.eigenvectors.ColVector(k);
+      EXPECT_NEAR(Dot(vj, vk), j == k ? 1.0f : 0.0f, 1e-4f);
+    }
+  }
+  // Trace preserved: sum of eigenvalues == trace(A).
+  double trace = 0.0;
+  double esum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    trace += a(i, i);
+    esum += d.eigenvalues[static_cast<size_t>(i)];
+  }
+  EXPECT_NEAR(trace, esum, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSymmetricEigen,
+                         ::testing::Values(2, 3, 5, 10, 24, 48));
+
+TEST(TopKEigenTest, ReturnsLeadingColumns) {
+  Matrix a = Matrix::FromRowMajor(3, 3, {5, 0, 0, 0, 4, 0, 0, 0, 3});
+  Result<EigenDecomposition> r = TopKEigen(a, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->eigenvectors.cols(), 2);
+  EXPECT_EQ(r->eigenvalues.size(), 2u);
+  EXPECT_NEAR(r->eigenvalues[0], 5.0, 1e-9);
+  EXPECT_NEAR(r->eigenvalues[1], 4.0, 1e-9);
+}
+
+TEST(TopKEigenTest, RejectsBadK) {
+  Matrix a = Matrix::Identity(3);
+  EXPECT_FALSE(TopKEigen(a, 0).ok());
+  EXPECT_FALSE(TopKEigen(a, 4).ok());
+}
+
+// ------------------------------------------------------------------- PCA
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Points hug the (1,1)/sqrt(2) line.
+  Rng rng(2024);
+  Matrix x(200, 2);
+  for (int i = 0; i < 200; ++i) {
+    const float t = static_cast<float>(rng.Normal(0.0, 3.0));
+    const float noise = static_cast<float>(rng.Normal(0.0, 0.1));
+    x(i, 0) = t + noise;
+    x(i, 1) = t - noise;
+  }
+  Result<PcaModel> pca = FitPca(x, 2);
+  ASSERT_TRUE(pca.ok());
+  // First component aligns with (1,1)/sqrt(2) (up to sign).
+  const float c0 = pca->components(0, 0);
+  const float c1 = pca->components(1, 0);
+  EXPECT_NEAR(std::fabs(c0), std::sqrt(0.5f), 0.05f);
+  EXPECT_NEAR(c0, c1, 0.05f);
+  // Explained variance dominates in the first direction.
+  EXPECT_GT(pca->explained_variance[0], 10 * pca->explained_variance[1]);
+}
+
+TEST(PcaTest, TransformCentersData) {
+  Rng rng(9);
+  Matrix x = Matrix::RandomNormal(50, 4, &rng);
+  // Shift all data.
+  for (int i = 0; i < 50; ++i) {
+    for (int c = 0; c < 4; ++c) x(i, c) += 10.0f;
+  }
+  Result<PcaModel> pca = FitPca(x, 2);
+  ASSERT_TRUE(pca.ok());
+  Matrix y = pca->Transform(x);
+  Vector mean = ColumnMeans(y);
+  EXPECT_NEAR(mean[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(mean[1], 0.0f, 1e-3f);
+}
+
+TEST(PcaTest, RejectsInvalidK) {
+  Rng rng(10);
+  Matrix x = Matrix::RandomNormal(10, 3, &rng);
+  EXPECT_FALSE(FitPca(x, 0).ok());
+  EXPECT_FALSE(FitPca(x, 4).ok());
+  Matrix tiny = Matrix::RandomNormal(1, 3, &rng);
+  EXPECT_FALSE(FitPca(tiny, 2).ok());
+}
+
+}  // namespace
+}  // namespace uhscm::linalg

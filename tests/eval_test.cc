@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "eval/metrics.h"
+#include "eval/retrieval_eval.h"
+#include "linalg/ops.h"
+
+namespace uhscm::eval {
+namespace {
+
+// -------------------------------------------------------------------- AP
+
+TEST(AveragePrecisionTest, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, true, true}, 3), 1.0);
+}
+
+TEST(AveragePrecisionTest, HandComputedMixedCase) {
+  // Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2 = 5/6.
+  EXPECT_NEAR(AveragePrecision({true, false, true, false}, 4), 5.0 / 6.0,
+              1e-12);
+}
+
+TEST(AveragePrecisionTest, NothingRelevantIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({false, false}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}, 5), 0.0);
+}
+
+TEST(AveragePrecisionTest, TopNCutoffIgnoresTail) {
+  // Relevant only beyond the cut-off.
+  EXPECT_DOUBLE_EQ(AveragePrecision({false, false, true}, 2), 0.0);
+  // Cut-off smaller than the list.
+  EXPECT_DOUBLE_EQ(AveragePrecision({true, false, true}, 1), 1.0);
+}
+
+TEST(PrecisionAtNTest, Basic) {
+  EXPECT_DOUBLE_EQ(PrecisionAtN({true, false, true, true}, 4), 0.75);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({true, false}, 1), 1.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtN({}, 10), 0.0);
+}
+
+// ------------------------------------------------------------------- PR
+
+TEST(PrCurveTest, CumulativeOverRadii) {
+  // Database of 4: distances 0,1,1,3; relevant: yes,no,yes,yes.
+  const std::vector<int> dist{0, 1, 1, 3};
+  const std::vector<bool> rel{true, false, true, true};
+  const auto curve = PrCurveByRadius(dist, rel, 3, 4);
+  ASSERT_EQ(curve.size(), 5u);
+  // r=0: retrieved {0}: precision 1, recall 1/3.
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_NEAR(curve[0].recall, 1.0 / 3.0, 1e-12);
+  // r=1: retrieved {0,1,2}: precision 2/3, recall 2/3.
+  EXPECT_NEAR(curve[1].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(curve[1].recall, 2.0 / 3.0, 1e-12);
+  // r=3: everything: precision 3/4, recall 1.
+  EXPECT_NEAR(curve[3].precision, 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[3].recall, 1.0);
+}
+
+TEST(PrCurveTest, RecallIsMonotoneNonDecreasing) {
+  Rng rng(5);
+  std::vector<int> dist(100);
+  std::vector<bool> rel(100);
+  int total_rel = 0;
+  for (int i = 0; i < 100; ++i) {
+    dist[static_cast<size_t>(i)] = static_cast<int>(rng.UniformInt(33));
+    rel[static_cast<size_t>(i)] = rng.Bernoulli(0.3);
+    if (rel[static_cast<size_t>(i)]) ++total_rel;
+  }
+  const auto curve = PrCurveByRadius(dist, rel, total_rel, 32);
+  for (size_t r = 1; r < curve.size(); ++r) {
+    EXPECT_GE(curve[r].recall, curve[r - 1].recall);
+  }
+  EXPECT_NEAR(curve.back().recall, 1.0, 1e-12);
+}
+
+TEST(PrCurveTest, EmptyRadiusConvention) {
+  // Nothing retrieved at radius 0 -> precision 1, recall 0.
+  const auto curve = PrCurveByRadius({5}, {true}, 1, 5);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 0.0);
+}
+
+TEST(AveragePrCurvesTest, PointwiseMean) {
+  std::vector<PrPoint> a{{0.0, 1.0}, {1.0, 0.5}};
+  std::vector<PrPoint> b{{0.2, 0.8}, {0.8, 0.7}};
+  const auto mean = AveragePrCurves({a, b});
+  EXPECT_NEAR(mean[0].recall, 0.1, 1e-12);
+  EXPECT_NEAR(mean[0].precision, 0.9, 1e-12);
+  EXPECT_NEAR(mean[1].precision, 0.6, 1e-12);
+}
+
+// ------------------------------------------------------------ silhouette
+
+TEST(SilhouetteTest, SeparatedClustersScoreHigh) {
+  std::vector<float> pts;
+  std::vector<int> labels;
+  Rng rng(9);
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back(static_cast<float>(c * 20 + rng.Normal(0.0, 0.5)));
+      pts.push_back(static_cast<float>(rng.Normal(0.0, 0.5)));
+      labels.push_back(c);
+    }
+  }
+  EXPECT_GT(MeanSilhouette(pts, 2, labels), 0.8);
+}
+
+TEST(SilhouetteTest, RandomLabelsScoreNearZero) {
+  std::vector<float> pts;
+  std::vector<int> labels;
+  Rng rng(10);
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back(static_cast<float>(rng.Normal()));
+    pts.push_back(static_cast<float>(rng.Normal()));
+    labels.push_back(static_cast<int>(rng.UniformInt(3)));
+  }
+  EXPECT_LT(std::fabs(MeanSilhouette(pts, 2, labels)), 0.25);
+}
+
+// ------------------------------------------------------ EvaluateRetrieval
+
+/// Builds a tiny dataset and label-derived perfect codes: every class gets
+/// an orthogonal-ish codeword, so Hamming ranking is ideal.
+struct PerfectSetup {
+  data::Dataset dataset;
+  linalg::Matrix db_codes;
+  linalg::Matrix query_codes;
+};
+
+PerfectSetup MakePerfectSetup(int bits) {
+  PerfectSetup setup;
+  data::SemanticWorld world(31);
+  data::SyntheticOptions options;
+  options.sizes = {100, 40, 30};
+  Rng rng(32);
+  setup.dataset = data::MakeCifar10Like(&world, options, &rng);
+
+  // Class codewords: random but fixed per class.
+  Rng code_rng(33);
+  linalg::Matrix codewords(setup.dataset.num_classes(), bits);
+  for (size_t i = 0; i < codewords.size(); ++i) {
+    codewords.data()[i] = code_rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  const std::vector<int> primary = data::PrimaryClassIndex(setup.dataset);
+  auto codes_for = [&](const std::vector<int>& ids) {
+    linalg::Matrix codes(static_cast<int>(ids.size()), bits);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const int cls = primary[static_cast<size_t>(ids[i])];
+      std::copy(codewords.Row(cls), codewords.Row(cls) + bits,
+                codes.Row(static_cast<int>(i)));
+    }
+    return codes;
+  };
+  setup.db_codes = codes_for(setup.dataset.split.database);
+  setup.query_codes = codes_for(setup.dataset.split.query);
+  return setup;
+}
+
+TEST(EvaluateRetrievalTest, PerfectCodesGiveMapOne) {
+  PerfectSetup setup = MakePerfectSetup(32);
+  RetrievalEvalOptions options;
+  options.map_at = 100;
+  options.topn_points = {5, 10};
+  options.compute_pr_curve = true;
+  const RetrievalEvalResult result = EvaluateRetrieval(
+      setup.dataset, setup.db_codes, setup.query_codes, options);
+  // With distinct class codewords, all same-class items rank first.
+  EXPECT_GT(result.map, 0.98);
+  for (double p : result.precision_at_n) EXPECT_GT(p, 0.9);
+  ASSERT_EQ(result.pr_curve.size(), 33u);
+  EXPECT_GT(result.pr_curve[0].precision, 0.98);
+}
+
+TEST(EvaluateRetrievalTest, RandomCodesGiveChanceMap) {
+  PerfectSetup setup = MakePerfectSetup(32);
+  Rng rng(55);
+  linalg::Matrix random_db(setup.db_codes.rows(), 32);
+  linalg::Matrix random_q(setup.query_codes.rows(), 32);
+  for (size_t i = 0; i < random_db.size(); ++i) {
+    random_db.data()[i] = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  for (size_t i = 0; i < random_q.size(); ++i) {
+    random_q.data()[i] = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  RetrievalEvalOptions options;
+  options.map_at = 100;
+  const RetrievalEvalResult result =
+      EvaluateRetrieval(setup.dataset, random_db, random_q, options);
+  // Chance ~ class prior (0.1 for 10 balanced classes); allow slack.
+  EXPECT_LT(result.map, 0.3);
+  EXPECT_GT(result.map, 0.02);
+}
+
+TEST(EvaluateRetrievalTest, MapAtClampsToDatabase) {
+  PerfectSetup setup = MakePerfectSetup(16);
+  RetrievalEvalOptions options;
+  options.map_at = 100000;  // bigger than database
+  const RetrievalEvalResult result = EvaluateRetrieval(
+      setup.dataset, setup.db_codes, setup.query_codes, options);
+  EXPECT_GT(result.map, 0.9);
+}
+
+}  // namespace
+}  // namespace uhscm::eval

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "features/cnn_features.h"
+#include "linalg/ops.h"
+
+namespace uhscm::features {
+namespace {
+
+class FeaturesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<data::SemanticWorld>(55);
+    data::SyntheticOptions options;
+    options.sizes = {100, 40, 20};
+    Rng rng(56);
+    dataset_ = data::MakeCifar10Like(world_.get(), options, &rng);
+    CnnFeatureOptions feat;
+    feat.feature_dim = 96;
+    feat.hidden_dim = 64;
+    extractor_ = std::make_unique<SimulatedCnnFeatureExtractor>(
+        world_->pixel_dim(), feat);
+  }
+
+  std::unique_ptr<data::SemanticWorld> world_;
+  data::Dataset dataset_;
+  std::unique_ptr<SimulatedCnnFeatureExtractor> extractor_;
+};
+
+TEST_F(FeaturesFixture, ShapeAndUnitNorm) {
+  const linalg::Matrix f = extractor_->Extract(dataset_.pixels);
+  EXPECT_EQ(f.rows(), dataset_.num_images());
+  EXPECT_EQ(f.cols(), 96);
+  for (int i = 0; i < f.rows(); ++i) {
+    EXPECT_NEAR(linalg::Norm2(f.Row(i), f.cols()), 1.0f, 1e-4f);
+  }
+}
+
+TEST_F(FeaturesFixture, Deterministic) {
+  const linalg::Matrix a = extractor_->Extract(dataset_.pixels);
+  const linalg::Matrix b = extractor_->Extract(dataset_.pixels);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST_F(FeaturesFixture, PreservesSemanticStructure) {
+  const linalg::Matrix f = extractor_->Extract(dataset_.pixels);
+  const std::vector<int> primary = data::PrimaryClassIndex(dataset_);
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int i = 0; i < 60; ++i) {
+    for (int j = i + 1; j < 60; ++j) {
+      const float cos =
+          linalg::CosineSimilarity(f.Row(i), f.Row(j), f.cols());
+      if (primary[static_cast<size_t>(i)] == primary[static_cast<size_t>(j)]) {
+        same += cos;
+        ++same_n;
+      } else {
+        cross += cos;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.05);
+}
+
+TEST_F(FeaturesFixture, DifferentSeedsGiveDifferentExtractors) {
+  CnnFeatureOptions other;
+  other.feature_dim = 96;
+  other.hidden_dim = 64;
+  other.seed = 0x12345ULL;
+  SimulatedCnnFeatureExtractor extractor2(world_->pixel_dim(), other);
+  const linalg::Matrix a = extractor_->Extract(dataset_.pixels);
+  const linalg::Matrix b = extractor2.Extract(dataset_.pixels);
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.data()[i] - b.data()[i]));
+  }
+  EXPECT_GT(max_diff, 0.01f);
+}
+
+}  // namespace
+}  // namespace uhscm::features

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "io/serialize.h"
+#include "linalg/ops.h"
+#include "nn/activations.h"
+#include "nn/linear.h"
+
+namespace uhscm::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class IoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : created_) {
+      std::remove(path.c_str());
+    }
+  }
+
+  std::string Path(const std::string& name) {
+    const std::string path = TempPath(name);
+    created_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> created_;
+};
+
+TEST_F(IoTest, MatrixRoundTrip) {
+  Rng rng(1);
+  const linalg::Matrix m = linalg::Matrix::RandomNormal(17, 23, &rng);
+  const std::string path = Path("matrix.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  Result<linalg::Matrix> loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->rows(), 17);
+  ASSERT_EQ(loaded->cols(), 23);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_EQ(loaded->data()[i], m.data()[i]);
+  }
+}
+
+TEST_F(IoTest, EmptyMatrixRoundTrip) {
+  const linalg::Matrix m;
+  const std::string path = Path("empty.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  Result<linalg::Matrix> loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0);
+}
+
+TEST_F(IoTest, LoadMissingFileIsNotFound) {
+  Result<linalg::Matrix> r = LoadMatrix(TempPath("does-not-exist.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IoTest, WrongMagicRejected) {
+  Rng rng(2);
+  const linalg::Matrix m = linalg::Matrix::RandomNormal(3, 3, &rng);
+  const std::string path = Path("codes-as-matrix.bin");
+  // Save packed codes, then try to read them as a matrix.
+  index::PackedCodes codes = index::PackedCodes::FromSignMatrix(m);
+  ASSERT_TRUE(SavePackedCodes(codes, path).ok());
+  Result<linalg::Matrix> r = LoadMatrix(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, TruncatedFileRejected) {
+  Rng rng(3);
+  const linalg::Matrix m = linalg::Matrix::RandomNormal(20, 20, &rng);
+  const std::string path = Path("truncated.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  // Truncate the file to half its size.
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(fp, nullptr);
+  std::fseek(fp, 0, SEEK_END);
+  const long full = std::ftell(fp);
+  std::fclose(fp);
+  ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
+  EXPECT_FALSE(LoadMatrix(path).ok());
+}
+
+TEST_F(IoTest, CorruptedPayloadFailsChecksum) {
+  Rng rng(4);
+  const linalg::Matrix m = linalg::Matrix::RandomNormal(8, 8, &rng);
+  const std::string path = Path("corrupt.bin");
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  // Flip one byte in the middle of the payload.
+  std::FILE* fp = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(fp, nullptr);
+  std::fseek(fp, 40, SEEK_SET);
+  int c = std::fgetc(fp);
+  std::fseek(fp, 40, SEEK_SET);
+  std::fputc(c ^ 0xFF, fp);
+  std::fclose(fp);
+  Result<linalg::Matrix> r = LoadMatrix(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(IoTest, ModelParametersRoundTrip) {
+  Rng rng(5);
+  nn::Sequential model;
+  model.Append(std::make_unique<nn::Linear>(6, 10, &rng));
+  model.Append(std::make_unique<nn::Relu>());
+  model.Append(std::make_unique<nn::Linear>(10, 4, &rng));
+  const std::string path = Path("model.bin");
+  ASSERT_TRUE(SaveModelParameters(&model, path).ok());
+
+  nn::Sequential other;
+  other.Append(std::make_unique<nn::Linear>(6, 10, &rng));
+  other.Append(std::make_unique<nn::Relu>());
+  other.Append(std::make_unique<nn::Linear>(10, 4, &rng));
+  ASSERT_TRUE(LoadModelParameters(&other, path).ok());
+
+  const linalg::Matrix x = linalg::Matrix::RandomNormal(5, 6, &rng);
+  const linalg::Matrix ya = model.Forward(x);
+  const linalg::Matrix yb = other.Forward(x);
+  for (size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST_F(IoTest, ModelShapeMismatchRejected) {
+  Rng rng(6);
+  nn::Sequential model;
+  model.Append(std::make_unique<nn::Linear>(6, 10, &rng));
+  const std::string path = Path("model2.bin");
+  ASSERT_TRUE(SaveModelParameters(&model, path).ok());
+
+  nn::Sequential wrong_shape;
+  wrong_shape.Append(std::make_unique<nn::Linear>(6, 11, &rng));
+  EXPECT_FALSE(LoadModelParameters(&wrong_shape, path).ok());
+
+  nn::Sequential wrong_count;
+  wrong_count.Append(std::make_unique<nn::Linear>(6, 10, &rng));
+  wrong_count.Append(std::make_unique<nn::Linear>(10, 2, &rng));
+  EXPECT_FALSE(LoadModelParameters(&wrong_count, path).ok());
+}
+
+TEST_F(IoTest, HashingNetworkRoundTripEncodesIdentically) {
+  Rng rng(7);
+  core::HashingNetworkOptions options;
+  options.hidden1 = 32;
+  options.hidden2 = 24;
+  options.bits = 16;
+  core::HashingNetwork network(12, options, &rng);
+  const std::string path = Path("hashnet.bin");
+  ASSERT_TRUE(SaveHashingNetwork(network, path).ok());
+
+  Result<std::unique_ptr<core::HashingNetwork>> loaded =
+      LoadHashingNetwork(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->input_dim(), 12);
+  EXPECT_EQ((*loaded)->bits(), 16);
+
+  const linalg::Matrix x = linalg::Matrix::RandomNormal(9, 12, &rng);
+  const linalg::Matrix a = network.EncodeBinary(x);
+  const linalg::Matrix b = (*loaded)->EncodeBinary(x);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+class PackedCodesRoundTrip : public IoTest,
+                             public ::testing::WithParamInterface<int> {};
+
+TEST_P(PackedCodesRoundTrip, PreservesAllDistances) {
+  const int bits = GetParam();
+  Rng rng(8);
+  linalg::Matrix codes(25, bits);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    codes.data()[i] = rng.Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  index::PackedCodes packed = index::PackedCodes::FromSignMatrix(codes);
+  const std::string path = Path("codes.bin");
+  ASSERT_TRUE(SavePackedCodes(packed, path).ok());
+  Result<index::PackedCodes> loaded = LoadPackedCodes(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), packed.size());
+  ASSERT_EQ(loaded->bits(), packed.bits());
+  for (int i = 0; i < packed.size(); ++i) {
+    for (int j = 0; j < packed.size(); ++j) {
+      EXPECT_EQ(loaded->Distance(i, j), packed.Distance(i, j));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackedCodesRoundTrip,
+                         ::testing::Values(16, 64, 96, 128));
+
+}  // namespace
+}  // namespace uhscm::io

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "linalg/kmeans.h"
+#include "linalg/ops.h"
+
+namespace uhscm::linalg {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2-D.
+Matrix MakeBlobs(int per_cluster, Rng* rng) {
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix x(3 * per_cluster, 2);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      const int row = c * per_cluster + i;
+      x(row, 0) = centers[c][0] + static_cast<float>(rng->Normal(0.0, 0.3));
+      x(row, 1) = centers[c][1] + static_cast<float>(rng->Normal(0.0, 0.3));
+    }
+  }
+  return x;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(31);
+  Matrix x = MakeBlobs(40, &rng);
+  Result<KMeansResult> r = KMeans(x, 3, &rng);
+  ASSERT_TRUE(r.ok());
+  // All points of a blob share one assignment, and the three blobs get
+  // three distinct clusters.
+  std::set<int> blob_clusters;
+  for (int c = 0; c < 3; ++c) {
+    const int first = r->assignments[static_cast<size_t>(c * 40)];
+    blob_clusters.insert(first);
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(r->assignments[static_cast<size_t>(c * 40 + i)], first);
+    }
+  }
+  EXPECT_EQ(blob_clusters.size(), 3u);
+  EXPECT_LT(r->inertia, 120 * 1.0);  // ~ n * sigma^2 * dims scale
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  Rng rng(32);
+  Matrix x = Matrix::RandomNormal(30, 3, &rng);
+  Result<KMeansResult> r = KMeans(x, 1, &rng);
+  ASSERT_TRUE(r.ok());
+  Vector mean = ColumnMeans(x);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(r->centroids(0, c), mean[static_cast<size_t>(c)], 1e-4f);
+  }
+}
+
+TEST(KMeansTest, KEqualsNPlacesOneCentroidPerPoint) {
+  Rng rng(33);
+  Matrix x = MakeBlobs(2, &rng);  // 6 points
+  Result<KMeansResult> r = KMeans(x, 6, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->inertia, 0.0, 1e-6);
+  std::set<int> used(r->assignments.begin(), r->assignments.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(KMeansTest, RejectsInvalidK) {
+  Rng rng(34);
+  Matrix x = Matrix::RandomNormal(5, 2, &rng);
+  EXPECT_FALSE(KMeans(x, 0, &rng).ok());
+  EXPECT_FALSE(KMeans(x, 6, &rng).ok());
+}
+
+TEST(KMeansTest, AssignmentsAreNearestCentroids) {
+  Rng rng(35);
+  Matrix x = MakeBlobs(20, &rng);
+  Result<KMeansResult> r = KMeans(x, 3, &rng);
+  ASSERT_TRUE(r.ok());
+  for (int i = 0; i < x.rows(); ++i) {
+    const int assigned = r->assignments[static_cast<size_t>(i)];
+    const float own = SquaredDistance(x.Row(i), r->centroids.Row(assigned), 2);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_LE(own,
+                SquaredDistance(x.Row(i), r->centroids.Row(c), 2) + 1e-4f);
+    }
+  }
+}
+
+class KMeansSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansSweep, InertiaDecreasesWithMoreClusters) {
+  const int k = GetParam();
+  Rng rng(36);
+  Matrix x = MakeBlobs(30, &rng);
+  Rng rng_a(37), rng_b(37);
+  Result<KMeansResult> with_k = KMeans(x, k, &rng_a);
+  Result<KMeansResult> with_more = KMeans(x, k + 3, &rng_b);
+  ASSERT_TRUE(with_k.ok());
+  ASSERT_TRUE(with_more.ok());
+  EXPECT_LE(with_more->inertia, with_k->inertia * 1.05 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KMeansSweep, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(KMeansTest, PlainInitAlsoConverges) {
+  Rng rng(38);
+  Matrix x = MakeBlobs(25, &rng);
+  KMeansOptions options;
+  options.plus_plus_init = false;
+  Result<KMeansResult> r = KMeans(x, 3, &rng, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->iterations, 0);
+}
+
+}  // namespace
+}  // namespace uhscm::linalg

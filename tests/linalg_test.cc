@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/ops.h"
+
+namespace uhscm::linalg {
+namespace {
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, FromRowMajorLaysOutRows) {
+  Matrix m = Matrix::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m(0, 0), 1.0f);
+  EXPECT_EQ(m(0, 2), 3.0f);
+  EXPECT_EQ(m(1, 0), 4.0f);
+  EXPECT_EQ(m(1, 2), 6.0f);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng rng(3);
+  Matrix m = Matrix::RandomNormal(5, 7, &rng);
+  Matrix tt = m.Transposed().Transposed();
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 7; ++c) EXPECT_EQ(m(r, c), tt(r, c));
+  }
+}
+
+TEST(MatrixTest, SelectRowsGathers) {
+  Matrix m = Matrix::FromRowMajor(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix s = m.SelectRows({2, 0});
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s(0, 0), 5.0f);
+  EXPECT_EQ(s(1, 1), 2.0f);
+}
+
+TEST(MatrixTest, RowAndColVector) {
+  Matrix m = Matrix::FromRowMajor(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(m.RowVector(1), (std::vector<float>{4, 5, 6}));
+  EXPECT_EQ(m.ColVector(2), (std::vector<float>{3, 6}));
+}
+
+TEST(MatrixTest, SetRowWrites) {
+  Matrix m(2, 2);
+  m.SetRow(1, {7, 8});
+  EXPECT_EQ(m(1, 0), 7.0f);
+  EXPECT_EQ(m(1, 1), 8.0f);
+}
+
+TEST(MatrixTest, ArithmeticInPlace) {
+  Matrix a = Matrix::FromRowMajor(2, 2, {1, 2, 3, 4});
+  Matrix b = Matrix::FromRowMajor(2, 2, {10, 20, 30, 40});
+  a.Add(b);
+  EXPECT_EQ(a(1, 1), 44.0f);
+  a.AddScaled(b, -1.0f);
+  EXPECT_EQ(a(0, 0), 1.0f);
+  a.Scale(2.0f);
+  EXPECT_EQ(a(0, 1), 4.0f);
+  a.Fill(9.0f);
+  EXPECT_EQ(a(1, 0), 9.0f);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m = Matrix::FromRowMajor(1, 2, {3, 4});
+  EXPECT_FLOAT_EQ(m.FrobeniusNorm(), 5.0f);
+}
+
+TEST(MatrixTest, IdentityIsDiagonal) {
+  Matrix id = Matrix::Identity(4);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_EQ(id(r, c), r == c ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, DebugStringMentionsShape) {
+  Matrix m(2, 2);
+  EXPECT_NE(m.DebugString().find("2x2"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- ops
+
+/// Naive reference multiply for cross-checking kernels.
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float s = 0.0f;
+      for (int k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+class MatMulShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(101);
+  Matrix a = Matrix::RandomNormal(m, k, &rng);
+  Matrix b = Matrix::RandomNormal(k, n, &rng);
+  const Matrix fast = MatMul(a, b);
+  const Matrix slow = NaiveMatMul(a, b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(fast(i, j), slow(i, j), 1e-3f);
+    }
+  }
+}
+
+TEST_P(MatMulShapes, TransAMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(102);
+  Matrix a = Matrix::RandomNormal(k, m, &rng);
+  Matrix b = Matrix::RandomNormal(k, n, &rng);
+  const Matrix fast = MatMulTransA(a, b);
+  const Matrix slow = NaiveMatMul(a.Transposed(), b);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(fast(i, j), slow(i, j), 1e-3f);
+    }
+  }
+}
+
+TEST_P(MatMulShapes, TransBMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(103);
+  Matrix a = Matrix::RandomNormal(m, k, &rng);
+  Matrix b = Matrix::RandomNormal(n, k, &rng);
+  const Matrix fast = MatMulTransB(a, b);
+  const Matrix slow = NaiveMatMul(a, b.Transposed());
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(fast(i, j), slow(i, j), 1e-3f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(8, 8, 8), std::make_tuple(17, 4, 23),
+                      std::make_tuple(2, 31, 7)));
+
+TEST(OpsTest, MatVec) {
+  Matrix a = Matrix::FromRowMajor(2, 3, {1, 0, 2, 0, 1, 1});
+  Vector y = MatVec(a, {1, 2, 3});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+  EXPECT_FLOAT_EQ(y[1], 5.0f);
+}
+
+TEST(OpsTest, DotAndNorm) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_FLOAT_EQ(Dot(a, b), 32.0f);
+  EXPECT_FLOAT_EQ(Norm2(a), std::sqrt(14.0f));
+}
+
+TEST(OpsTest, CosineSimilarityProperties) {
+  Vector a{1, 0, 0};
+  Vector b{0, 1, 0};
+  Vector c{2, 0, 0};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a.data(), b.data(), 3), 0.0f);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a.data(), c.data(), 3), 1.0f);
+  Vector zero{0, 0, 0};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a.data(), zero.data(), 3), 0.0f);
+}
+
+TEST(OpsTest, NormalizeRowsMakesUnitRows) {
+  Rng rng(5);
+  Matrix m = Matrix::RandomNormal(6, 9, &rng);
+  NormalizeRowsL2(&m);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_NEAR(Norm2(m.Row(r), 9), 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOneAndOrderPreserving) {
+  Matrix m = Matrix::FromRowMajor(2, 3, {0.1f, 0.9f, 0.5f, -1, 0, 1});
+  Matrix p = SoftmaxRows(m, 5.0f);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GT(p(r, c), 0.0f);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(p(0, 1), p(0, 2));
+  EXPECT_GT(p(0, 2), p(0, 0));
+}
+
+TEST(OpsTest, SoftmaxHighTemperatureConcentrates) {
+  Matrix m = Matrix::FromRowMajor(1, 3, {0.2f, 0.8f, 0.5f});
+  Matrix sharp = SoftmaxRows(m, 100.0f);
+  EXPECT_GT(sharp(0, 1), 0.99f);
+  Matrix flat = SoftmaxRows(m, 0.001f);
+  EXPECT_NEAR(flat(0, 0), 1.0f / 3.0f, 1e-3f);
+}
+
+TEST(OpsTest, PairwiseCosineMatchesScalar) {
+  Rng rng(7);
+  Matrix a = Matrix::RandomNormal(4, 6, &rng);
+  Matrix b = Matrix::RandomNormal(3, 6, &rng);
+  Matrix s = PairwiseCosine(a, b);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(s(i, j), CosineSimilarity(a.Row(i), b.Row(j), 6), 1e-4f);
+    }
+  }
+}
+
+TEST(OpsTest, SelfCosineSymmetricUnitDiagonal) {
+  Rng rng(8);
+  Matrix a = Matrix::RandomNormal(5, 4, &rng);
+  Matrix s = SelfCosine(a);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(s(i, i), 1.0f);
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(s(i, j), s(j, i), 1e-5f);
+      EXPECT_LE(std::fabs(s(i, j)), 1.0f + 1e-5f);
+    }
+  }
+}
+
+TEST(OpsTest, ColumnMeansAndCenter) {
+  Matrix m = Matrix::FromRowMajor(2, 2, {1, 10, 3, 30});
+  Vector mean = ColumnMeans(m);
+  EXPECT_FLOAT_EQ(mean[0], 2.0f);
+  EXPECT_FLOAT_EQ(mean[1], 20.0f);
+  CenterRows(&m, mean);
+  EXPECT_FLOAT_EQ(m(0, 0), -1.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 10.0f);
+}
+
+TEST(OpsTest, CovarianceOfKnownData) {
+  // Two variables, the second is 2x the first: cov = [[v, 2v], [2v, 4v]].
+  Matrix m = Matrix::FromRowMajor(3, 2, {1, 2, 2, 4, 3, 6});
+  Matrix cov = Covariance(m);
+  EXPECT_NEAR(cov(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(cov(0, 1), 2.0f, 1e-5f);
+  EXPECT_NEAR(cov(1, 1), 4.0f, 1e-5f);
+}
+
+TEST(OpsTest, SignMapsToPlusMinusOne) {
+  Matrix m = Matrix::FromRowMajor(1, 4, {-0.5f, 0.0f, 0.1f, -3.0f});
+  Matrix s = Sign(m);
+  EXPECT_EQ(s(0, 0), -1.0f);
+  EXPECT_EQ(s(0, 1), 1.0f);  // documented convention: sign(0) = +1
+  EXPECT_EQ(s(0, 2), 1.0f);
+  EXPECT_EQ(s(0, 3), -1.0f);
+}
+
+TEST(OpsTest, TanhAndMean) {
+  Matrix m = Matrix::FromRowMajor(1, 2, {0.0f, 100.0f});
+  Matrix t = Tanh(m);
+  EXPECT_FLOAT_EQ(t(0, 0), 0.0f);
+  EXPECT_NEAR(t(0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(Mean(t), 0.5f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace uhscm::linalg

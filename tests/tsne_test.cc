@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "eval/tsne.h"
+#include "linalg/ops.h"
+
+namespace uhscm::eval {
+namespace {
+
+TEST(TsneTest, RejectsDegenerateInputs) {
+  Rng rng(1);
+  linalg::Matrix tiny = linalg::Matrix::RandomNormal(3, 4, &rng);
+  TsneOptions options;
+  EXPECT_FALSE(RunTsne(tiny, options, &rng).ok());
+
+  linalg::Matrix small = linalg::Matrix::RandomNormal(10, 4, &rng);
+  options.perplexity = 20.0;  // >= n
+  EXPECT_FALSE(RunTsne(small, options, &rng).ok());
+}
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(2);
+  linalg::Matrix x = linalg::Matrix::RandomNormal(40, 8, &rng);
+  TsneOptions options;
+  options.perplexity = 10.0;
+  options.iterations = 60;
+  Result<linalg::Matrix> y = RunTsne(x, options, &rng);
+  ASSERT_TRUE(y.ok()) << y.status().ToString();
+  EXPECT_EQ(y->rows(), 40);
+  EXPECT_EQ(y->cols(), 2);
+  // Centered output.
+  linalg::Vector mean = linalg::ColumnMeans(*y);
+  EXPECT_NEAR(mean[0], 0.0f, 1e-3f);
+  EXPECT_NEAR(mean[1], 0.0f, 1e-3f);
+}
+
+TEST(TsneTest, SeparatedClustersStaySeparated) {
+  // Two far-apart clusters in 16-D must map to silhouette-positive 2-D
+  // clusters.
+  Rng rng(3);
+  const int per = 30;
+  linalg::Matrix x(2 * per, 16);
+  std::vector<int> labels(static_cast<size_t>(2 * per));
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per; ++i) {
+      const int row = c * per + i;
+      labels[static_cast<size_t>(row)] = c;
+      for (int d = 0; d < 16; ++d) {
+        x(row, d) = static_cast<float>(rng.Normal(c * 8.0, 0.5));
+      }
+    }
+  }
+  TsneOptions options;
+  options.perplexity = 12.0;
+  options.iterations = 250;
+  Result<linalg::Matrix> y = RunTsne(x, options, &rng);
+  ASSERT_TRUE(y.ok());
+  std::vector<float> flat(y->data(), y->data() + y->size());
+  EXPECT_GT(MeanSilhouette(flat, 2, labels), 0.5);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  linalg::Matrix x;
+  {
+    Rng data_rng(4);
+    x = linalg::Matrix::RandomNormal(30, 6, &data_rng);
+  }
+  TsneOptions options;
+  options.perplexity = 8.0;
+  options.iterations = 40;
+  Rng r1(99), r2(99);
+  Result<linalg::Matrix> a = RunTsne(x, options, &r1);
+  Result<linalg::Matrix> b = RunTsne(x, options, &r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->data()[i], b->data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace uhscm::eval

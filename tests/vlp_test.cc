@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/concept_vocab.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "linalg/ops.h"
+#include "vlp/prompt.h"
+#include "vlp/simulated_vlp.h"
+
+namespace uhscm::vlp {
+namespace {
+
+TEST(PromptTest, RendersTemplates) {
+  EXPECT_EQ(RenderPrompt(PromptTemplate::kAPhotoOfThe, "cat"),
+            "a photo of the cat.");
+  EXPECT_EQ(RenderPrompt(PromptTemplate::kThe, "cat"), "the cat.");
+  EXPECT_EQ(RenderPrompt(PromptTemplate::kItContainsThe, "cat"),
+            "it contains the cat.");
+  EXPECT_STREQ(PromptTemplateName(PromptTemplate::kAPhotoOfThe), "photo");
+}
+
+class VlpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_ = std::make_unique<data::SemanticWorld>(77);
+    data::SyntheticOptions options;
+    options.sizes = {120, 60, 30};
+    Rng rng(78);
+    dataset_ = data::MakeCifar10Like(world_.get(), options, &rng);
+    vocab_ = data::MakeNusVocab(world_.get());
+    VlpOptions vlp_options;
+    vlp_options.embed_dim = 64;
+    vlp_ = std::make_unique<SimulatedVlpModel>(world_.get(), vlp_options);
+  }
+
+  std::unique_ptr<data::SemanticWorld> world_;
+  data::Dataset dataset_;
+  data::ConceptVocab vocab_;
+  std::unique_ptr<SimulatedVlpModel> vlp_;
+};
+
+TEST_F(VlpFixture, ImageEmbeddingsAreUnitNorm) {
+  const linalg::Matrix emb = vlp_->EncodeImages(dataset_.pixels);
+  EXPECT_EQ(emb.rows(), dataset_.num_images());
+  EXPECT_EQ(emb.cols(), 64);
+  for (int i = 0; i < emb.rows(); ++i) {
+    EXPECT_NEAR(linalg::Norm2(emb.Row(i), emb.cols()), 1.0f, 1e-4f);
+  }
+}
+
+TEST_F(VlpFixture, ConceptEmbeddingsAreUnitNormAndTemplateDependent) {
+  const linalg::Matrix a =
+      vlp_->EncodeConcepts(vocab_.ids, PromptTemplate::kAPhotoOfThe);
+  const linalg::Matrix b =
+      vlp_->EncodeConcepts(vocab_.ids, PromptTemplate::kItContainsThe);
+  EXPECT_EQ(a.rows(), vocab_.size());
+  for (int j = 0; j < a.rows(); ++j) {
+    EXPECT_NEAR(linalg::Norm2(a.Row(j), a.cols()), 1.0f, 1e-4f);
+  }
+  // Different templates perturb the embeddings differently.
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  EXPECT_GT(max_diff, 1e-3f);
+}
+
+TEST_F(VlpFixture, ScoresAreInUnitInterval) {
+  const linalg::Matrix scores = vlp_->ScoreImagesAgainstConcepts(
+      dataset_.pixels, vocab_.ids, PromptTemplate::kAPhotoOfThe);
+  EXPECT_EQ(scores.rows(), dataset_.num_images());
+  EXPECT_EQ(scores.cols(), vocab_.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GE(scores.data()[i], 0.0f);
+    EXPECT_LE(scores.data()[i], 1.0f);
+  }
+}
+
+TEST_F(VlpFixture, TrueConceptScoresHigherThanAverage) {
+  // For each image, the score of its true class concept should beat the
+  // mean score over the vocabulary in the vast majority of cases.
+  const linalg::Matrix scores = vlp_->ScoreImagesAgainstConcepts(
+      dataset_.pixels, vocab_.ids, PromptTemplate::kAPhotoOfThe);
+  // Map universe id -> vocab column.
+  auto column_of = [&](int universe_id) {
+    for (int j = 0; j < vocab_.size(); ++j) {
+      if (vocab_.ids[static_cast<size_t>(j)] == universe_id) return j;
+    }
+    return -1;
+  };
+  int wins = 0;
+  int considered = 0;
+  for (int i = 0; i < dataset_.num_images(); ++i) {
+    const int col = column_of(dataset_.labels[static_cast<size_t>(i)][0]);
+    if (col < 0) continue;  // class not in vocabulary (e.g. deer/frog)
+    ++considered;
+    double mean = 0.0;
+    for (int j = 0; j < vocab_.size(); ++j) mean += scores(i, j);
+    mean /= vocab_.size();
+    if (scores(i, col) > mean) ++wins;
+  }
+  ASSERT_GT(considered, 0);
+  EXPECT_GT(static_cast<double>(wins) / considered, 0.95);
+}
+
+TEST_F(VlpFixture, DefaultTemplateAlignsBetterThanNoisyTemplates) {
+  // Aggregate margin (true-concept score minus vocabulary mean) should be
+  // largest for the best-aligned template, per the §4.4.3 ablation.
+  auto margin_for = [&](PromptTemplate tmpl) {
+    const linalg::Matrix scores = vlp_->ScoreImagesAgainstConcepts(
+        dataset_.pixels, vocab_.ids, tmpl);
+    auto column_of = [&](int universe_id) {
+      for (int j = 0; j < vocab_.size(); ++j) {
+        if (vocab_.ids[static_cast<size_t>(j)] == universe_id) return j;
+      }
+      return -1;
+    };
+    double margin = 0.0;
+    int considered = 0;
+    for (int i = 0; i < dataset_.num_images(); ++i) {
+      const int col = column_of(dataset_.labels[static_cast<size_t>(i)][0]);
+      if (col < 0) continue;
+      double mean = 0.0;
+      for (int j = 0; j < vocab_.size(); ++j) mean += scores(i, j);
+      mean /= vocab_.size();
+      margin += scores(i, col) - mean;
+      ++considered;
+    }
+    return margin / considered;
+  };
+  const double photo = margin_for(PromptTemplate::kAPhotoOfThe);
+  const double the = margin_for(PromptTemplate::kThe);
+  const double contains = margin_for(PromptTemplate::kItContainsThe);
+  EXPECT_GT(photo, the);
+  EXPECT_GT(the, contains * 0.8);  // ordering holds, allow slack
+}
+
+TEST_F(VlpFixture, ScoringIsDeterministic) {
+  const linalg::Matrix a = vlp_->ScoreImagesAgainstConcepts(
+      dataset_.pixels, vocab_.ids, PromptTemplate::kAPhotoOfThe);
+  const linalg::Matrix b = vlp_->ScoreImagesAgainstConcepts(
+      dataset_.pixels, vocab_.ids, PromptTemplate::kAPhotoOfThe);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST_F(VlpFixture, SnapshotRejectsLaterConcepts) {
+  // Concepts registered after model construction are unknown to it.
+  const int new_id = world_->RegisterConcept("brand-new-concept");
+  EXPECT_GE(new_id, vlp_->num_known_concepts());
+}
+
+}  // namespace
+}  // namespace uhscm::vlp

@@ -1,0 +1,275 @@
+// uhscm_cli — command-line front end over the library: train a model on
+// a synthetic corpus, persist the artifacts, inspect them, and serve
+// retrieval queries — the minimal ops loop of a deployment.
+//
+// Subcommands:
+//   train  --dataset=cifar|nuswide|flickr --bits=K --seed=N --scale=F
+//          --model=PATH --codes=PATH
+//       Builds the synthetic corpus, trains UHSCM, writes the hashing
+//       network and the packed database codes.
+//   info   --file=PATH
+//       Prints what an artifact file contains.
+//   eval   --dataset=... --bits=K --seed=N --scale=F --model=PATH
+//       Regenerates the same corpus (same seed), reloads the model, and
+//       reports MAP / P@10 under the paper's protocol.
+//   query  --dataset=... --seed=N --scale=F --model=PATH --codes=PATH
+//          [--topk=10] [--queries=5]
+//       Reloads model + codes and prints top-k results for sample
+//       queries with relevance flags.
+//
+// The corpus is synthetic and seed-determined, so "the same dataset" is
+// reproducible from (dataset, seed, scale) alone — no data files needed.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/trainer.h"
+#include "data/concept_vocab.h"
+#include "data/synthetic.h"
+#include "data/world.h"
+#include "eval/retrieval_eval.h"
+#include "index/linear_scan.h"
+#include "io/serialize.h"
+#include "vlp/simulated_vlp.h"
+
+namespace uhscm::cli {
+namespace {
+
+struct Flags {
+  std::string dataset = "cifar";
+  int bits = 64;
+  uint64_t seed = 2023;
+  double scale = 1.0;
+  std::string model;
+  std::string codes;
+  std::string file;
+  int topk = 10;
+  int queries = 5;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: uhscm_cli <train|info|eval|query> [--dataset=...] "
+               "[--bits=K] [--seed=N] [--scale=F] [--model=PATH] "
+               "[--codes=PATH] [--file=PATH] [--topk=K] [--queries=N]\n");
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--dataset=")) {
+      flags->dataset = arg.substr(10);
+    } else if (StartsWith(arg, "--bits=")) {
+      flags->bits = std::atoi(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--seed=")) {
+      flags->seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (StartsWith(arg, "--scale=")) {
+      flags->scale = std::atof(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--model=")) {
+      flags->model = arg.substr(8);
+    } else if (StartsWith(arg, "--codes=")) {
+      flags->codes = arg.substr(8);
+    } else if (StartsWith(arg, "--file=")) {
+      flags->file = arg.substr(7);
+    } else if (StartsWith(arg, "--topk=")) {
+      flags->topk = std::atoi(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--queries=")) {
+      flags->queries = std::atoi(arg.c_str() + 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The synthetic environment a (dataset, seed, scale) triple determines.
+struct Env {
+  std::unique_ptr<data::SemanticWorld> world;
+  data::Dataset dataset;
+  data::ConceptVocab vocab;
+  std::unique_ptr<vlp::SimulatedVlpModel> vlp;
+};
+
+Env MakeEnv(const Flags& flags) {
+  Env env;
+  env.world = std::make_unique<data::SemanticWorld>(flags.seed);
+  data::SyntheticOptions options = data::DefaultOptionsFor(flags.dataset);
+  options.sizes.database =
+      static_cast<int>(options.sizes.database * 0.25 * flags.scale);
+  options.sizes.train =
+      static_cast<int>(options.sizes.train * 0.4 * flags.scale);
+  options.sizes.query =
+      static_cast<int>(options.sizes.query * 0.3 * flags.scale);
+  Rng rng(flags.seed + 17);
+  env.dataset = data::MakeDatasetByName(flags.dataset, env.world.get(),
+                                        options, &rng);
+  env.vocab = data::MakeNusVocab(env.world.get());
+  env.vlp = std::make_unique<vlp::SimulatedVlpModel>(env.world.get());
+  return env;
+}
+
+int CmdTrain(const Flags& flags) {
+  if (flags.model.empty()) {
+    std::fprintf(stderr, "train: --model=PATH is required\n");
+    return 2;
+  }
+  Env env = MakeEnv(flags);
+  std::printf("corpus: %s database=%zu train=%zu query=%zu\n",
+              env.dataset.name.c_str(), env.dataset.split.database.size(),
+              env.dataset.split.train.size(), env.dataset.split.query.size());
+
+  core::UhscmConfig config = core::DefaultConfigFor(flags.dataset, flags.bits);
+  config.seed = flags.seed;
+  core::UhscmTrainer trainer(env.vlp.get(), config);
+  Result<core::UhscmModel> model = trainer.Train(
+      env.dataset.pixels.SelectRows(env.dataset.split.train), env.vocab);
+  if (!model.ok()) {
+    std::fprintf(stderr, "train failed: %s\n",
+                 model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("trained: %zu retained concepts, final loss %.4f\n",
+              model->retained_concepts.size(), model->epoch_losses.back());
+
+  Status st = io::SaveHashingNetwork(*model->network, flags.model);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote model -> %s\n", flags.model.c_str());
+
+  if (!flags.codes.empty()) {
+    const linalg::Matrix db_codes = model->Encode(
+        env.dataset.pixels.SelectRows(env.dataset.split.database));
+    st = io::SavePackedCodes(index::PackedCodes::FromSignMatrix(db_codes),
+                             flags.codes);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %d database codes -> %s\n", db_codes.rows(),
+                flags.codes.c_str());
+  }
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  if (flags.file.empty()) {
+    std::fprintf(stderr, "info: --file=PATH is required\n");
+    return 2;
+  }
+  if (Result<std::unique_ptr<core::HashingNetwork>> net =
+          io::LoadHashingNetwork(flags.file);
+      net.ok()) {
+    std::printf("%s: hashing network, input_dim=%d hidden=%d/%d bits=%d\n",
+                flags.file.c_str(), (*net)->input_dim(),
+                (*net)->options().hidden1, (*net)->options().hidden2,
+                (*net)->bits());
+    return 0;
+  }
+  if (Result<index::PackedCodes> codes = io::LoadPackedCodes(flags.file);
+      codes.ok()) {
+    std::printf("%s: packed codes, n=%d bits=%d (%d words/code)\n",
+                flags.file.c_str(), codes->size(), codes->bits(),
+                codes->words_per_code());
+    return 0;
+  }
+  if (Result<linalg::Matrix> m = io::LoadMatrix(flags.file); m.ok()) {
+    std::printf("%s: matrix, %dx%d\n", flags.file.c_str(), m->rows(),
+                m->cols());
+    return 0;
+  }
+  std::fprintf(stderr, "%s: not a recognized uhscm artifact\n",
+               flags.file.c_str());
+  return 1;
+}
+
+int CmdEval(const Flags& flags) {
+  if (flags.model.empty()) {
+    std::fprintf(stderr, "eval: --model=PATH is required\n");
+    return 2;
+  }
+  Result<std::unique_ptr<core::HashingNetwork>> net =
+      io::LoadHashingNetwork(flags.model);
+  if (!net.ok()) {
+    std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+    return 1;
+  }
+  Env env = MakeEnv(flags);
+  const linalg::Matrix db_codes = (*net)->EncodeBinary(
+      env.dataset.pixels.SelectRows(env.dataset.split.database));
+  const linalg::Matrix query_codes = (*net)->EncodeBinary(
+      env.dataset.pixels.SelectRows(env.dataset.split.query));
+  eval::RetrievalEvalOptions options;
+  options.map_at = 5000;
+  options.topn_points = {10};
+  const eval::RetrievalEvalResult result =
+      eval::EvaluateRetrieval(env.dataset, db_codes, query_codes, options);
+  std::printf("%s @ %d bits: MAP=%.4f P@10=%.4f (%zu queries)\n",
+              flags.dataset.c_str(), (*net)->bits(), result.map,
+              result.precision_at_n[0], env.dataset.split.query.size());
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  if (flags.model.empty() || flags.codes.empty()) {
+    std::fprintf(stderr, "query: --model= and --codes= are required\n");
+    return 2;
+  }
+  Result<std::unique_ptr<core::HashingNetwork>> net =
+      io::LoadHashingNetwork(flags.model);
+  Result<index::PackedCodes> codes = io::LoadPackedCodes(flags.codes);
+  if (!net.ok() || !codes.ok()) {
+    std::fprintf(stderr, "failed to reload artifacts\n");
+    return 1;
+  }
+  Env env = MakeEnv(flags);
+  if (codes->size() != static_cast<int>(env.dataset.split.database.size())) {
+    std::fprintf(stderr,
+                 "code count (%d) does not match the corpus database (%zu) "
+                 "— wrong --seed/--scale/--dataset?\n",
+                 codes->size(), env.dataset.split.database.size());
+    return 1;
+  }
+  index::LinearScanIndex scan(std::move(codes.ValueOrDie()));
+  const linalg::Matrix query_codes = (*net)->EncodeBinary(
+      env.dataset.pixels.SelectRows(env.dataset.split.query));
+  const index::PackedCodes packed =
+      index::PackedCodes::FromSignMatrix(query_codes);
+
+  const int shown = std::min(flags.queries, packed.size());
+  for (int q = 0; q < shown; ++q) {
+    const int query_image = env.dataset.split.query[static_cast<size_t>(q)];
+    std::printf("query %d:", q);
+    for (const index::Neighbor& nb : scan.TopK(packed.code(q), flags.topk)) {
+      const int db_image =
+          env.dataset.split.database[static_cast<size_t>(nb.id)];
+      std::printf(" %c%d(d=%d)",
+                  env.dataset.Relevant(query_image, db_image) ? '+' : '-',
+                  nb.id, nb.distance);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return Usage();
+  if (command == "train") return CmdTrain(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "eval") return CmdEval(flags);
+  if (command == "query") return CmdQuery(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace uhscm::cli
+
+int main(int argc, char** argv) { return uhscm::cli::Main(argc, argv); }
