@@ -27,6 +27,25 @@ linalg::Matrix RandomCodes(int n, int bits, Rng* rng) {
   return m;
 }
 
+void BM_HammingDistance(benchmark::State& state) {
+  // Measures the unrolled popcount kernel itself: distance between two
+  // packed rows at the paper's code widths (1..2 words) plus a wide
+  // 1024-bit configuration where the 4-way unroll dominates.
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(11);
+  index::PackedCodes codes =
+      index::PackedCodes::FromSignMatrix(RandomCodes(2, bits, &rng));
+  const int words = codes.words_per_code();
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += static_cast<uint64_t>(
+        index::HammingDistance(codes.code(0), codes.code(1), words));
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * words);
+}
+BENCHMARK(BM_HammingDistance)->Arg(64)->Arg(128)->Arg(256)->Arg(1024);
+
 void BM_LinearScanTopK(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int bits = static_cast<int>(state.range(1));

@@ -11,16 +11,29 @@ std::vector<Neighbor> LinearScanIndex::TopK(const uint64_t* query,
                                             int k) const {
   k = std::min(k, database_.size());
   if (k <= 0) return {};
-  std::vector<Neighbor> all(static_cast<size_t>(database_.size()));
-  for (int i = 0; i < database_.size(); ++i) {
-    all[static_cast<size_t>(i)] = {i, database_.DistanceTo(i, query)};
-  }
+  // Bounded max-heap selection: O(n log k) instead of materializing and
+  // sorting all n distances — the difference between research-bench and
+  // serving-path cost when k << n.
   auto cmp = [](const Neighbor& a, const Neighbor& b) {
     return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
   };
-  std::partial_sort(all.begin(), all.begin() + k, all.end(), cmp);
-  all.resize(static_cast<size_t>(k));
-  return all;
+  std::vector<Neighbor> heap;
+  heap.reserve(static_cast<size_t>(k));
+  for (int i = 0; i < database_.size(); ++i) {
+    const int d = database_.DistanceTo(i, query);
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push_back({i, d});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (d < heap.front().distance) {
+      // Ids only ascend, so a distance tie with the current worst never
+      // displaces it — strict < is the exact tie-break rule.
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {i, d};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
 }
 
 std::vector<int> LinearScanIndex::AllDistances(const uint64_t* query) const {

@@ -5,13 +5,33 @@
 #include "common/status.h"
 
 namespace uhscm::index {
+namespace {
+
+inline int Popcount64(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  return std::popcount(x);
+#endif
+}
+
+}  // namespace
 
 int HammingDistance(const uint64_t* a, const uint64_t* b, int words) {
-  int d = 0;
-  for (int w = 0; w < words; ++w) {
-    d += std::popcount(a[w] ^ b[w]);
+  // Four independent accumulators break the popcount dependency chain so
+  // the loop saturates the popcnt ports instead of serializing on one sum.
+  int d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+  int w = 0;
+  for (; w + 4 <= words; w += 4) {
+    d0 += Popcount64(a[w] ^ b[w]);
+    d1 += Popcount64(a[w + 1] ^ b[w + 1]);
+    d2 += Popcount64(a[w + 2] ^ b[w + 2]);
+    d3 += Popcount64(a[w + 3] ^ b[w + 3]);
   }
-  return d;
+  for (; w < words; ++w) {
+    d0 += Popcount64(a[w] ^ b[w]);
+  }
+  return d0 + d1 + d2 + d3;
 }
 
 PackedCodes PackedCodes::FromSignMatrix(const linalg::Matrix& codes) {

@@ -1,0 +1,102 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+
+namespace uhscm::serve {
+
+using index::Neighbor;
+
+QueryEngine::QueryEngine(std::unique_ptr<ShardedIndex> index,
+                         const QueryEngineOptions& options)
+    : index_(std::move(index)),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      cache_(options.cache_capacity),
+      stats_(options.max_latency_samples) {
+  UHSCM_CHECK(index_ != nullptr, "QueryEngine: null index");
+}
+
+std::vector<std::vector<Neighbor>> QueryEngine::Search(
+    const index::PackedCodes& queries, int k) {
+  const int n = queries.size();
+  if (n == 0) return {};
+  UHSCM_CHECK(queries.bits() == index_->bits(),
+              "QueryEngine::Search: query bit width != corpus bit width");
+  k = std::min(k, index_->size());
+  if (k <= 0) {
+    stats_.RecordBatch(n, 0, 0.0);
+    return std::vector<std::vector<Neighbor>>(static_cast<size_t>(n));
+  }
+
+  Stopwatch watch;
+  std::vector<std::vector<Neighbor>> results(static_cast<size_t>(n));
+  const int words = queries.words_per_code();
+
+  // Phase 1: serve what the cache already knows.
+  std::vector<int> misses;
+  misses.reserve(static_cast<size_t>(n));
+  for (int q = 0; q < n; ++q) {
+    CacheKey key{{queries.code(q), queries.code(q) + words}, k};
+    if (!cache_.Lookup(key, &results[static_cast<size_t>(q)])) {
+      misses.push_back(q);
+    }
+  }
+  const int hits = n - static_cast<int>(misses.size());
+
+  // Phase 2: fan every (miss, shard) unit out on the pool in one flat
+  // loop — keeps all workers busy even when a batch has fewer queries
+  // than the pool has threads.
+  const int num_shards = index_->num_shards();
+  std::vector<std::vector<Neighbor>> partials(
+      misses.size() * static_cast<size_t>(num_shards));
+  pool_->ParallelFor(
+      static_cast<int>(misses.size()) * num_shards, [&](int unit) {
+        const int m = unit / num_shards;
+        const int s = unit % num_shards;
+        partials[static_cast<size_t>(unit)] = index_->ShardTopK(
+            s, queries.code(misses[static_cast<size_t>(m)]), k);
+      });
+
+  // Phase 3: merge each miss's shard lists and publish to the cache.
+  pool_->ParallelFor(static_cast<int>(misses.size()), [&](int m) {
+    std::vector<std::vector<Neighbor>> per_shard(
+        std::make_move_iterator(partials.begin() +
+                                static_cast<size_t>(m) * num_shards),
+        std::make_move_iterator(partials.begin() +
+                                static_cast<size_t>(m + 1) * num_shards));
+    const int q = misses[static_cast<size_t>(m)];
+    results[static_cast<size_t>(q)] = ShardedIndex::MergeTopK(per_shard, k);
+    CacheKey key{{queries.code(q), queries.code(q) + words}, k};
+    cache_.Insert(key, results[static_cast<size_t>(q)]);
+  });
+
+  stats_.RecordBatch(n, hits, watch.ElapsedSeconds());
+  return results;
+}
+
+std::vector<Neighbor> QueryEngine::SearchOne(const uint64_t* query, int k) {
+  index::PackedCodes one = index::PackedCodes::FromRawWords(
+      1, index_->bits(),
+      std::vector<uint64_t>(query, query + (index_->bits() + 63) / 64));
+  return Search(one, k)[0];
+}
+
+void ReplayBatches(QueryEngine* engine, const index::PackedCodes& queries,
+                   int batch, int k) {
+  batch = std::max(1, batch);
+  const int words = queries.words_per_code();
+  for (int begin = 0; begin < queries.size(); begin += batch) {
+    const int count = std::min(batch, queries.size() - begin);
+    std::vector<uint64_t> slice(
+        queries.words().begin() + static_cast<size_t>(begin) * words,
+        queries.words().begin() +
+            static_cast<size_t>(begin + count) * words);
+    engine->Search(index::PackedCodes::FromRawWords(count, queries.bits(),
+                                                    std::move(slice)),
+                   k);
+  }
+}
+
+}  // namespace uhscm::serve

@@ -1,0 +1,73 @@
+#ifndef UHSCM_SERVE_QUERY_ENGINE_H_
+#define UHSCM_SERVE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "index/packed_codes.h"
+#include "serve/result_cache.h"
+#include "serve/serve_stats.h"
+#include "serve/sharded_index.h"
+
+namespace uhscm::serve {
+
+struct QueryEngineOptions {
+  /// Worker threads owned by the engine (0 = hardware concurrency). All
+  /// (query x shard) search units of a batch share this pool.
+  int num_threads = 0;
+  /// Result-cache entries (0 disables caching).
+  size_t cache_capacity = 4096;
+  /// Latency samples retained for percentile reporting.
+  size_t max_latency_samples = 1 << 16;
+};
+
+/// \brief The serving front end: batched top-k search over a ShardedIndex
+/// with an LRU result cache and latency/throughput accounting.
+///
+/// `Search` is safe to call concurrently from many request threads: the
+/// index is immutable after construction, the cache and stats take their
+/// own locks, and batch fan-out runs on the engine's private pool. Work
+/// is flattened to (uncached query, shard) units in a single ParallelFor
+/// — never nested pools, so request threads cannot deadlock the workers.
+///
+/// Results are exact and deterministic: byte-identical to a
+/// single-threaded LinearScan over the unsharded corpus, whether they
+/// come from a shard merge or from the cache.
+class QueryEngine {
+ public:
+  QueryEngine(std::unique_ptr<ShardedIndex> index,
+              const QueryEngineOptions& options = {});
+
+  /// Top-k neighbors for each of `queries` (packed, same bit width as the
+  /// corpus). Returns one ascending (distance, id) list per query.
+  std::vector<std::vector<index::Neighbor>> Search(
+      const index::PackedCodes& queries, int k);
+
+  /// Single-query convenience wrapper over the batched path.
+  std::vector<index::Neighbor> SearchOne(const uint64_t* query, int k);
+
+  const ShardedIndex& index() const { return *index_; }
+  int num_threads() const { return pool_->num_threads(); }
+
+  ServeStatsSnapshot stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  std::unique_ptr<ShardedIndex> index_;
+  std::unique_ptr<ThreadPool> pool_;
+  ResultCache cache_;
+  ServeStats stats_;
+};
+
+/// Replays a query stream through the engine in batches of `batch`
+/// packed queries (the final batch may be short). The batch-slicing loop
+/// shared by `uhscm_cli serve` and the throughput bench.
+void ReplayBatches(QueryEngine* engine, const index::PackedCodes& queries,
+                   int batch, int k);
+
+}  // namespace uhscm::serve
+
+#endif  // UHSCM_SERVE_QUERY_ENGINE_H_

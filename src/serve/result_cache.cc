@@ -1,0 +1,49 @@
+#include "serve/result_cache.h"
+
+namespace uhscm::serve {
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+bool ResultCache::Lookup(const CacheKey& key,
+                         std::vector<index::Neighbor>* out) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->neighbors;
+  return true;
+}
+
+void ResultCache::Insert(const CacheKey& key,
+                         std::vector<index::Neighbor> neighbors) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Concurrent misses on the same key race to insert; last write wins
+    // and refreshes recency — both computed the same exact result.
+    it->second->neighbors = std::move(neighbors);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(neighbors)});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace uhscm::serve

@@ -1,0 +1,83 @@
+#ifndef UHSCM_SERVE_RESULT_CACHE_H_
+#define UHSCM_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "index/linear_scan.h"
+
+namespace uhscm::serve {
+
+/// Cache key: the packed query bits plus the requested k. Two queries
+/// whose sign patterns pack to the same words are the same lookup — the
+/// common case under production traffic, where popular queries repeat.
+struct CacheKey {
+  std::vector<uint64_t> words;
+  int k = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return k == other.k && words == other.words;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    // FNV-1a over the packed words and k — same scheme io/serialize uses
+    // for checksums, cheap and well distributed for bit patterns.
+    uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](uint64_t v) {
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (byte * 8)) & 0xFF;
+        h *= 1099511628211ULL;
+      }
+    };
+    for (uint64_t w : key.words) mix(w);
+    mix(static_cast<uint64_t>(key.k));
+    return static_cast<size_t>(h);
+  }
+};
+
+/// \brief Thread-safe LRU cache of top-k result lists.
+///
+/// A single mutex guards the map + recency list; entries are whole
+/// neighbor vectors, copied out on hit so callers never hold references
+/// into the cache. Capacity 0 disables caching entirely (every Lookup
+/// misses, Insert is a no-op) so the engine can run cacheless without
+/// branching at each call site.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity);
+
+  /// On hit copies the cached neighbors into *out, refreshes recency and
+  /// returns true.
+  bool Lookup(const CacheKey& key, std::vector<index::Neighbor>* out);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when at capacity.
+  void Insert(const CacheKey& key, std::vector<index::Neighbor> neighbors);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    std::vector<index::Neighbor> neighbors;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+};
+
+}  // namespace uhscm::serve
+
+#endif  // UHSCM_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,74 @@
+#include "serve/serve_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uhscm::serve {
+
+ServeStats::ServeStats(size_t max_latency_samples)
+    : max_samples_(std::max<size_t>(1, max_latency_samples)) {}
+
+void ServeStats::RecordBatch(int num_queries, int hits,
+                             double elapsed_seconds) {
+  if (num_queries <= 0) return;
+  const double per_query_ms = elapsed_seconds * 1e3;
+  std::lock_guard<std::mutex> lock(mu_);
+  queries_ += num_queries;
+  batches_ += 1;
+  cache_hits_ += hits;
+  cache_misses_ += num_queries - hits;
+  busy_seconds_ += elapsed_seconds;
+  for (int i = 0; i < num_queries; ++i) {
+    if (latencies_ms_.size() < max_samples_) {
+      latencies_ms_.push_back(per_query_ms);
+    } else {
+      latencies_ms_[next_slot_] = per_query_ms;
+      next_slot_ = (next_slot_ + 1) % max_samples_;
+    }
+  }
+}
+
+ServeStatsSnapshot ServeStats::Snapshot() const {
+  std::vector<double> samples;
+  ServeStatsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.queries = queries_;
+    snap.batches = batches_;
+    snap.cache_hits = cache_hits_;
+    snap.cache_misses = cache_misses_;
+    snap.busy_seconds = busy_seconds_;
+    samples = latencies_ms_;
+  }
+  if (!samples.empty()) {
+    double sum = 0.0;
+    for (double s : samples) sum += s;
+    snap.latency_mean_ms = sum / static_cast<double>(samples.size());
+    snap.latency_p99_ms = Percentile(samples, 99.0);
+    snap.latency_p50_ms = Percentile(std::move(samples), 50.0);
+  }
+  return snap;
+}
+
+void ServeStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_ms_.clear();
+  next_slot_ = 0;
+  queries_ = 0;
+  batches_ = 0;
+  cache_hits_ = 0;
+  cache_misses_ = 0;
+  busy_seconds_ = 0.0;
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest sample >= p percent of the distribution.
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank > 0 ? rank - 1 : 0];
+}
+
+}  // namespace uhscm::serve

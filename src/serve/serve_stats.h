@@ -1,0 +1,75 @@
+#ifndef UHSCM_SERVE_SERVE_STATS_H_
+#define UHSCM_SERVE_SERVE_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace uhscm::serve {
+
+/// Point-in-time view of a QueryEngine's serving counters.
+struct ServeStatsSnapshot {
+  int64_t queries = 0;
+  int64_t batches = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  /// Wall-clock seconds spent inside Search calls (summed per batch, so
+  /// concurrent callers accumulate their own time).
+  double busy_seconds = 0.0;
+
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+
+  double hit_rate() const {
+    const int64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
+  }
+  /// Throughput over the time the engine was actually searching.
+  double qps() const {
+    return busy_seconds > 0.0 ? static_cast<double>(queries) / busy_seconds
+                              : 0.0;
+  }
+};
+
+/// \brief Thread-safe latency/throughput accounting for the serving path.
+///
+/// Every Search batch reports its wall time once; each query in the batch
+/// observes the batch's completion latency (what a caller of the batched
+/// API experiences). Latency samples are capped to bound memory on
+/// long-lived servers; counters are exact.
+class ServeStats {
+ public:
+  /// \param max_latency_samples cap on retained per-query samples (the
+  ///        percentile window); older samples are dropped oldest-first.
+  explicit ServeStats(size_t max_latency_samples = 1 << 16);
+
+  /// Records one completed batch: n queries answered in elapsed_seconds,
+  /// of which `hits` came from the result cache.
+  void RecordBatch(int num_queries, int hits, double elapsed_seconds);
+
+  /// Computes a snapshot (percentiles sort a copy of the sample window).
+  ServeStatsSnapshot Snapshot() const;
+
+  /// Zeroes all counters and samples.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_samples_;
+  size_t next_slot_ = 0;  // ring-buffer cursor once the window is full
+  std::vector<double> latencies_ms_;
+  int64_t queries_ = 0;
+  int64_t batches_ = 0;
+  int64_t cache_hits_ = 0;
+  int64_t cache_misses_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+/// Percentile (p in [0,100]) of a sample vector; 0 when empty. Sorts a
+/// copy — callers on the hot path should snapshot sparingly.
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace uhscm::serve
+
+#endif  // UHSCM_SERVE_SERVE_STATS_H_

@@ -1,0 +1,133 @@
+#include "serve/sharded_index.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/status.h"
+
+namespace uhscm::serve {
+
+using index::Neighbor;
+
+namespace {
+
+/// Exact top-k over one MIH shard: grow the Hamming radius until at least
+/// k verified hits accumulate (or the radius covers the whole space),
+/// then rank by (distance, id). WithinRadius results are exact, so the
+/// selection is exact too.
+std::vector<Neighbor> MihTopK(const index::MultiIndexHashTable& mih, int bits,
+                              const uint64_t* query, int k) {
+  k = std::min(k, mih.size());
+  if (k <= 0) return {};
+  int radius = std::max(1, bits / 16);
+  std::vector<Neighbor> hits;
+  for (;;) {
+    hits = mih.WithinRadius(query, radius);
+    if (static_cast<int>(hits.size()) >= k || radius >= bits) break;
+    radius = std::min(bits, radius * 2);
+  }
+  std::sort(hits.begin(), hits.end(), [](const Neighbor& a, const Neighbor& b) {
+    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+  });
+  hits.resize(static_cast<size_t>(std::min<int>(k, hits.size())));
+  return hits;
+}
+
+}  // namespace
+
+ShardedIndex::ShardedIndex(index::PackedCodes corpus,
+                           const ShardedIndexOptions& options)
+    : options_(options), size_(corpus.size()), bits_(corpus.bits()) {
+  UHSCM_CHECK(bits_ > 0, "ShardedIndex: corpus has zero code width");
+  const int num_shards =
+      std::clamp(options.num_shards, 1, std::max(1, size_));
+  options_.num_shards = num_shards;
+
+  const int words_per_code = corpus.words_per_code();
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    const int begin = static_cast<int>(
+        static_cast<int64_t>(s) * size_ / num_shards);
+    const int end = static_cast<int>(
+        static_cast<int64_t>(s + 1) * size_ / num_shards);
+    const int count = end - begin;
+    std::vector<uint64_t> words(
+        corpus.words().begin() +
+            static_cast<size_t>(begin) * words_per_code,
+        corpus.words().begin() + static_cast<size_t>(end) * words_per_code);
+    index::PackedCodes shard_codes =
+        index::PackedCodes::FromRawWords(count, bits_, std::move(words));
+
+    Shard shard;
+    shard.offset = begin;
+    if (options_.backend == ShardBackend::kMultiIndexHash) {
+      shard.mih = std::make_unique<index::MultiIndexHashTable>(
+          std::move(shard_codes), options_.mih_substrings);
+    } else {
+      shard.scan = std::make_unique<index::LinearScanIndex>(
+          std::move(shard_codes));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::vector<Neighbor> ShardedIndex::ShardTopK(int s, const uint64_t* query,
+                                              int k) const {
+  UHSCM_CHECK(s >= 0 && s < num_shards(),
+              "ShardedIndex::ShardTopK: shard out of range");
+  const Shard& shard = shards_[static_cast<size_t>(s)];
+  std::vector<Neighbor> local =
+      shard.scan ? shard.scan->TopK(query, k)
+                 : MihTopK(*shard.mih, bits_, query, k);
+  for (Neighbor& nb : local) nb.id += shard.offset;
+  return local;
+}
+
+std::vector<Neighbor> ShardedIndex::MergeTopK(
+    const std::vector<std::vector<Neighbor>>& per_shard, int k) {
+  if (k <= 0) return {};
+  // K-way merge of sorted lists: heap of (list, position) cursors keyed
+  // by the cursor's current (distance, id).
+  struct Cursor {
+    const std::vector<Neighbor>* list;
+    size_t pos;
+  };
+  auto worse = [](const Cursor& a, const Cursor& b) {
+    const Neighbor& na = (*a.list)[a.pos];
+    const Neighbor& nb = (*b.list)[b.pos];
+    return na.distance != nb.distance ? na.distance > nb.distance
+                                      : na.id > nb.id;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(worse)> heap(
+      worse);
+  for (const std::vector<Neighbor>& list : per_shard) {
+    if (!list.empty()) heap.push(Cursor{&list, 0});
+  }
+  std::vector<Neighbor> merged;
+  merged.reserve(static_cast<size_t>(k));
+  while (!heap.empty() && static_cast<int>(merged.size()) < k) {
+    Cursor top = heap.top();
+    heap.pop();
+    merged.push_back((*top.list)[top.pos]);
+    if (++top.pos < top.list->size()) heap.push(top);
+  }
+  return merged;
+}
+
+std::vector<Neighbor> ShardedIndex::TopK(const uint64_t* query, int k,
+                                         ThreadPool* pool) const {
+  k = std::min(k, size_);
+  if (k <= 0) return {};
+  std::vector<std::vector<Neighbor>> per_shard(shards_.size());
+  auto search_shard = [&](int s) {
+    per_shard[static_cast<size_t>(s)] = ShardTopK(s, query, k);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_shards(), search_shard);
+  } else {
+    ParallelFor(num_shards(), search_shard);
+  }
+  return MergeTopK(per_shard, k);
+}
+
+}  // namespace uhscm::serve

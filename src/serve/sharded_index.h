@@ -1,0 +1,86 @@
+#ifndef UHSCM_SERVE_SHARDED_INDEX_H_
+#define UHSCM_SERVE_SHARDED_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "index/linear_scan.h"
+#include "index/multi_index_hash.h"
+#include "index/packed_codes.h"
+
+namespace uhscm::serve {
+
+/// Which retrieval structure backs each shard.
+enum class ShardBackend {
+  /// Brute-force popcount scan (bounded-heap top-k). Exact, predictable,
+  /// best for small shards or high-entropy codes.
+  kLinearScan,
+  /// Multi-index hashing with progressive radius growth until k verified
+  /// hits are found. Exact, sub-linear when codes cluster.
+  kMultiIndexHash,
+};
+
+struct ShardedIndexOptions {
+  /// Number of partitions; clamped to [1, corpus size]. Each shard is an
+  /// independent index searched in parallel.
+  int num_shards = 1;
+  ShardBackend backend = ShardBackend::kLinearScan;
+  /// Substring count per MIH shard; 0 = auto (bits / log2(shard size)).
+  int mih_substrings = 0;
+};
+
+/// \brief A corpus of packed codes partitioned into independently
+/// searchable shards.
+///
+/// The corpus is split into contiguous row ranges, so shard-local ids map
+/// back to global ids by offset addition and the (distance, global id)
+/// ordering of merged results is byte-identical to a single LinearScan
+/// over the whole corpus — the invariant tests/serve_test.cc pins down.
+///
+/// Search is two-level: per-shard top-k (fanned out on a ThreadPool) and
+/// a k-way heap merge of the per-shard sorted lists. The per-shard method
+/// `ShardTopK` is public so a batch engine can flatten (query x shard)
+/// pairs into one parallel loop instead of nesting pools.
+class ShardedIndex {
+ public:
+  /// Takes ownership of the corpus and builds all shard structures.
+  explicit ShardedIndex(index::PackedCodes corpus,
+                        const ShardedIndexOptions& options = {});
+
+  int size() const { return size_; }
+  int bits() const { return bits_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  ShardBackend backend() const { return options_.backend; }
+
+  /// Exact top-k over the whole corpus (ascending distance, then
+  /// ascending global id). Shard searches run on `pool`, or on the
+  /// process-wide pool when null. k is clamped to the corpus size.
+  std::vector<index::Neighbor> TopK(const uint64_t* query, int k,
+                                    ThreadPool* pool = nullptr) const;
+
+  /// Exact top-k within shard `s` only, with *global* ids.
+  std::vector<index::Neighbor> ShardTopK(int s, const uint64_t* query,
+                                         int k) const;
+
+  /// Merges per-shard sorted result lists into the global top-k via a
+  /// k-way min-heap. Exposed for the batch engine and tests.
+  static std::vector<index::Neighbor> MergeTopK(
+      const std::vector<std::vector<index::Neighbor>>& per_shard, int k);
+
+ private:
+  struct Shard {
+    int offset = 0;  // global id of the shard's first code
+    std::unique_ptr<index::LinearScanIndex> scan;
+    std::unique_ptr<index::MultiIndexHashTable> mih;
+  };
+
+  ShardedIndexOptions options_;
+  int size_ = 0;
+  int bits_ = 0;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace uhscm::serve
+
+#endif  // UHSCM_SERVE_SHARDED_INDEX_H_

@@ -1,0 +1,23 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "io/serialize.h"
+
+namespace uhscm::serve {
+
+Result<std::unique_ptr<QueryEngine>> LoadQueryEngine(
+    const std::string& codes_path, const ServingSnapshotOptions& options) {
+  Result<index::PackedCodes> codes = io::LoadPackedCodes(codes_path);
+  if (!codes.ok()) return codes.status();
+  return MakeQueryEngine(std::move(codes).ValueOrDie(), options);
+}
+
+std::unique_ptr<QueryEngine> MakeQueryEngine(
+    index::PackedCodes corpus, const ServingSnapshotOptions& options) {
+  auto index =
+      std::make_unique<ShardedIndex>(std::move(corpus), options.index);
+  return std::make_unique<QueryEngine>(std::move(index), options.engine);
+}
+
+}  // namespace uhscm::serve

@@ -1,0 +1,35 @@
+#ifndef UHSCM_SERVE_SNAPSHOT_H_
+#define UHSCM_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/query_engine.h"
+#include "serve/sharded_index.h"
+
+namespace uhscm::serve {
+
+/// Everything needed to bring a trained model's codes online.
+struct ServingSnapshotOptions {
+  ShardedIndexOptions index;
+  QueryEngineOptions engine;
+};
+
+/// \brief Snapshot integration: load a packed-code database written by
+/// io::SavePackedCodes (e.g. by `uhscm_cli train --codes=...`) into a
+/// ready-to-serve QueryEngine.
+///
+/// This is the deployment seam between training and serving: training
+/// persists codes once, and any number of serving processes hydrate
+/// sharded engines from the same artifact.
+Result<std::unique_ptr<QueryEngine>> LoadQueryEngine(
+    const std::string& codes_path, const ServingSnapshotOptions& options = {});
+
+/// In-memory variant for tests and benches that already hold the codes.
+std::unique_ptr<QueryEngine> MakeQueryEngine(
+    index::PackedCodes corpus, const ServingSnapshotOptions& options = {});
+
+}  // namespace uhscm::serve
+
+#endif  // UHSCM_SERVE_SNAPSHOT_H_

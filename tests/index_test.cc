@@ -174,6 +174,71 @@ TEST(MihTest, LargeRadiusFallbackStillExact) {
   }
 }
 
+TEST(MihTest, BitsNotDivisibleByChunkCount) {
+  // 70 bits over 3 substrings: widths 24/24/22 — the ragged last chunk
+  // must still produce exact results.
+  Rng rng(55);
+  Matrix db = RandomCodes(150, 70, &rng);
+  LinearScanIndex scan(PackedCodes::FromSignMatrix(db));
+  MultiIndexHashTable mih(PackedCodes::FromSignMatrix(db), 3);
+  EXPECT_EQ(mih.num_substrings(), 3);
+  for (int q = 0; q < 8; ++q) {
+    Matrix query = RandomCodes(1, 70, &rng);
+    PackedCodes pq = PackedCodes::FromSignMatrix(query);
+    for (int r : {0, 2, 5, 9}) {
+      const auto expect = scan.WithinRadius(pq.code(0), r);
+      const auto got = mih.WithinRadius(pq.code(0), r);
+      ASSERT_EQ(expect.size(), got.size()) << "r=" << r;
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(expect[i].id, got[i].id);
+        EXPECT_EQ(expect[i].distance, got[i].distance);
+      }
+    }
+  }
+}
+
+TEST(MihTest, SubstringCountExceedingBitsIsClamped) {
+  Rng rng(56);
+  Matrix db = RandomCodes(40, 8, &rng);
+  LinearScanIndex scan(PackedCodes::FromSignMatrix(db));
+  MultiIndexHashTable mih(PackedCodes::FromSignMatrix(db), 32);
+  EXPECT_LE(mih.num_substrings(), 8);
+  Matrix query = RandomCodes(1, 8, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(query);
+  const auto expect = scan.WithinRadius(pq.code(0), 3);
+  const auto got = mih.WithinRadius(pq.code(0), 3);
+  ASSERT_EQ(expect.size(), got.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(expect[i].id, got[i].id);
+  }
+}
+
+TEST(MihTest, EmptyIndexReturnsNoHits) {
+  Matrix empty(0, 32);
+  MultiIndexHashTable mih(PackedCodes::FromSignMatrix(empty), 4);
+  EXPECT_EQ(mih.size(), 0);
+  Rng rng(57);
+  Matrix query = RandomCodes(1, 32, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(query);
+  EXPECT_TRUE(mih.WithinRadius(pq.code(0), 0).empty());
+  EXPECT_TRUE(mih.WithinRadius(pq.code(0), 10).empty());
+}
+
+TEST(MihTest, RadiusBeyondBitsReturnsEntireCorpus) {
+  // The radius analog of "k larger than the corpus": every code
+  // qualifies, in ascending id order.
+  Rng rng(58);
+  Matrix db = RandomCodes(60, 32, &rng);
+  MultiIndexHashTable mih(PackedCodes::FromSignMatrix(db), 4);
+  Matrix query = RandomCodes(1, 32, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(query);
+  const auto got = mih.WithinRadius(pq.code(0), 32);
+  ASSERT_EQ(got.size(), 60u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, static_cast<int>(i));
+  }
+}
+
 TEST(MihTest, AutoSubstringConfigIsSane) {
   Rng rng(11);
   Matrix db = RandomCodes(500, 64, &rng);

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/linear_scan.h"
+#include "index/packed_codes.h"
+#include "io/serialize.h"
+#include "serve/query_engine.h"
+#include "serve/result_cache.h"
+#include "serve/serve_stats.h"
+#include "serve/sharded_index.h"
+#include "serve/snapshot.h"
+
+namespace uhscm::serve {
+namespace {
+
+using index::LinearScanIndex;
+using index::Neighbor;
+using index::PackedCodes;
+using linalg::Matrix;
+
+Matrix RandomCodes(int n, int bits, Rng* rng) {
+  Matrix m(n, bits);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return m;
+}
+
+void ExpectSameNeighbors(const std::vector<Neighbor>& expect,
+                         const std::vector<Neighbor>& got) {
+  ASSERT_EQ(expect.size(), got.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(expect[i].id, got[i].id) << "rank " << i;
+    EXPECT_EQ(expect[i].distance, got[i].distance) << "rank " << i;
+  }
+}
+
+/// Shard/backend sweep: sharded top-k must be byte-identical to a
+/// single LinearScan over the unsharded corpus.
+class ShardedIndexSweep
+    : public ::testing::TestWithParam<std::tuple<int, ShardBackend>> {};
+
+TEST_P(ShardedIndexSweep, MatchesLinearScanGroundTruth) {
+  const auto [num_shards, backend] = GetParam();
+  Rng rng(100 + num_shards);
+  const int n = 300, bits = 64, k = 10;
+  Matrix db = RandomCodes(n, bits, &rng);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+
+  ShardedIndexOptions options;
+  options.num_shards = num_shards;
+  options.backend = backend;
+  ShardedIndex sharded(PackedCodes::FromSignMatrix(db), options);
+  EXPECT_EQ(sharded.size(), n);
+  EXPECT_LE(sharded.num_shards(), num_shards);
+
+  for (int q = 0; q < 20; ++q) {
+    Matrix query = RandomCodes(1, bits, &rng);
+    PackedCodes pq = PackedCodes::FromSignMatrix(query);
+    ExpectSameNeighbors(truth.TopK(pq.code(0), k),
+                        sharded.TopK(pq.code(0), k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ShardedIndexSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 7, 16),
+                       ::testing::Values(ShardBackend::kLinearScan,
+                                         ShardBackend::kMultiIndexHash)));
+
+TEST(ShardedIndexTest, ShardCountClampedToCorpusSize) {
+  Rng rng(7);
+  Matrix db = RandomCodes(5, 32, &rng);
+  ShardedIndexOptions options;
+  options.num_shards = 64;
+  ShardedIndex sharded(PackedCodes::FromSignMatrix(db), options);
+  EXPECT_EQ(sharded.num_shards(), 5);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+  Matrix query = RandomCodes(1, 32, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(query);
+  ExpectSameNeighbors(truth.TopK(pq.code(0), 3), sharded.TopK(pq.code(0), 3));
+}
+
+TEST(ShardedIndexTest, KLargerThanCorpusReturnsWholeCorpus) {
+  Rng rng(8);
+  Matrix db = RandomCodes(50, 64, &rng);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+  for (ShardBackend backend :
+       {ShardBackend::kLinearScan, ShardBackend::kMultiIndexHash}) {
+    ShardedIndexOptions options;
+    options.num_shards = 4;
+    options.backend = backend;
+    ShardedIndex sharded(PackedCodes::FromSignMatrix(db), options);
+    Matrix query = RandomCodes(1, 64, &rng);
+    PackedCodes pq = PackedCodes::FromSignMatrix(query);
+    const auto got = sharded.TopK(pq.code(0), 1000);
+    ASSERT_EQ(got.size(), 50u);
+    ExpectSameNeighbors(truth.TopK(pq.code(0), 1000), got);
+  }
+}
+
+TEST(ShardedIndexTest, MergeTopKHandlesEmptyLists) {
+  std::vector<std::vector<Neighbor>> per_shard(3);
+  per_shard[1] = {{4, 1}, {9, 3}};
+  const auto merged = ShardedIndex::MergeTopK(per_shard, 5);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].id, 4);
+  EXPECT_EQ(merged[1].id, 9);
+  EXPECT_TRUE(ShardedIndex::MergeTopK({}, 5).empty());
+}
+
+TEST(QueryEngineTest, BatchedSearchMatchesGroundTruth) {
+  Rng rng(21);
+  const int n = 400, bits = 96, k = 7;
+  Matrix db = RandomCodes(n, bits, &rng);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+
+  ServingSnapshotOptions options;
+  options.index.num_shards = 4;
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
+
+  Matrix queries = RandomCodes(25, bits, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(queries);
+  const auto batched = engine->Search(pq, k);
+  ASSERT_EQ(batched.size(), 25u);
+  for (int q = 0; q < 25; ++q) {
+    ExpectSameNeighbors(truth.TopK(pq.code(q), k),
+                        batched[static_cast<size_t>(q)]);
+  }
+}
+
+TEST(QueryEngineTest, CacheHitsReturnIdenticalNeighbors) {
+  Rng rng(22);
+  const int bits = 64, k = 5;
+  Matrix db = RandomCodes(200, bits, &rng);
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), {});
+
+  Matrix queries = RandomCodes(10, bits, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(queries);
+  const auto first = engine->Search(pq, k);
+  const auto second = engine->Search(pq, k);
+
+  const ServeStatsSnapshot stats = engine->stats();
+  EXPECT_EQ(stats.queries, 20);
+  EXPECT_EQ(stats.batches, 2);
+  EXPECT_EQ(stats.cache_misses, 10);
+  EXPECT_EQ(stats.cache_hits, 10);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+  EXPECT_EQ(engine->cache_size(), 10u);
+  for (size_t q = 0; q < first.size(); ++q) {
+    ExpectSameNeighbors(first[q], second[q]);
+  }
+}
+
+TEST(QueryEngineTest, DifferentKIsADistinctCacheEntry) {
+  Rng rng(23);
+  Matrix db = RandomCodes(100, 32, &rng);
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), {});
+  Matrix query = RandomCodes(1, 32, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(query);
+  EXPECT_EQ(engine->Search(pq, 3)[0].size(), 3u);
+  EXPECT_EQ(engine->Search(pq, 8)[0].size(), 8u);
+  EXPECT_EQ(engine->stats().cache_hits, 0);
+  EXPECT_EQ(engine->cache_size(), 2u);
+}
+
+TEST(QueryEngineTest, DisabledCacheStaysExact) {
+  Rng rng(24);
+  Matrix db = RandomCodes(150, 64, &rng);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+  ServingSnapshotOptions options;
+  options.engine.cache_capacity = 0;
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
+
+  Matrix queries = RandomCodes(5, 64, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(queries);
+  engine->Search(pq, 4);
+  const auto again = engine->Search(pq, 4);
+  EXPECT_EQ(engine->stats().cache_hits, 0);
+  EXPECT_EQ(engine->cache_size(), 0u);
+  for (int q = 0; q < 5; ++q) {
+    ExpectSameNeighbors(truth.TopK(pq.code(q), 4),
+                        again[static_cast<size_t>(q)]);
+  }
+}
+
+TEST(ResultCacheTest, LruEvictsOldestEntry) {
+  ResultCache cache(2);
+  CacheKey a{{1}, 5}, b{{2}, 5}, c{{3}, 5};
+  cache.Insert(a, {{0, 0}});
+  cache.Insert(b, {{1, 1}});
+  std::vector<Neighbor> out;
+  ASSERT_TRUE(cache.Lookup(a, &out));  // refresh a; b is now the LRU
+  cache.Insert(c, {{2, 2}});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_FALSE(cache.Lookup(b, &out));
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 2);
+}
+
+TEST(QueryEngineTest, ConcurrentSearchesAreRaceFreeAndExact) {
+  Rng rng(31);
+  const int n = 500, bits = 64, k = 9;
+  Matrix db = RandomCodes(n, bits, &rng);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+
+  ServingSnapshotOptions options;
+  options.index.num_shards = 8;
+  options.engine.cache_capacity = 32;  // small: force hits AND evictions
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
+
+  // A shared query set so threads collide on the same cache keys.
+  Matrix queries = RandomCodes(40, bits, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(queries);
+  std::vector<std::vector<Neighbor>> expected;
+  for (int q = 0; q < pq.size(); ++q) {
+    expected.push_back(truth.TopK(pq.code(q), k));
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const auto results = engine->Search(pq, k);
+        for (size_t q = 0; q < results.size(); ++q) {
+          if (results[q].size() != expected[q].size()) {
+            ++failures[t];
+            continue;
+          }
+          for (size_t i = 0; i < results[q].size(); ++i) {
+            if (results[q][i].id != expected[q][i].id ||
+                results[q][i].distance != expected[q][i].distance) {
+              ++failures[t];
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t << " saw wrong results";
+  }
+  const ServeStatsSnapshot stats = engine->stats();
+  EXPECT_EQ(stats.queries, int64_t{kThreads} * kRounds * pq.size());
+  EXPECT_EQ(stats.batches, int64_t{kThreads} * kRounds);
+}
+
+TEST(ServeStatsTest, PercentilesAndThroughput) {
+  ServeStats stats;
+  // 100 queries at 10ms plus one slow 100ms batch.
+  for (int i = 0; i < 100; ++i) stats.RecordBatch(1, 0, 0.010);
+  stats.RecordBatch(1, 1, 0.100);
+  const ServeStatsSnapshot snap = stats.Snapshot();
+  EXPECT_EQ(snap.queries, 101);
+  EXPECT_EQ(snap.cache_hits, 1);
+  EXPECT_NEAR(snap.latency_p50_ms, 10.0, 1e-9);
+  EXPECT_NEAR(snap.latency_p99_ms, 10.0, 1e-9);
+  EXPECT_NEAR(snap.busy_seconds, 1.1, 1e-9);
+  EXPECT_NEAR(snap.qps(), 101 / 1.1, 1e-6);
+  stats.Reset();
+  EXPECT_EQ(stats.Snapshot().queries, 0);
+}
+
+TEST(ServeStatsTest, PercentileNearestRank) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 0), 1.0);
+}
+
+TEST(SnapshotTest, LoadQueryEngineRoundTrip) {
+  Rng rng(41);
+  const int bits = 64, k = 6;
+  Matrix db = RandomCodes(120, bits, &rng);
+  PackedCodes packed = PackedCodes::FromSignMatrix(db);
+  const std::string path = ::testing::TempDir() + "/serve_codes.bin";
+  ASSERT_TRUE(io::SavePackedCodes(packed, path).ok());
+
+  ServingSnapshotOptions options;
+  options.index.num_shards = 3;
+  Result<std::unique_ptr<QueryEngine>> engine =
+      LoadQueryEngine(path, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->index().size(), 120);
+  EXPECT_EQ((*engine)->index().num_shards(), 3);
+
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+  Matrix query = RandomCodes(1, bits, &rng);
+  PackedCodes pq = PackedCodes::FromSignMatrix(query);
+  ExpectSameNeighbors(truth.TopK(pq.code(0), k),
+                      (*engine)->SearchOne(pq.code(0), k));
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileFailsLoudly) {
+  Result<std::unique_ptr<QueryEngine>> engine =
+      LoadQueryEngine(::testing::TempDir() + "/no-such-codes.bin");
+  EXPECT_FALSE(engine.ok());
+}
+
+}  // namespace
+}  // namespace uhscm::serve

@@ -16,15 +16,25 @@
 //          [--topk=10] [--queries=5]
 //       Reloads model + codes and prints top-k results for sample
 //       queries with relevance flags.
+//   serve  --codes=PATH [--model=PATH --dataset=... --seed=N --scale=F]
+//          [--shards=N] [--threads=N] [--batch=B] [--backend=scan|mih]
+//          [--topk=K] [--queries=N]
+//       Hydrates a sharded QueryEngine from the packed codes and replays
+//       a query stream through it twice (cold, then cache-hot), printing
+//       QPS, latency percentiles and cache hit rate. Queries are encoded
+//       from the synthetic query split when --model is given, otherwise
+//       sampled from the database codes themselves.
 //
 // The corpus is synthetic and seed-determined, so "the same dataset" is
 // reproducible from (dataset, seed, scale) alone — no data files needed.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 #include <string>
 
 #include "common/string_util.h"
+#include "common/table_writer.h"
 #include "core/trainer.h"
 #include "data/concept_vocab.h"
 #include "data/synthetic.h"
@@ -32,6 +42,8 @@
 #include "eval/retrieval_eval.h"
 #include "index/linear_scan.h"
 #include "io/serialize.h"
+#include "serve/serve_stats.h"
+#include "serve/snapshot.h"
 #include "vlp/simulated_vlp.h"
 
 namespace uhscm::cli {
@@ -47,13 +59,19 @@ struct Flags {
   std::string file;
   int topk = 10;
   int queries = 5;
+  int shards = 4;
+  int threads = 0;  // 0 = hardware concurrency
+  int batch = 32;
+  std::string backend = "scan";
 };
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: uhscm_cli <train|info|eval|query> [--dataset=...] "
-               "[--bits=K] [--seed=N] [--scale=F] [--model=PATH] "
-               "[--codes=PATH] [--file=PATH] [--topk=K] [--queries=N]\n");
+               "usage: uhscm_cli <train|info|eval|query|serve> "
+               "[--dataset=...] [--bits=K] [--seed=N] [--scale=F] "
+               "[--model=PATH] [--codes=PATH] [--file=PATH] [--topk=K] "
+               "[--queries=N] [--shards=N] [--threads=N] [--batch=B] "
+               "[--backend=scan|mih]\n");
   return 2;
 }
 
@@ -78,6 +96,14 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->topk = std::atoi(arg.c_str() + 7);
     } else if (StartsWith(arg, "--queries=")) {
       flags->queries = std::atoi(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--shards=")) {
+      flags->shards = std::atoi(arg.c_str() + 9);
+    } else if (StartsWith(arg, "--threads=")) {
+      flags->threads = std::atoi(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--batch=")) {
+      flags->batch = std::atoi(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--backend=")) {
+      flags->backend = arg.substr(10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -257,6 +283,88 @@ int CmdQuery(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  if (flags.codes.empty()) {
+    std::fprintf(stderr, "serve: --codes=PATH is required\n");
+    return 2;
+  }
+  if (flags.backend != "scan" && flags.backend != "mih") {
+    std::fprintf(stderr, "serve: --backend must be scan or mih\n");
+    return 2;
+  }
+  Result<index::PackedCodes> corpus = io::LoadPackedCodes(flags.codes);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  // Build the query stream: real encoded queries when a model is given,
+  // otherwise database codes replayed against themselves. Either way
+  // `--queries` caps the stream.
+  const int max_queries = std::max(1, flags.queries);
+  index::PackedCodes queries;
+  if (!flags.model.empty()) {
+    Result<std::unique_ptr<core::HashingNetwork>> net =
+        io::LoadHashingNetwork(flags.model);
+    if (!net.ok()) {
+      std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+      return 1;
+    }
+    if ((*net)->bits() != corpus->bits()) {
+      std::fprintf(stderr,
+                   "serve: model emits %d-bit codes but %s holds %d-bit "
+                   "codes — wrong --model/--codes pairing?\n",
+                   (*net)->bits(), flags.codes.c_str(), corpus->bits());
+      return 1;
+    }
+    Env env = MakeEnv(flags);
+    std::vector<int> query_rows = env.dataset.split.query;
+    if (static_cast<int>(query_rows.size()) > max_queries) {
+      query_rows.resize(static_cast<size_t>(max_queries));
+    }
+    queries = index::PackedCodes::FromSignMatrix(
+        (*net)->EncodeBinary(env.dataset.pixels.SelectRows(query_rows)));
+  } else {
+    const int count = std::min(max_queries, corpus->size());
+    std::vector<uint64_t> words(
+        corpus->words().begin(),
+        corpus->words().begin() +
+            static_cast<size_t>(count) * corpus->words_per_code());
+    queries = index::PackedCodes::FromRawWords(count, corpus->bits(),
+                                               std::move(words));
+  }
+
+  serve::ServingSnapshotOptions options;
+  options.index.num_shards = flags.shards;
+  options.index.backend = flags.backend == "mih"
+                              ? serve::ShardBackend::kMultiIndexHash
+                              : serve::ShardBackend::kLinearScan;
+  options.engine.num_threads = flags.threads;
+  std::unique_ptr<serve::QueryEngine> engine =
+      serve::MakeQueryEngine(std::move(corpus).ValueOrDie(), options);
+  std::printf("serving %d codes @ %d bits: %d shards (%s), %d threads\n",
+              engine->index().size(), engine->index().bits(),
+              engine->index().num_shards(), flags.backend.c_str(),
+              engine->num_threads());
+
+  TableWriter table({"pass", "queries", "batches", "hit_rate", "qps",
+                     "p50_ms", "p99_ms"});
+  for (const char* pass : {"cold", "cache-hot"}) {
+    serve::ReplayBatches(engine.get(), queries, flags.batch, flags.topk);
+    const serve::ServeStatsSnapshot stats = engine->stats();
+    char hit_rate[32], qps[32], p50[32], p99[32];
+    std::snprintf(hit_rate, sizeof(hit_rate), "%.2f", stats.hit_rate());
+    std::snprintf(qps, sizeof(qps), "%.1f", stats.qps());
+    std::snprintf(p50, sizeof(p50), "%.3f", stats.latency_p50_ms);
+    std::snprintf(p99, sizeof(p99), "%.3f", stats.latency_p99_ms);
+    table.AddRow({pass, std::to_string(stats.queries),
+                  std::to_string(stats.batches), hit_rate, qps, p50, p99});
+    engine->ResetStats();
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -266,6 +374,7 @@ int Main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "query") return CmdQuery(flags);
+  if (command == "serve") return CmdServe(flags);
   return Usage();
 }
 
