@@ -5,27 +5,28 @@
 // benches; run any binary with --benchmark_filter=... as usual.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/losses.h"
 #include "data/concept_vocab.h"
 #include "data/synthetic.h"
 #include "data/world.h"
+#include "index/batch_scan.h"
+#include "index/hamming_kernels.h"
 #include "index/linear_scan.h"
 #include "index/multi_index_hash.h"
 #include "index/packed_codes.h"
 #include "linalg/ops.h"
+#include "perf_util.h"
 #include "vlp/simulated_vlp.h"
 
 namespace uhscm {
 namespace {
 
-linalg::Matrix RandomCodes(int n, int bits, Rng* rng) {
-  linalg::Matrix m(n, bits);
-  for (size_t i = 0; i < m.size(); ++i) {
-    m.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
-  }
-  return m;
-}
+using bench::RandomSignCodes;
 
 void BM_HammingDistance(benchmark::State& state) {
   // Measures the unrolled popcount kernel itself: distance between two
@@ -34,7 +35,7 @@ void BM_HammingDistance(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));
   Rng rng(11);
   index::PackedCodes codes =
-      index::PackedCodes::FromSignMatrix(RandomCodes(2, bits, &rng));
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(2, bits, &rng));
   const int words = codes.words_per_code();
   uint64_t sink = 0;
   for (auto _ : state) {
@@ -51,9 +52,9 @@ void BM_LinearScanTopK(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(1));
   Rng rng(1);
   index::LinearScanIndex scan(
-      index::PackedCodes::FromSignMatrix(RandomCodes(n, bits, &rng)));
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng)));
   index::PackedCodes query =
-      index::PackedCodes::FromSignMatrix(RandomCodes(1, bits, &rng));
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
   for (auto _ : state) {
     benchmark::DoNotOptimize(scan.TopK(query.code(0), 100));
   }
@@ -64,14 +65,69 @@ BENCHMARK(BM_LinearScanTopK)
     ->Args({10000, 128})
     ->Args({100000, 64});
 
+void BM_BatchDistances(benchmark::State& state) {
+  // The dispatched batch kernel against a contiguous corpus run — the
+  // inner loop of the blocked scan, without top-k bookkeeping.
+  const int n = static_cast<int>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  const bool scalar = state.range(2) != 0;
+  Rng rng(21);
+  index::PackedCodes corpus =
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng));
+  index::PackedCodes query =
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  const index::BatchDistanceFn fn =
+      scalar ? index::GetBatchDistanceFn(index::KernelTier::kScalar)
+             : index::GetBatchDistanceFn();
+  std::vector<int32_t> dist(static_cast<size_t>(n));
+  for (auto _ : state) {
+    fn(query.code(0), corpus.code(0), n, corpus.words_per_code(),
+       index::kNoThreshold, dist.data());
+    benchmark::DoNotOptimize(dist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * int64_t{n} *
+                          corpus.words_per_code() * 8);
+  state.SetLabel(scalar ? "scalar"
+                        : index::KernelTierName(index::ActiveKernelTier()));
+}
+BENCHMARK(BM_BatchDistances)
+    ->Args({100000, 64, 1})
+    ->Args({100000, 64, 0})
+    ->Args({100000, 128, 1})
+    ->Args({100000, 128, 0})
+    ->Args({100000, 1024, 1})
+    ->Args({100000, 1024, 0});
+
+void BM_BatchTopK(benchmark::State& state) {
+  // The full batched serving scan: query-blocked x code-blocked with
+  // early abandon, dispatched kernel.
+  const int n = static_cast<int>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  const int queries = static_cast<int>(state.range(2));
+  Rng rng(22);
+  index::LinearScanIndex scan(
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng)));
+  index::PackedCodes batch =
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(queries, bits, &rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scan.TopKBatch(batch, 100));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * queries);
+}
+BENCHMARK(BM_BatchTopK)
+    ->Args({100000, 64, 32})
+    ->Args({100000, 128, 32})
+    ->Args({10000, 128, 256});
+
 void BM_MihRadiusQuery(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const int radius = static_cast<int>(state.range(1));
   Rng rng(2);
   index::MultiIndexHashTable mih(
-      index::PackedCodes::FromSignMatrix(RandomCodes(n, 64, &rng)), 0);
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(n, 64, &rng)), 0);
   index::PackedCodes query =
-      index::PackedCodes::FromSignMatrix(RandomCodes(1, 64, &rng));
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(1, 64, &rng));
   for (auto _ : state) {
     benchmark::DoNotOptimize(mih.WithinRadius(query.code(0), radius));
   }
@@ -133,4 +189,33 @@ BENCHMARK(BM_UhscmBatchLoss)->Args({128, 64})->Args({128, 128});
 }  // namespace
 }  // namespace uhscm
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): unless the caller passed their
+// own --benchmark_out, default to a machine-readable
+// BENCH_micro_perf.json next to the console report so the perf
+// trajectory is recorded on every run.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    // Exact flag only: a bare prefix test would also match
+    // --benchmark_out_format and wrongly suppress the default.
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0 ||
+        std::strcmp(argv[i], "--benchmark_out") == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_perf.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef UHSCM_BENCH_PERF_UTIL_H_
+#define UHSCM_BENCH_PERF_UTIL_H_
+
+// Small helpers shared by the perf benches (serve_throughput,
+// hamming_kernels, micro_perf). Deliberately separate from bench_util.h,
+// which wires up the full paper-bench dataset environment these benches
+// don't need.
+
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace uhscm::bench {
+
+/// Random {-1,+1} code matrix — the synthetic corpus all perf benches
+/// scan.
+inline linalg::Matrix RandomSignCodes(int n, int bits, Rng* rng) {
+  linalg::Matrix m(n, bits);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return m;
+}
+
+/// printf-style double formatting for TableWriter cells.
+inline std::string Fmt(double v, const char* format = "%.1f") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, v);
+  return buffer;
+}
+
+}  // namespace uhscm::bench
+
+#endif  // UHSCM_BENCH_PERF_UTIL_H_

@@ -23,6 +23,7 @@
 #include "common/table_writer.h"
 #include "index/linear_scan.h"
 #include "index/packed_codes.h"
+#include "perf_util.h"
 #include "serve/query_engine.h"
 #include "serve/serve_stats.h"
 #include "serve/snapshot.h"
@@ -37,6 +38,7 @@ struct Flags {
   int queries = 512;
   uint64_t seed = 2023;
   bool csv = false;
+  std::string json = "BENCH_serve_throughput.json";
 };
 
 Flags ParseServeFlags(int argc, char** argv) {
@@ -55,28 +57,16 @@ Flags ParseServeFlags(int argc, char** argv) {
       flags.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
     } else if (arg == "--csv") {
       flags.csv = true;
+    } else if (StartsWith(arg, "--json=")) {
+      flags.json = arg.substr(7);
     } else {
       std::fprintf(stderr,
                    "usage: serve_throughput [--n=N] [--bits=K] [--k=K] "
-                   "[--queries=N] [--seed=N] [--csv]\n");
+                   "[--queries=N] [--seed=N] [--csv] [--json=PATH]\n");
       std::exit(2);
     }
   }
   return flags;
-}
-
-linalg::Matrix RandomCodes(int n, int bits, Rng* rng) {
-  linalg::Matrix m(n, bits);
-  for (size_t i = 0; i < m.size(); ++i) {
-    m.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
-  }
-  return m;
-}
-
-std::string Fmt(double v, const char* format = "%.1f") {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), format, v);
-  return buffer;
 }
 
 }  // namespace
@@ -85,14 +75,31 @@ int Main(int argc, char** argv) {
   const Flags flags = ParseServeFlags(argc, argv);
   Rng rng(flags.seed);
   const index::PackedCodes corpus =
-      index::PackedCodes::FromSignMatrix(RandomCodes(flags.n, flags.bits, &rng));
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(flags.n, flags.bits, &rng));
   const index::PackedCodes queries = index::PackedCodes::FromSignMatrix(
-      RandomCodes(flags.queries, flags.bits, &rng));
+      RandomSignCodes(flags.queries, flags.bits, &rng));
   std::printf("corpus n=%d bits=%d | %d queries, k=%d\n\n", flags.n,
               flags.bits, flags.queries, flags.k);
 
   TableWriter table({"config", "threads", "shards", "batch", "qps",
                      "p50_ms", "p99_ms", "speedup"});
+  // Structured copies of every table row for the BENCH_*.json trajectory
+  // record.
+  struct JsonRow {
+    std::string config;
+    int threads, shards, batch;
+    double qps, p50_ms, p99_ms, speedup;
+  };
+  std::vector<JsonRow> json_rows;
+  auto record = [&](const std::string& config, int threads, int shards,
+                    int batch, double qps, double p50, double p99,
+                    double speedup) {
+    table.AddRow({config, std::to_string(threads), std::to_string(shards),
+                  std::to_string(batch), Fmt(qps), Fmt(p50, "%.3f"),
+                  Fmt(p99, "%.3f"), Fmt(speedup, "%.2f")});
+    json_rows.push_back({config, threads, shards, batch, qps, p50, p99,
+                         speedup});
+  };
 
   // Baseline: one thread, one brute-force scan, one query at a time.
   index::LinearScanIndex scan(index::PackedCodes::FromRawWords(
@@ -106,9 +113,9 @@ int Main(int argc, char** argv) {
     if (result.empty()) std::abort();  // keep the scan observable
   }
   const double baseline_qps = queries.size() / total.ElapsedSeconds();
-  table.AddRow({"linear-scan", "1", "1", "1", Fmt(baseline_qps),
-                Fmt(serve::Percentile(latencies_ms, 50), "%.3f"),
-                Fmt(serve::Percentile(latencies_ms, 99), "%.3f"), "1.00"});
+  record("linear-scan", 1, 1, 1, baseline_qps,
+         serve::Percentile(latencies_ms, 50),
+         serve::Percentile(latencies_ms, 99), 1.0);
 
   const int hw = std::max(2, static_cast<int>(
                                  std::thread::hardware_concurrency()));
@@ -134,11 +141,9 @@ int Main(int argc, char** argv) {
         if (threads > 1 && shards > 1) {
           best_sharded_qps = std::max(best_sharded_qps, stats.qps());
         }
-        table.AddRow({"sharded", std::to_string(threads),
-                      std::to_string(shards), std::to_string(batch),
-                      Fmt(stats.qps()), Fmt(stats.latency_p50_ms, "%.3f"),
-                      Fmt(stats.latency_p99_ms, "%.3f"),
-                      Fmt(stats.qps() / baseline_qps, "%.2f")});
+        record("sharded", threads, shards, batch, stats.qps(),
+               stats.latency_p50_ms, stats.latency_p99_ms,
+               stats.qps() / baseline_qps);
       }
     }
   }
@@ -162,14 +167,39 @@ int Main(int argc, char** argv) {
     serve::ReplayBatches(engine.get(), queries, 32, flags.k);
     const serve::ServeStatsSnapshot stats = engine->stats();
     cache_hot_qps = stats.qps();
-    table.AddRow({"cache-hot", std::to_string(hw), "4", "32",
-                  Fmt(stats.qps()), Fmt(stats.latency_p50_ms, "%.3f"),
-                  Fmt(stats.latency_p99_ms, "%.3f"),
-                  Fmt(stats.qps() / baseline_qps, "%.2f")});
+    record("cache-hot", hw, 4, 32, stats.qps(), stats.latency_p50_ms,
+           stats.latency_p99_ms, stats.qps() / baseline_qps);
   }
 
   table.Print(std::cout);
   if (flags.csv) std::cout << "\n" << table.ToCsv();
+
+  if (!flags.json.empty()) {
+    std::FILE* f = std::fopen(flags.json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "WARNING: cannot write %s — perf trajectory not recorded\n",
+                   flags.json.c_str());
+    } else {
+      std::fprintf(f, "{\n  \"bench\": \"serve_throughput\",\n");
+      std::fprintf(f,
+                   "  \"n\": %d, \"bits\": %d, \"k\": %d, \"queries\": %d,\n",
+                   flags.n, flags.bits, flags.k, flags.queries);
+      std::fprintf(f, "  \"rows\": [\n");
+      for (size_t i = 0; i < json_rows.size(); ++i) {
+        const JsonRow& r = json_rows[i];
+        std::fprintf(f,
+                     "    {\"config\": \"%s\", \"threads\": %d, \"shards\": "
+                     "%d, \"batch\": %d, \"qps\": %.1f, \"p50_ms\": %.4f, "
+                     "\"p99_ms\": %.4f, \"speedup\": %.3f}%s\n",
+                     r.config.c_str(), r.threads, r.shards, r.batch, r.qps,
+                     r.p50_ms, r.p99_ms, r.speedup,
+                     i + 1 < json_rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("\nwrote %s\n", flags.json.c_str());
+    }
+  }
 
   // Headline: the multi-threaded sharded engine (raw fan-out on
   // multi-core boxes, cache-hot under repeating traffic everywhere) must

@@ -1,0 +1,99 @@
+#include "index/batch_scan.h"
+
+#include <algorithm>
+
+namespace uhscm::index {
+namespace {
+
+/// Same ordering as LinearScanIndex::TopK: ascending (distance, id);
+/// heap front is the current worst kept neighbor.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+}
+
+/// Block of packed codes targeted at ~64 KiB so it stays cache-resident
+/// across all queries of the batch.
+constexpr int kTargetBlockBytes = 64 * 1024;
+
+int PickCodeBlock(int words_per_code, int requested) {
+  if (requested > 0) return requested;
+  const int bytes_per_code = words_per_code * 8;
+  return std::max(256, kTargetBlockBytes / bytes_per_code);
+}
+
+}  // namespace
+
+std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
+                                             const uint64_t* const* queries,
+                                             int num_queries, int k,
+                                             const BatchScanOptions& options) {
+  std::vector<std::vector<Neighbor>> results(
+      static_cast<size_t>(std::max(0, num_queries)));
+  k = std::min(k, db.size());
+  if (k <= 0 || num_queries <= 0) return results;
+
+  const int n = db.size();
+  const int words = db.words_per_code();
+  const int block = PickCodeBlock(words, options.code_block);
+  const BatchDistanceFn kernel = options.force_tier
+                                     ? GetBatchDistanceFn(options.tier)
+                                     : GetBatchDistanceFn();
+
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return NeighborLess(a, b);
+  };
+  for (auto& heap : results) heap.reserve(static_cast<size_t>(k));
+  std::vector<int32_t> dist(static_cast<size_t>(block));
+
+  for (int begin = 0; begin < n; begin += block) {
+    const int count = std::min(block, n - begin);
+    const uint64_t* block_codes = db.code(begin);
+    for (int q = 0; q < num_queries; ++q) {
+      std::vector<Neighbor>& heap = results[static_cast<size_t>(q)];
+      // Exact distances while the heap is still filling (it can only fill
+      // during the first block(s)); once full, the frozen worst-of-heap is
+      // a safe pruning threshold — it only shrinks within the block, and
+      // the live heap check below re-applies the tighter bound.
+      const int32_t threshold = static_cast<int>(heap.size()) == k
+                                    ? heap.front().distance
+                                    : kNoThreshold;
+      kernel(queries[q], block_codes, count, words, threshold, dist.data());
+      if (threshold != kNoThreshold) {
+        // Warm heap: no insertion happened yet for this block, so the
+        // heap front still equals `threshold`. A vectorizable min
+        // reduction proves most blocks contain no qualifying code and
+        // skips the per-code branch loop entirely.
+        int32_t best = dist[0];
+        for (int i = 1; i < count; ++i) best = std::min(best, dist[i]);
+        if (best >= threshold) continue;
+      }
+      for (int i = 0; i < count; ++i) {
+        const int d = dist[i];
+        if (static_cast<int>(heap.size()) < k) {
+          heap.push_back({begin + i, d});
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        } else if (d < heap.front().distance) {
+          // Strict < matches the per-query scan: ids only ascend, so a
+          // distance tie never displaces the current worst.
+          std::pop_heap(heap.begin(), heap.end(), cmp);
+          heap.back() = {begin + i, d};
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+      }
+    }
+  }
+
+  for (auto& heap : results) std::sort_heap(heap.begin(), heap.end(), cmp);
+  return results;
+}
+
+std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
+                                             const PackedCodes& queries,
+                                             int k,
+                                             const BatchScanOptions& options) {
+  std::vector<const uint64_t*> ptrs(static_cast<size_t>(queries.size()));
+  for (int q = 0; q < queries.size(); ++q) ptrs[static_cast<size_t>(q)] = queries.code(q);
+  return BatchTopK(db, ptrs.data(), queries.size(), k, options);
+}
+
+}  // namespace uhscm::index

@@ -1,0 +1,294 @@
+#include "index/hamming_kernels.h"
+
+#include <bit>
+#include <cstdlib>
+
+#if defined(UHSCM_HAVE_AVX2_KERNELS)
+#include <immintrin.h>
+#endif
+
+namespace uhscm::index {
+namespace {
+
+inline int Popcount64(uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  return std::popcount(x);
+#endif
+}
+
+[[maybe_unused]] inline int ScalarPair(const uint64_t* a, const uint64_t* b,
+                                       int words) {
+  int d = 0;
+  for (int w = 0; w < words; ++w) d += Popcount64(a[w] ^ b[w]);
+  return d;
+}
+
+/// Early-abandon only pays for itself when a meaningful fraction of the
+/// per-code work can be skipped; below this width the partial-sum checks
+/// cost more than the popcounts they save.
+constexpr int kPruneMinWords = 16;
+
+bool ForceScalarEnv() {
+  const char* v = std::getenv("UHSCM_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+void BatchDistancesScalar(const uint64_t* query, const uint64_t* codes, int n,
+                          int words, int32_t threshold, int32_t* out) {
+  const bool prune = threshold != kNoThreshold && words >= kPruneMinWords;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* code = codes + static_cast<size_t>(i) * words;
+    // Four accumulators keep the popcnt ports busy (same trick as
+    // HammingDistance); the partial-sum check fires once per 16 words.
+    int d0 = 0, d1 = 0, d2 = 0, d3 = 0;
+    int w = 0;
+    bool abandoned = false;
+    for (; w + 4 <= words; w += 4) {
+      d0 += Popcount64(query[w] ^ code[w]);
+      d1 += Popcount64(query[w + 1] ^ code[w + 1]);
+      d2 += Popcount64(query[w + 2] ^ code[w + 2]);
+      d3 += Popcount64(query[w + 3] ^ code[w + 3]);
+      if (prune && (w & 15) == 12 && d0 + d1 + d2 + d3 >= threshold) {
+        // Partial popcounts only grow, so this code can never beat the
+        // threshold — report the (>= threshold) partial and move on.
+        abandoned = true;
+        break;
+      }
+    }
+    if (!abandoned) {
+      for (; w < words; ++w) d0 += Popcount64(query[w] ^ code[w]);
+    }
+    out[i] = d0 + d1 + d2 + d3;
+  }
+}
+
+#if defined(UHSCM_HAVE_AVX2_KERNELS)
+
+#define UHSCM_AVX2_FN __attribute__((target("avx2")))
+
+namespace {
+
+/// Per-64-bit-lane popcount of a 256-bit vector: pshufb nibble LUT into
+/// per-byte counts, then psadbw against zero to sum bytes per lane
+/// (Mula's vectorized popcount).
+UHSCM_AVX2_FN inline __m256i PopcountLanes64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+UHSCM_AVX2_FN inline uint64_t HorizontalSum64(__m256i v) {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return static_cast<uint64_t>(_mm_extract_epi64(s, 0)) +
+         static_cast<uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// Carry-save adder: (h, l) = a + b + c in bit-sliced form.
+UHSCM_AVX2_FN inline void Csa(__m256i* h, __m256i* l, __m256i a, __m256i b,
+                              __m256i c) {
+  const __m256i u = _mm256_xor_si256(a, b);
+  *h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  *l = _mm256_xor_si256(u, c);
+}
+
+/// XOR of the v-th 256-bit chunk (4 words) of a code and query row.
+UHSCM_AVX2_FN inline __m256i LoadXor(const uint64_t* code,
+                                     const uint64_t* query, int v) {
+  const __m256i c = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(code + 4 * static_cast<size_t>(v)));
+  const __m256i q = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(query + 4 * static_cast<size_t>(v)));
+  return _mm256_xor_si256(c, q);
+}
+
+/// 64-bit codes: four codes per 256-bit load, one lane each.
+UHSCM_AVX2_FN void BatchWords1(uint64_t q0, const uint64_t* codes, int n,
+                               int32_t* out) {
+  const __m256i q = _mm256_set1_epi64x(static_cast<long long>(q0));
+  alignas(32) uint64_t tmp[4];
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp),
+                       PopcountLanes64(_mm256_xor_si256(v, q)));
+    out[i] = static_cast<int32_t>(tmp[0]);
+    out[i + 1] = static_cast<int32_t>(tmp[1]);
+    out[i + 2] = static_cast<int32_t>(tmp[2]);
+    out[i + 3] = static_cast<int32_t>(tmp[3]);
+  }
+  for (; i < n; ++i) out[i] = Popcount64(q0 ^ codes[i]);
+}
+
+/// 128-bit codes: two codes per 256-bit load, two lanes each; two loads
+/// per iteration for instruction-level parallelism.
+UHSCM_AVX2_FN void BatchWords2(const uint64_t* query, const uint64_t* codes,
+                               int n, int32_t* out) {
+  const __m256i q = _mm256_setr_epi64x(
+      static_cast<long long>(query[0]), static_cast<long long>(query[1]),
+      static_cast<long long>(query[0]), static_cast<long long>(query[1]));
+  alignas(32) uint64_t t0[4], t1[4];
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint64_t* p = codes + 2 * static_cast<size_t>(i);
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + 4));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(t0),
+                       PopcountLanes64(_mm256_xor_si256(v0, q)));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(t1),
+                       PopcountLanes64(_mm256_xor_si256(v1, q)));
+    out[i] = static_cast<int32_t>(t0[0] + t0[1]);
+    out[i + 1] = static_cast<int32_t>(t0[2] + t0[3]);
+    out[i + 2] = static_cast<int32_t>(t1[0] + t1[1]);
+    out[i + 3] = static_cast<int32_t>(t1[2] + t1[3]);
+  }
+  for (; i < n; ++i) {
+    out[i] = ScalarPair(query, codes + 2 * static_cast<size_t>(i), 2);
+  }
+}
+
+/// Any width >= 3 words: per-code vector accumulation. Codes of >= 32
+/// words go through a Harley–Seal carry-save tree (one full popcount per
+/// eight vectors); the rest accumulate lane popcounts directly. The tail
+/// (words % 4) is scalar. With a finite `threshold`, the running lane
+/// accumulator provides a monotone lower bound used to abandon codes
+/// that can no longer beat the threshold.
+UHSCM_AVX2_FN void BatchGeneric(const uint64_t* query, const uint64_t* codes,
+                                int n, int words, int32_t threshold,
+                                int32_t* out) {
+  const int vecs = words / 4;
+  const int tail_start = vecs * 4;
+  const bool prune = threshold != kNoThreshold && words >= kPruneMinWords;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* code = codes + static_cast<size_t>(i) * words;
+    uint64_t sum = 0;
+    int v = 0;
+    __m256i acc = _mm256_setzero_si256();
+    bool abandoned = false;
+    if (vecs >= 8) {
+      __m256i ones = _mm256_setzero_si256();
+      __m256i twos = _mm256_setzero_si256();
+      __m256i fours = _mm256_setzero_si256();
+      for (; v + 8 <= vecs; v += 8) {
+        __m256i twos_a, twos_b, fours_a, fours_b, eights;
+        Csa(&twos_a, &ones, ones, LoadXor(code, query, v),
+            LoadXor(code, query, v + 1));
+        Csa(&twos_b, &ones, ones, LoadXor(code, query, v + 2),
+            LoadXor(code, query, v + 3));
+        Csa(&fours_a, &twos, twos, twos_a, twos_b);
+        Csa(&twos_a, &ones, ones, LoadXor(code, query, v + 4),
+            LoadXor(code, query, v + 5));
+        Csa(&twos_b, &ones, ones, LoadXor(code, query, v + 6),
+            LoadXor(code, query, v + 7));
+        Csa(&fours_b, &twos, twos, twos_a, twos_b);
+        Csa(&eights, &fours, fours, fours_a, fours_b);
+        acc = _mm256_add_epi64(acc, PopcountLanes64(eights));
+        // 8 * acc ignores the ones/twos/fours residue, so it is a valid
+        // lower bound of the distance counted so far.
+        if (prune && 8 * HorizontalSum64(acc) >= static_cast<uint64_t>(threshold)) {
+          sum = 8 * HorizontalSum64(acc);
+          abandoned = true;
+          break;
+        }
+      }
+      if (!abandoned) {
+        sum = 8 * HorizontalSum64(acc) +
+              4 * HorizontalSum64(PopcountLanes64(fours)) +
+              2 * HorizontalSum64(PopcountLanes64(twos)) +
+              HorizontalSum64(PopcountLanes64(ones));
+        acc = _mm256_setzero_si256();
+      }
+    }
+    if (!abandoned) {
+      for (; v < vecs; ++v) {
+        acc = _mm256_add_epi64(acc,
+                               PopcountLanes64(LoadXor(code, query, v)));
+        if (prune && (v & 3) == 3 &&
+            sum + HorizontalSum64(acc) >= static_cast<uint64_t>(threshold)) {
+          abandoned = true;
+          break;
+        }
+      }
+      sum += HorizontalSum64(acc);
+      if (!abandoned) {
+        for (int w = tail_start; w < words; ++w) {
+          sum += Popcount64(query[w] ^ code[w]);
+        }
+      }
+    }
+    out[i] = static_cast<int32_t>(sum);
+  }
+}
+
+}  // namespace
+
+void BatchDistancesAvx2(const uint64_t* query, const uint64_t* codes, int n,
+                        int words, int32_t threshold, int32_t* out) {
+  // Narrow codes are exact regardless of threshold — computing them fully
+  // is cheaper than any pruning bookkeeping (the contract allows exact
+  // values at or above the threshold).
+  if (words == 1) {
+    BatchWords1(query[0], codes, n, out);
+  } else if (words == 2) {
+    BatchWords2(query, codes, n, out);
+  } else {
+    BatchGeneric(query, codes, n, words, threshold, out);
+  }
+}
+
+#endif  // UHSCM_HAVE_AVX2_KERNELS
+
+bool Avx2Available() {
+#if defined(UHSCM_HAVE_AVX2_KERNELS)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+KernelTier ActiveKernelTier() {
+  static const KernelTier tier = [] {
+    if (!ForceScalarEnv() && Avx2Available()) return KernelTier::kAvx2;
+    return KernelTier::kScalar;
+  }();
+  return tier;
+}
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+BatchDistanceFn GetBatchDistanceFn(KernelTier tier) {
+#if defined(UHSCM_HAVE_AVX2_KERNELS)
+  if (tier == KernelTier::kAvx2 && Avx2Available()) {
+    return &BatchDistancesAvx2;
+  }
+#endif
+  (void)tier;
+  return &BatchDistancesScalar;
+}
+
+BatchDistanceFn GetBatchDistanceFn() {
+  return GetBatchDistanceFn(ActiveKernelTier());
+}
+
+}  // namespace uhscm::index

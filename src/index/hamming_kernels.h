@@ -1,0 +1,70 @@
+#ifndef UHSCM_INDEX_HAMMING_KERNELS_H_
+#define UHSCM_INDEX_HAMMING_KERNELS_H_
+
+#include <cstdint>
+
+namespace uhscm::index {
+
+/// \brief Batched Hamming-distance kernels with runtime CPU dispatch.
+///
+/// The serving and eval hot loops score one packed query against a long
+/// contiguous run of packed codes. These kernels amortize that pattern:
+/// one call computes `n` distances, letting the implementation vectorize
+/// across codes (AVX2 nibble-LUT popcount, Harley–Seal carry-save
+/// accumulation for wide codes) instead of paying per-pair call and loop
+/// overhead. The scalar tier is the semantic reference; every other tier
+/// must be bit-for-bit identical to it (tests/hamming_kernels_test.cc).
+enum class KernelTier {
+  kScalar,  ///< portable unrolled __builtin_popcountll loop
+  kAvx2,    ///< 256-bit pshufb nibble-LUT popcount, Harley–Seal for wide codes
+};
+
+/// Distances from one query to `n` contiguous packed codes.
+///
+/// `codes` is a row-major run of `n * words` uint64s, `out` receives `n`
+/// distances. `threshold` enables early-abandon pruning: every output
+/// strictly below `threshold` is the exact Hamming distance; an output at
+/// or above `threshold` is only guaranteed to be a lower bound of the true
+/// distance that is itself >= threshold (the kernel may stop counting a
+/// code once its partial popcount proves it cannot beat the threshold).
+/// Pass `kNoThreshold` for fully exact output.
+using BatchDistanceFn = void (*)(const uint64_t* query, const uint64_t* codes,
+                                 int n, int words, int32_t threshold,
+                                 int32_t* out);
+
+/// Threshold value that disables pruning (every distance exact).
+inline constexpr int32_t kNoThreshold = INT32_MAX;
+
+/// Reference scalar kernel (always available, always exact semantics).
+void BatchDistancesScalar(const uint64_t* query, const uint64_t* codes, int n,
+                          int words, int32_t threshold, int32_t* out);
+
+/// True when this build carries the AVX2 tier and the CPU supports it.
+bool Avx2Available();
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define UHSCM_HAVE_AVX2_KERNELS 1
+/// AVX2 tier. Precondition: Avx2Available().
+void BatchDistancesAvx2(const uint64_t* query, const uint64_t* codes, int n,
+                        int words, int32_t threshold, int32_t* out);
+#endif
+
+/// The tier the dispatcher selected for this process: the best tier the
+/// CPU supports, unless the environment variable UHSCM_FORCE_SCALAR is
+/// set to a non-empty, non-"0" value (CI uses this to exercise the
+/// fallback on AVX2 machines). Decided once, at first use.
+KernelTier ActiveKernelTier();
+
+/// Human-readable tier name ("scalar", "avx2") for logs and benches.
+const char* KernelTierName(KernelTier tier);
+
+/// The dispatched batch kernel for `ActiveKernelTier()`.
+BatchDistanceFn GetBatchDistanceFn();
+
+/// Kernel for an explicit tier (benches compare tiers side by side).
+/// Falls back to scalar when the requested tier is unavailable.
+BatchDistanceFn GetBatchDistanceFn(KernelTier tier);
+
+}  // namespace uhscm::index
+
+#endif  // UHSCM_INDEX_HAMMING_KERNELS_H_

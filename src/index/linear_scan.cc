@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "index/batch_scan.h"
+
 namespace uhscm::index {
 
 LinearScanIndex::LinearScanIndex(PackedCodes database)
@@ -34,6 +36,16 @@ std::vector<Neighbor> LinearScanIndex::TopK(const uint64_t* query,
   }
   std::sort_heap(heap.begin(), heap.end(), cmp);
   return heap;
+}
+
+std::vector<std::vector<Neighbor>> LinearScanIndex::TopKBatch(
+    const uint64_t* const* queries, int num_queries, int k) const {
+  return BatchTopK(database_, queries, num_queries, k);
+}
+
+std::vector<std::vector<Neighbor>> LinearScanIndex::TopKBatch(
+    const PackedCodes& queries, int k) const {
+  return BatchTopK(database_, queries, k);
 }
 
 std::vector<int> LinearScanIndex::AllDistances(const uint64_t* query) const {

@@ -31,6 +31,15 @@ class LinearScanIndex {
   /// distance, then ascending id). k is clamped to the database size.
   std::vector<Neighbor> TopK(const uint64_t* query, int k) const;
 
+  /// Batched top-k: one result list per query, each byte-identical to the
+  /// corresponding TopK call. Routes through the cache-blocked SIMD scan
+  /// (index/batch_scan.h), which reads each corpus block once per batch
+  /// instead of once per query — the serving hot path.
+  std::vector<std::vector<Neighbor>> TopKBatch(const uint64_t* const* queries,
+                                               int num_queries, int k) const;
+  std::vector<std::vector<Neighbor>> TopKBatch(const PackedCodes& queries,
+                                               int k) const;
+
   /// Distances from the query to every database code (used to build PR
   /// curves over all Hamming radii in one pass).
   std::vector<int> AllDistances(const uint64_t* query) const;

@@ -1,5 +1,6 @@
 #include "index/packed_codes.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/status.h"
@@ -41,15 +42,22 @@ PackedCodes PackedCodes::FromSignMatrix(const linalg::Matrix& codes) {
   packed.words_per_code_ = (codes.cols() + 63) / 64;
   packed.words_.assign(
       static_cast<size_t>(packed.num_codes_) * packed.words_per_code_, 0);
+  const int bits = codes.cols();
   for (int i = 0; i < codes.rows(); ++i) {
     const float* row = codes.Row(i);
     uint64_t* dst =
         packed.words_.data() +
         static_cast<size_t>(i) * packed.words_per_code_;
-    for (int b = 0; b < codes.cols(); ++b) {
-      if (row[b] > 0.0f) {
-        dst[b >> 6] |= (1ULL << (b & 63));
+    // Build each word in a register and store it once, instead of a
+    // read-modify-write of the output word per bit.
+    for (int w = 0; w < packed.words_per_code_; ++w) {
+      const int base = w << 6;
+      const int end = std::min(base + 64, bits);
+      uint64_t word = 0;
+      for (int b = base; b < end; ++b) {
+        word |= static_cast<uint64_t>(row[b] > 0.0f) << (b - base);
       }
+      dst[w] = word;
     }
   }
   return packed;

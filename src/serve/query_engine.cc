@@ -14,7 +14,8 @@ QueryEngine::QueryEngine(std::unique_ptr<ShardedIndex> index,
     : index_(std::move(index)),
       pool_(std::make_unique<ThreadPool>(options.num_threads)),
       cache_(options.cache_capacity),
-      stats_(options.max_latency_samples) {
+      stats_(options.max_latency_samples),
+      miss_block_(std::max(1, options.miss_block)) {
   UHSCM_CHECK(index_ != nullptr, "QueryEngine: null index");
 }
 
@@ -45,19 +46,34 @@ std::vector<std::vector<Neighbor>> QueryEngine::Search(
   }
   const int hits = n - static_cast<int>(misses.size());
 
-  // Phase 2: fan every (miss, shard) unit out on the pool in one flat
-  // loop — keeps all workers busy even when a batch has fewer queries
-  // than the pool has threads.
+  // Phase 2: fan (miss-block, shard) units out on the pool in one flat
+  // loop. Grouping misses into blocks lets each unit run the shard's
+  // cache-blocked batch scan — the shard's codes are streamed once per
+  // block of queries instead of once per query — while the unit count
+  // stays high enough to keep all workers busy on small batches.
   const int num_shards = index_->num_shards();
+  const int num_misses = static_cast<int>(misses.size());
+  const int qblock = miss_block_;
+  const int num_blocks = (num_misses + qblock - 1) / qblock;
   std::vector<std::vector<Neighbor>> partials(
       misses.size() * static_cast<size_t>(num_shards));
-  pool_->ParallelFor(
-      static_cast<int>(misses.size()) * num_shards, [&](int unit) {
-        const int m = unit / num_shards;
-        const int s = unit % num_shards;
-        partials[static_cast<size_t>(unit)] = index_->ShardTopK(
-            s, queries.code(misses[static_cast<size_t>(m)]), k);
-      });
+  pool_->ParallelFor(num_blocks * num_shards, [&](int unit) {
+    const int blk = unit / num_shards;
+    const int s = unit % num_shards;
+    const int mb = blk * qblock;
+    const int me = std::min(mb + qblock, num_misses);
+    std::vector<const uint64_t*> qptrs(static_cast<size_t>(me - mb));
+    for (int m = mb; m < me; ++m) {
+      qptrs[static_cast<size_t>(m - mb)] =
+          queries.code(misses[static_cast<size_t>(m)]);
+    }
+    std::vector<std::vector<Neighbor>> block_results =
+        index_->ShardTopKBatch(s, qptrs.data(), me - mb, k);
+    for (int m = mb; m < me; ++m) {
+      partials[static_cast<size_t>(m) * num_shards + s] =
+          std::move(block_results[static_cast<size_t>(m - mb)]);
+    }
+  });
 
   // Phase 3: merge each miss's shard lists and publish to the cache.
   pool_->ParallelFor(static_cast<int>(misses.size()), [&](int m) {

@@ -20,6 +20,11 @@ struct QueryEngineOptions {
   size_t cache_capacity = 4096;
   /// Latency samples retained for percentile reporting.
   size_t max_latency_samples = 1 << 16;
+  /// Uncached queries scored together per (block, shard) work unit. Each
+  /// unit runs the shard's cache-blocked batch scan, so larger blocks
+  /// amortize corpus memory traffic further but leave fewer units to
+  /// spread across the pool. Clamped to >= 1.
+  int miss_block = 16;
 };
 
 /// \brief The serving front end: batched top-k search over a ShardedIndex
@@ -60,6 +65,7 @@ class QueryEngine {
   std::unique_ptr<ThreadPool> pool_;
   ResultCache cache_;
   ServeStats stats_;
+  int miss_block_;
 };
 
 /// Replays a query stream through the engine in batches of `batch`

@@ -83,6 +83,27 @@ std::vector<Neighbor> ShardedIndex::ShardTopK(int s, const uint64_t* query,
   return local;
 }
 
+std::vector<std::vector<Neighbor>> ShardedIndex::ShardTopKBatch(
+    int s, const uint64_t* const* queries, int num_queries, int k) const {
+  UHSCM_CHECK(s >= 0 && s < num_shards(),
+              "ShardedIndex::ShardTopKBatch: shard out of range");
+  const Shard& shard = shards_[static_cast<size_t>(s)];
+  std::vector<std::vector<Neighbor>> results;
+  if (shard.scan) {
+    results = shard.scan->TopKBatch(queries, num_queries, k);
+  } else {
+    results.resize(static_cast<size_t>(std::max(0, num_queries)));
+    for (int q = 0; q < num_queries; ++q) {
+      results[static_cast<size_t>(q)] =
+          MihTopK(*shard.mih, bits_, queries[q], k);
+    }
+  }
+  for (auto& list : results) {
+    for (Neighbor& nb : list) nb.id += shard.offset;
+  }
+  return results;
+}
+
 std::vector<Neighbor> ShardedIndex::MergeTopK(
     const std::vector<std::vector<Neighbor>>& per_shard, int k) {
   if (k <= 0) return {};

@@ -63,6 +63,14 @@ class ShardedIndex {
   std::vector<index::Neighbor> ShardTopK(int s, const uint64_t* query,
                                          int k) const;
 
+  /// Batched form of ShardTopK: one result list per query, each
+  /// byte-identical to the per-query call. Linear-scan shards route
+  /// through the cache-blocked SIMD batch scan, amortizing the shard's
+  /// memory traffic across the whole query block; MIH shards fall back
+  /// to the per-query radius search.
+  std::vector<std::vector<index::Neighbor>> ShardTopKBatch(
+      int s, const uint64_t* const* queries, int num_queries, int k) const;
+
   /// Merges per-shard sorted result lists into the global top-k via a
   /// k-way min-heap. Exposed for the batch engine and tests.
   static std::vector<index::Neighbor> MergeTopK(

@@ -1,0 +1,218 @@
+#include "index/hamming_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/batch_scan.h"
+#include "index/linear_scan.h"
+#include "index/packed_codes.h"
+#include "linalg/matrix.h"
+#include "test_util.h"
+
+namespace uhscm::index {
+namespace {
+
+using linalg::Matrix;
+using uhscm::testing::RandomSignCodes;
+
+// ------------------------------------------------------- kernel equality
+
+/// Every dispatched tier must agree bit-for-bit with the scalar reference
+/// and the per-pair HammingDistance across word counts 1..9 (widths both
+/// at and off 64-bit boundaries) plus the wide Harley–Seal path.
+class KernelWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelWidths, AllTiersMatchScalarReferenceExactly) {
+  const int bits = GetParam();
+  const int n = 257;  // odd count exercises every kernel's tail handling
+  Rng rng(900 + bits);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng));
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(3, bits, &rng));
+  const int words = db.words_per_code();
+
+  std::vector<int32_t> ref(static_cast<size_t>(n));
+  std::vector<int32_t> scalar(static_cast<size_t>(n));
+  std::vector<int32_t> dispatched(static_cast<size_t>(n));
+  for (int q = 0; q < queries.size(); ++q) {
+    for (int i = 0; i < n; ++i) {
+      ref[static_cast<size_t>(i)] =
+          HammingDistance(queries.code(q), db.code(i), words);
+    }
+    BatchDistancesScalar(queries.code(q), db.code(0), n, words, kNoThreshold,
+                         scalar.data());
+    GetBatchDistanceFn()(queries.code(q), db.code(0), n, words, kNoThreshold,
+                         dispatched.data());
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(scalar[static_cast<size_t>(i)], ref[static_cast<size_t>(i)])
+          << "scalar bits=" << bits << " q=" << q << " i=" << i;
+      EXPECT_EQ(dispatched[static_cast<size_t>(i)],
+                ref[static_cast<size_t>(i)])
+          << KernelTierName(ActiveKernelTier()) << " bits=" << bits
+          << " q=" << q << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, KernelWidths,
+    ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129, 190, 192, 255, 256,
+                      300, 320, 384, 448, 511, 512, 576,
+                      // >= 32 words: the AVX2 Harley–Seal path
+                      2048, 2113, 2560));
+
+TEST(KernelThreshold, PrunedOutputsAreSafeLowerBounds) {
+  // Early-abandon contract: below-threshold outputs are exact; outputs at
+  // or above threshold are lower bounds of a true distance that is itself
+  // >= threshold. Exercised on a wide code where pruning is active.
+  const int bits = 2048;
+  const int n = 300;
+  Rng rng(31);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng));
+  PackedCodes query = PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  const int words = db.words_per_code();
+
+  std::vector<int32_t> exact(static_cast<size_t>(n));
+  BatchDistancesScalar(query.code(0), db.code(0), n, words, kNoThreshold,
+                       exact.data());
+  // Median-ish threshold so both branches fire.
+  const int32_t threshold = bits / 2;
+  for (BatchDistanceFn fn :
+       {GetBatchDistanceFn(KernelTier::kScalar), GetBatchDistanceFn()}) {
+    std::vector<int32_t> pruned(static_cast<size_t>(n));
+    fn(query.code(0), db.code(0), n, words, threshold, pruned.data());
+    for (int i = 0; i < n; ++i) {
+      const int32_t p = pruned[static_cast<size_t>(i)];
+      const int32_t e = exact[static_cast<size_t>(i)];
+      if (p < threshold) {
+        EXPECT_EQ(p, e) << "below-threshold output must be exact, i=" << i;
+      } else {
+        EXPECT_LE(p, e) << "pruned output must lower-bound the distance";
+        EXPECT_GE(e, threshold) << "pruned code must truly miss threshold";
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, TierNamesAndExplicitLookup) {
+  EXPECT_STREQ(KernelTierName(KernelTier::kScalar), "scalar");
+  EXPECT_STREQ(KernelTierName(KernelTier::kAvx2), "avx2");
+  EXPECT_EQ(GetBatchDistanceFn(KernelTier::kScalar), &BatchDistancesScalar);
+  if (!Avx2Available()) {
+    EXPECT_EQ(GetBatchDistanceFn(KernelTier::kAvx2), &BatchDistancesScalar);
+    EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
+  }
+}
+
+// ----------------------------------------------------- batched top-k scan
+
+/// TopKBatch must reproduce per-query TopK exactly — ids, distances, and
+/// tie-break order — across widths, k values, and block boundaries.
+class BatchTopKConfigs
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BatchTopKConfigs, MatchesPerQueryTopKByteForByte) {
+  const auto [n, bits, k] = GetParam();
+  Rng rng(7000 + n + bits + k);
+  LinearScanIndex scan(
+      PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng)));
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(9, bits, &rng));
+
+  const auto batched = scan.TopKBatch(queries, k);
+  ASSERT_EQ(batched.size(), 9u);
+  for (int q = 0; q < queries.size(); ++q) {
+    const auto expect = scan.TopK(queries.code(q), k);
+    const auto& got = batched[static_cast<size_t>(q)];
+    ASSERT_EQ(got.size(), expect.size()) << "q=" << q;
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i].id, expect[i].id) << "q=" << q << " rank=" << i;
+      EXPECT_EQ(got[i].distance, expect[i].distance)
+          << "q=" << q << " rank=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BatchTopKConfigs,
+    ::testing::Values(
+        // bits=16 on hundreds of codes forces heavy distance ties: the
+        // id tie-break order must survive batching.
+        std::make_tuple(400, 16, 1), std::make_tuple(400, 16, 25),
+        std::make_tuple(400, 16, 400),
+        std::make_tuple(500, 64, 10), std::make_tuple(500, 128, 10),
+        std::make_tuple(300, 100, 17), std::make_tuple(300, 320, 10),
+        // k larger than the corpus clamps
+        std::make_tuple(50, 64, 1000),
+        // wide codes: pruning path active inside the scan
+        std::make_tuple(300, 2048, 10)));
+
+TEST(BatchTopKTest, TinyCodeBlocksCrossBlockBoundariesCorrectly) {
+  Rng rng(88);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(333, 64, &rng));
+  PackedCodes queries = PackedCodes::FromSignMatrix(RandomSignCodes(5, 64, &rng));
+  LinearScanIndex scan(
+      PackedCodes::FromRawWords(db.size(), db.bits(), db.words()));
+
+  BatchScanOptions options;
+  options.code_block = 7;  // pathological block size: many partial blocks
+  const auto batched = BatchTopK(db, queries, 20, options);
+  for (int q = 0; q < queries.size(); ++q) {
+    const auto expect = scan.TopK(queries.code(q), 20);
+    const auto& got = batched[static_cast<size_t>(q)];
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < expect.size(); ++i) {
+      EXPECT_EQ(got[i].id, expect[i].id);
+      EXPECT_EQ(got[i].distance, expect[i].distance);
+    }
+  }
+}
+
+TEST(BatchTopKTest, ForcedScalarTierMatchesDispatchedTier) {
+  Rng rng(89);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(250, 128, &rng));
+  PackedCodes queries = PackedCodes::FromSignMatrix(RandomSignCodes(6, 128, &rng));
+
+  BatchScanOptions scalar_options;
+  scalar_options.force_tier = true;
+  scalar_options.tier = KernelTier::kScalar;
+  const auto scalar = BatchTopK(db, queries, 15, scalar_options);
+  const auto dispatched = BatchTopK(db, queries, 15);
+  ASSERT_EQ(scalar.size(), dispatched.size());
+  for (size_t q = 0; q < scalar.size(); ++q) {
+    ASSERT_EQ(scalar[q].size(), dispatched[q].size());
+    for (size_t i = 0; i < scalar[q].size(); ++i) {
+      EXPECT_EQ(scalar[q][i].id, dispatched[q][i].id);
+      EXPECT_EQ(scalar[q][i].distance, dispatched[q][i].distance);
+    }
+  }
+}
+
+TEST(BatchTopKTest, EdgeCases) {
+  Rng rng(90);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(10, 64, &rng));
+  PackedCodes queries = PackedCodes::FromSignMatrix(RandomSignCodes(3, 64, &rng));
+  LinearScanIndex scan(
+      PackedCodes::FromRawWords(db.size(), db.bits(), db.words()));
+
+  // k = 0: one empty list per query.
+  auto zero_k = scan.TopKBatch(queries, 0);
+  ASSERT_EQ(zero_k.size(), 3u);
+  for (const auto& list : zero_k) EXPECT_TRUE(list.empty());
+
+  // No queries: empty result set.
+  EXPECT_TRUE(BatchTopK(db, nullptr, 0, 5).empty());
+
+  // Empty database: empty lists.
+  PackedCodes empty_db =
+      PackedCodes::FromSignMatrix(linalg::Matrix(0, 64));
+  auto no_db = BatchTopK(empty_db, queries, 5);
+  ASSERT_EQ(no_db.size(), 3u);
+  for (const auto& list : no_db) EXPECT_TRUE(list.empty());
+}
+
+}  // namespace
+}  // namespace uhscm::index

@@ -153,7 +153,81 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, MatMulShapes,
     ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
                       std::make_tuple(8, 8, 8), std::make_tuple(17, 4, 23),
-                      std::make_tuple(2, 31, 7)));
+                      std::make_tuple(2, 31, 7),
+                      // Shapes that cross the kMC/kKC cache-block and
+                      // 4-wide register-tile boundaries of the blocked
+                      // kernels, including non-multiples of every tile.
+                      std::make_tuple(33, 130, 37), std::make_tuple(64, 128, 64),
+                      std::make_tuple(65, 129, 66), std::make_tuple(100, 257, 3),
+                      std::make_tuple(31, 259, 121)));
+
+TEST(OpsTest, BlockedMatMulMatchesNaiveTightTolerance) {
+  // The blocked kernels reassociate float sums; on O(100)-term unit-scale
+  // dot products the drift must stay within 1e-4 of the naive order.
+  Rng rng(211);
+  Matrix a = Matrix::RandomNormal(45, 150, &rng);
+  Matrix b = Matrix::RandomNormal(150, 52, &rng);
+  const Matrix fast = MatMul(a, b);
+  const Matrix slow = NaiveMatMul(a, b);
+  for (int i = 0; i < fast.rows(); ++i) {
+    for (int j = 0; j < fast.cols(); ++j) {
+      EXPECT_NEAR(fast(i, j), slow(i, j), 1e-4f);
+    }
+  }
+  // A^T B with a 150-deep inner dimension (crosses the kKC panel).
+  Matrix c = Matrix::RandomNormal(150, 41, &rng);
+  const Matrix fast_ta = MatMulTransA(b, c);  // (150x52)^T * (150x41)
+  const Matrix slow_ta = NaiveMatMul(b.Transposed(), c);
+  for (int i = 0; i < slow_ta.rows(); ++i) {
+    for (int j = 0; j < slow_ta.cols(); ++j) {
+      EXPECT_NEAR(fast_ta(i, j), slow_ta(i, j), 1e-4f);
+    }
+  }
+  const Matrix fast_tb = MatMulTransB(a, b.Transposed());
+  const Matrix slow_tb = NaiveMatMul(a, b);
+  for (int i = 0; i < slow_tb.rows(); ++i) {
+    for (int j = 0; j < slow_tb.cols(); ++j) {
+      EXPECT_NEAR(fast_tb(i, j), slow_tb(i, j), 1e-4f);
+    }
+  }
+}
+
+TEST(OpsTest, MatMulZeroHeavyInputsStayExact) {
+  // The dense kernels dropped the av == 0 skip; sparse inputs must still
+  // produce the same results as the naive reference.
+  Rng rng(212);
+  Matrix a = Matrix::RandomNormal(20, 40, &rng);
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (rng.Bernoulli(0.8)) a.data()[i] = 0.0f;
+  }
+  Matrix b = Matrix::RandomNormal(40, 30, &rng);
+  const Matrix fast = MatMul(a, b);
+  const Matrix slow = NaiveMatMul(a, b);
+  for (int i = 0; i < fast.rows(); ++i) {
+    for (int j = 0; j < fast.cols(); ++j) {
+      EXPECT_NEAR(fast(i, j), slow(i, j), 1e-4f);
+    }
+  }
+}
+
+TEST(OpsTest, MatVecParallelMatchesNaive) {
+  // 701x130 = ~91k flops, above MatVec's kParallelMinFlops cutoff, so
+  // this covers the pool-dispatched branch (the tiny MatVec test below
+  // covers the serial one).
+  Rng rng(213);
+  Matrix a = Matrix::RandomNormal(701, 130, &rng);
+  Vector x(130);
+  for (auto& v : x) v = static_cast<float>(rng.Normal());
+  const Vector y = MatVec(a, x);
+  ASSERT_EQ(y.size(), 701u);
+  for (int i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (int c = 0; c < a.cols(); ++c) {
+      s += static_cast<double>(a(i, c)) * x[static_cast<size_t>(c)];
+    }
+    EXPECT_NEAR(y[static_cast<size_t>(i)], static_cast<float>(s), 1e-3f);
+  }
+}
 
 TEST(OpsTest, MatVec) {
   Matrix a = Matrix::FromRowMajor(2, 3, {1, 0, 2, 0, 1, 1});

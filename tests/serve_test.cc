@@ -15,6 +15,7 @@
 #include "serve/serve_stats.h"
 #include "serve/sharded_index.h"
 #include "serve/snapshot.h"
+#include "test_util.h"
 
 namespace uhscm::serve {
 namespace {
@@ -23,14 +24,7 @@ using index::LinearScanIndex;
 using index::Neighbor;
 using index::PackedCodes;
 using linalg::Matrix;
-
-Matrix RandomCodes(int n, int bits, Rng* rng) {
-  Matrix m(n, bits);
-  for (size_t i = 0; i < m.size(); ++i) {
-    m.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
-  }
-  return m;
-}
+using uhscm::testing::RandomSignCodes;
 
 void ExpectSameNeighbors(const std::vector<Neighbor>& expect,
                          const std::vector<Neighbor>& got) {
@@ -50,7 +44,7 @@ TEST_P(ShardedIndexSweep, MatchesLinearScanGroundTruth) {
   const auto [num_shards, backend] = GetParam();
   Rng rng(100 + num_shards);
   const int n = 300, bits = 64, k = 10;
-  Matrix db = RandomCodes(n, bits, &rng);
+  Matrix db = RandomSignCodes(n, bits, &rng);
   LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
 
   ShardedIndexOptions options;
@@ -61,7 +55,7 @@ TEST_P(ShardedIndexSweep, MatchesLinearScanGroundTruth) {
   EXPECT_LE(sharded.num_shards(), num_shards);
 
   for (int q = 0; q < 20; ++q) {
-    Matrix query = RandomCodes(1, bits, &rng);
+    Matrix query = RandomSignCodes(1, bits, &rng);
     PackedCodes pq = PackedCodes::FromSignMatrix(query);
     ExpectSameNeighbors(truth.TopK(pq.code(0), k),
                         sharded.TopK(pq.code(0), k));
@@ -76,20 +70,20 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ShardedIndexTest, ShardCountClampedToCorpusSize) {
   Rng rng(7);
-  Matrix db = RandomCodes(5, 32, &rng);
+  Matrix db = RandomSignCodes(5, 32, &rng);
   ShardedIndexOptions options;
   options.num_shards = 64;
   ShardedIndex sharded(PackedCodes::FromSignMatrix(db), options);
   EXPECT_EQ(sharded.num_shards(), 5);
   LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
-  Matrix query = RandomCodes(1, 32, &rng);
+  Matrix query = RandomSignCodes(1, 32, &rng);
   PackedCodes pq = PackedCodes::FromSignMatrix(query);
   ExpectSameNeighbors(truth.TopK(pq.code(0), 3), sharded.TopK(pq.code(0), 3));
 }
 
 TEST(ShardedIndexTest, KLargerThanCorpusReturnsWholeCorpus) {
   Rng rng(8);
-  Matrix db = RandomCodes(50, 64, &rng);
+  Matrix db = RandomSignCodes(50, 64, &rng);
   LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
   for (ShardBackend backend :
        {ShardBackend::kLinearScan, ShardBackend::kMultiIndexHash}) {
@@ -97,11 +91,70 @@ TEST(ShardedIndexTest, KLargerThanCorpusReturnsWholeCorpus) {
     options.num_shards = 4;
     options.backend = backend;
     ShardedIndex sharded(PackedCodes::FromSignMatrix(db), options);
-    Matrix query = RandomCodes(1, 64, &rng);
+    Matrix query = RandomSignCodes(1, 64, &rng);
     PackedCodes pq = PackedCodes::FromSignMatrix(query);
     const auto got = sharded.TopK(pq.code(0), 1000);
     ASSERT_EQ(got.size(), 50u);
     ExpectSameNeighbors(truth.TopK(pq.code(0), 1000), got);
+  }
+}
+
+TEST(ShardedIndexTest, ShardTopKBatchMatchesPerQueryShardTopK) {
+  // The batched per-shard entry point (SIMD cache-blocked scan for
+  // linear shards, per-query fallback for MIH shards) must be
+  // byte-identical to the per-query path, global ids included.
+  Rng rng(456);
+  const int n = 350, bits = 128, k = 12;
+  Matrix db = RandomSignCodes(n, bits, &rng);
+  PackedCodes queries = PackedCodes::FromSignMatrix(RandomSignCodes(7, bits, &rng));
+
+  for (ShardBackend backend :
+       {ShardBackend::kLinearScan, ShardBackend::kMultiIndexHash}) {
+    ShardedIndexOptions options;
+    options.num_shards = 3;
+    options.backend = backend;
+    ShardedIndex sharded(PackedCodes::FromSignMatrix(db), options);
+
+    std::vector<const uint64_t*> qptrs;
+    for (int q = 0; q < queries.size(); ++q) qptrs.push_back(queries.code(q));
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      const auto batched = sharded.ShardTopKBatch(
+          s, qptrs.data(), static_cast<int>(qptrs.size()), k);
+      ASSERT_EQ(batched.size(), qptrs.size());
+      for (int q = 0; q < queries.size(); ++q) {
+        ExpectSameNeighbors(sharded.ShardTopK(s, queries.code(q), k),
+                            batched[static_cast<size_t>(q)]);
+      }
+    }
+  }
+}
+
+TEST(QueryEngineTest, MissBlockSizesAllMatchGroundTruth) {
+  // The engine groups cache misses into miss_block-sized batch-scan
+  // units; every grouping must produce identical results.
+  Rng rng(457);
+  const int n = 400, bits = 64, k = 9;
+  Matrix db = RandomSignCodes(n, bits, &rng);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(33, bits, &rng));
+
+  for (int miss_block : {1, 4, 16, 64}) {
+    ShardedIndexOptions index_options;
+    index_options.num_shards = 4;
+    QueryEngineOptions engine_options;
+    engine_options.num_threads = 2;
+    engine_options.cache_capacity = 0;
+    engine_options.miss_block = miss_block;
+    QueryEngine engine(std::make_unique<ShardedIndex>(
+                           PackedCodes::FromSignMatrix(db), index_options),
+                       engine_options);
+    const auto results = engine.Search(queries, k);
+    ASSERT_EQ(results.size(), 33u);
+    for (int q = 0; q < queries.size(); ++q) {
+      ExpectSameNeighbors(truth.TopK(queries.code(q), k),
+                          results[static_cast<size_t>(q)]);
+    }
   }
 }
 
@@ -118,14 +171,14 @@ TEST(ShardedIndexTest, MergeTopKHandlesEmptyLists) {
 TEST(QueryEngineTest, BatchedSearchMatchesGroundTruth) {
   Rng rng(21);
   const int n = 400, bits = 96, k = 7;
-  Matrix db = RandomCodes(n, bits, &rng);
+  Matrix db = RandomSignCodes(n, bits, &rng);
   LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
 
   ServingSnapshotOptions options;
   options.index.num_shards = 4;
   auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
 
-  Matrix queries = RandomCodes(25, bits, &rng);
+  Matrix queries = RandomSignCodes(25, bits, &rng);
   PackedCodes pq = PackedCodes::FromSignMatrix(queries);
   const auto batched = engine->Search(pq, k);
   ASSERT_EQ(batched.size(), 25u);
@@ -138,10 +191,10 @@ TEST(QueryEngineTest, BatchedSearchMatchesGroundTruth) {
 TEST(QueryEngineTest, CacheHitsReturnIdenticalNeighbors) {
   Rng rng(22);
   const int bits = 64, k = 5;
-  Matrix db = RandomCodes(200, bits, &rng);
+  Matrix db = RandomSignCodes(200, bits, &rng);
   auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), {});
 
-  Matrix queries = RandomCodes(10, bits, &rng);
+  Matrix queries = RandomSignCodes(10, bits, &rng);
   PackedCodes pq = PackedCodes::FromSignMatrix(queries);
   const auto first = engine->Search(pq, k);
   const auto second = engine->Search(pq, k);
@@ -160,9 +213,9 @@ TEST(QueryEngineTest, CacheHitsReturnIdenticalNeighbors) {
 
 TEST(QueryEngineTest, DifferentKIsADistinctCacheEntry) {
   Rng rng(23);
-  Matrix db = RandomCodes(100, 32, &rng);
+  Matrix db = RandomSignCodes(100, 32, &rng);
   auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), {});
-  Matrix query = RandomCodes(1, 32, &rng);
+  Matrix query = RandomSignCodes(1, 32, &rng);
   PackedCodes pq = PackedCodes::FromSignMatrix(query);
   EXPECT_EQ(engine->Search(pq, 3)[0].size(), 3u);
   EXPECT_EQ(engine->Search(pq, 8)[0].size(), 8u);
@@ -172,13 +225,13 @@ TEST(QueryEngineTest, DifferentKIsADistinctCacheEntry) {
 
 TEST(QueryEngineTest, DisabledCacheStaysExact) {
   Rng rng(24);
-  Matrix db = RandomCodes(150, 64, &rng);
+  Matrix db = RandomSignCodes(150, 64, &rng);
   LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
   ServingSnapshotOptions options;
   options.engine.cache_capacity = 0;
   auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
 
-  Matrix queries = RandomCodes(5, 64, &rng);
+  Matrix queries = RandomSignCodes(5, 64, &rng);
   PackedCodes pq = PackedCodes::FromSignMatrix(queries);
   engine->Search(pq, 4);
   const auto again = engine->Search(pq, 4);
@@ -209,7 +262,7 @@ TEST(ResultCacheTest, LruEvictsOldestEntry) {
 TEST(QueryEngineTest, ConcurrentSearchesAreRaceFreeAndExact) {
   Rng rng(31);
   const int n = 500, bits = 64, k = 9;
-  Matrix db = RandomCodes(n, bits, &rng);
+  Matrix db = RandomSignCodes(n, bits, &rng);
   LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
 
   ServingSnapshotOptions options;
@@ -218,7 +271,7 @@ TEST(QueryEngineTest, ConcurrentSearchesAreRaceFreeAndExact) {
   auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
 
   // A shared query set so threads collide on the same cache keys.
-  Matrix queries = RandomCodes(40, bits, &rng);
+  Matrix queries = RandomSignCodes(40, bits, &rng);
   PackedCodes pq = PackedCodes::FromSignMatrix(queries);
   std::vector<std::vector<Neighbor>> expected;
   for (int q = 0; q < pq.size(); ++q) {
@@ -284,7 +337,7 @@ TEST(ServeStatsTest, PercentileNearestRank) {
 TEST(SnapshotTest, LoadQueryEngineRoundTrip) {
   Rng rng(41);
   const int bits = 64, k = 6;
-  Matrix db = RandomCodes(120, bits, &rng);
+  Matrix db = RandomSignCodes(120, bits, &rng);
   PackedCodes packed = PackedCodes::FromSignMatrix(db);
   const std::string path = ::testing::TempDir() + "/serve_codes.bin";
   ASSERT_TRUE(io::SavePackedCodes(packed, path).ok());
@@ -298,7 +351,7 @@ TEST(SnapshotTest, LoadQueryEngineRoundTrip) {
   EXPECT_EQ((*engine)->index().num_shards(), 3);
 
   LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
-  Matrix query = RandomCodes(1, bits, &rng);
+  Matrix query = RandomSignCodes(1, bits, &rng);
   PackedCodes pq = PackedCodes::FromSignMatrix(query);
   ExpectSameNeighbors(truth.TopK(pq.code(0), k),
                       (*engine)->SearchOne(pq.code(0), k));

@@ -8,9 +8,20 @@
 #include "data/synthetic.h"
 #include "data/world.h"
 #include "features/cnn_features.h"
+#include "linalg/matrix.h"
 #include "vlp/simulated_vlp.h"
 
 namespace uhscm::testing {
+
+/// Random {-1,+1} code matrix — the corpus shape every index/serve test
+/// scans.
+inline linalg::Matrix RandomSignCodes(int n, int bits, Rng* rng) {
+  linalg::Matrix m(n, bits);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return m;
+}
 
 /// A small, fully wired synthetic environment shared by the heavier
 /// tests: world + one dataset + vocab + VLP + CNN extractor, all at

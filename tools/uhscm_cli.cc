@@ -40,6 +40,7 @@
 #include "data/synthetic.h"
 #include "data/world.h"
 #include "eval/retrieval_eval.h"
+#include "index/hamming_kernels.h"
 #include "index/linear_scan.h"
 #include "io/serialize.h"
 #include "serve/serve_stats.h"
@@ -342,10 +343,12 @@ int CmdServe(const Flags& flags) {
   options.engine.num_threads = flags.threads;
   std::unique_ptr<serve::QueryEngine> engine =
       serve::MakeQueryEngine(std::move(corpus).ValueOrDie(), options);
-  std::printf("serving %d codes @ %d bits: %d shards (%s), %d threads\n",
-              engine->index().size(), engine->index().bits(),
-              engine->index().num_shards(), flags.backend.c_str(),
-              engine->num_threads());
+  std::printf(
+      "serving %d codes @ %d bits: %d shards (%s), %d threads, %s kernel\n",
+      engine->index().size(), engine->index().bits(),
+      engine->index().num_shards(), flags.backend.c_str(),
+      engine->num_threads(),
+      index::KernelTierName(index::ActiveKernelTier()));
 
   TableWriter table({"pass", "queries", "batches", "hit_rate", "qps",
                      "p50_ms", "p99_ms"});
