@@ -1,0 +1,279 @@
+// update_throughput — mutable-index bench: updates interleaved with
+// query traffic.
+//
+// Builds a synthetic packed-code corpus behind a serve::QueryEngine,
+// then runs a writer thread (batched appends + single-id tombstone
+// deletes) concurrently with reader threads replaying query batches.
+// Reports appends/sec, removes/sec, and the query QPS observed *while*
+// the corpus was mutating, then verifies exactness: engine results after
+// the run must be byte-identical (after id compaction) to a freshly
+// built engine over the surviving rows.
+//
+// Acceptance gate: at the default corpus size the writer must sustain
+// >= 10k appends/sec while queries run, or the bench exits non-zero.
+//
+//   $ ./build/update_throughput [--n=50000] [--bits=64] [--k=10]
+//                               [--queries=256] [--append-batch=64]
+//                               [--target-appends=200000] [--seed=2023]
+//                               [--json=BENCH_update_throughput.json]
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "index/linear_scan.h"
+#include "index/packed_codes.h"
+#include "perf_util.h"
+#include "serve/query_engine.h"
+#include "serve/serve_stats.h"
+#include "serve/snapshot.h"
+
+namespace uhscm::bench {
+namespace {
+
+struct Flags {
+  int n = 50000;
+  int bits = 64;
+  int k = 10;
+  int queries = 256;
+  int append_batch = 64;
+  int target_appends = 200000;
+  uint64_t seed = 2023;
+  std::string json = "BENCH_update_throughput.json";
+};
+
+Flags ParseUpdateFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--n=")) {
+      flags.n = std::atoi(arg.c_str() + 4);
+    } else if (StartsWith(arg, "--bits=")) {
+      flags.bits = std::atoi(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--k=")) {
+      flags.k = std::atoi(arg.c_str() + 4);
+    } else if (StartsWith(arg, "--queries=")) {
+      flags.queries = std::atoi(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--append-batch=")) {
+      flags.append_batch = std::max(1, std::atoi(arg.c_str() + 15));
+    } else if (StartsWith(arg, "--target-appends=")) {
+      flags.target_appends = std::atoi(arg.c_str() + 17);
+    } else if (StartsWith(arg, "--seed=")) {
+      flags.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (StartsWith(arg, "--json=")) {
+      flags.json = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: update_throughput [--n=N] [--bits=K] [--k=K] "
+                   "[--queries=N] [--append-batch=B] [--target-appends=N] "
+                   "[--seed=N] [--json=PATH]\n");
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseUpdateFlags(argc, argv);
+  Rng rng(flags.seed);
+  const index::PackedCodes corpus = index::PackedCodes::FromSignMatrix(
+      RandomSignCodes(flags.n, flags.bits, &rng));
+  const index::PackedCodes queries = index::PackedCodes::FromSignMatrix(
+      RandomSignCodes(flags.queries, flags.bits, &rng));
+  std::printf(
+      "corpus n=%d bits=%d | %d queries, k=%d | append batches of %d, "
+      "target %d appends\n\n",
+      flags.n, flags.bits, flags.queries, flags.k, flags.append_batch,
+      flags.target_appends);
+
+  serve::ServingSnapshotOptions options;
+  options.index.num_shards = 4;
+  auto engine = serve::MakeQueryEngine(
+      index::PackedCodes::FromRawWords(corpus.size(), corpus.bits(),
+                                       corpus.words()),
+      options);
+
+  // Pre-generate the append stream so the writer thread measures index
+  // mutation, not random-code generation.
+  const int num_batches =
+      (flags.target_appends + flags.append_batch - 1) / flags.append_batch;
+  std::vector<index::PackedCodes> append_batches;
+  append_batches.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    append_batches.push_back(index::PackedCodes::FromSignMatrix(
+        RandomSignCodes(flags.append_batch, flags.bits, &rng)));
+  }
+  // Delete one existing id per append batch (1/append_batch delete:append
+  // mix), drawn deterministically from the base corpus.
+  std::vector<int> delete_ids;
+  delete_ids.reserve(static_cast<size_t>(num_batches));
+  for (int b = 0; b < num_batches; ++b) {
+    delete_ids.push_back(static_cast<int>(
+        rng.UniformInt(static_cast<uint64_t>(flags.n))));
+  }
+
+  // Writer: appends + deletes as fast as the index accepts them.
+  // Readers: replay query batches until the writer finishes. The writer
+  // waits until every reader has completed one full replay before its
+  // clock starts, so "appends/sec concurrent with query traffic" is
+  // measured with queries genuinely in flight — without the barrier a
+  // fast writer can finish before any reader issues a batch.
+  constexpr int kReaders = 2;
+  std::atomic<bool> done{false};
+  std::atomic<int> readers_warm{0};
+  std::atomic<int64_t> appended{0};
+  std::atomic<int64_t> removed{0};
+  double write_seconds = 0.0;
+  std::thread writer([&] {
+    while (readers_warm.load(std::memory_order_acquire) < kReaders) {
+      std::this_thread::yield();
+    }
+    engine->ResetStats();  // scope QPS/latency to the contended window
+    Stopwatch watch;
+    for (int b = 0; b < num_batches; ++b) {
+      appended.fetch_add(
+          static_cast<int64_t>(engine->Append(append_batches[b]).size()),
+          std::memory_order_relaxed);
+      removed.fetch_add(engine->Remove(delete_ids[b]) ? 1 : 0,
+                        std::memory_order_relaxed);
+    }
+    write_seconds = watch.ElapsedSeconds();
+    done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      serve::ReplayBatches(engine.get(), queries, 32, flags.k);
+      readers_warm.fetch_add(1, std::memory_order_release);
+      while (!done.load(std::memory_order_acquire)) {
+        serve::ReplayBatches(engine.get(), queries, 32, flags.k);
+      }
+    });
+  }
+  writer.join();
+  for (auto& reader : readers) reader.join();
+
+  const serve::ServeStatsSnapshot stats = engine->stats();
+  const double appends_per_sec =
+      write_seconds > 0.0
+          ? static_cast<double>(appended.load()) / write_seconds
+          : 0.0;
+  const double removes_per_sec =
+      write_seconds > 0.0 ? static_cast<double>(removed.load()) / write_seconds
+                          : 0.0;
+
+  TableWriter table({"metric", "value"});
+  table.AddRow({"appends_total", std::to_string(appended.load())});
+  table.AddRow({"removes_total", std::to_string(removed.load())});
+  table.AddRow({"appends_per_sec", Fmt(appends_per_sec)});
+  table.AddRow({"removes_per_sec", Fmt(removes_per_sec)});
+  table.AddRow({"concurrent_query_qps", Fmt(stats.qps())});
+  table.AddRow({"query_p99_ms", Fmt(stats.latency_p99_ms, "%.3f")});
+  table.AddRow({"final_epoch", std::to_string(stats.epoch)});
+  table.AddRow({"live_codes", std::to_string(engine->index().size())});
+  table.AddRow({"total_codes", std::to_string(engine->index().total_size())});
+  table.Print(std::cout);
+
+  // Exactness: the mutated engine must agree with a fresh engine built
+  // over the surviving rows only. Survivors keep their relative order,
+  // so mutable global ids map to rebuild ids by survivor rank.
+  std::printf("\nverifying against fresh rebuild of survivors...\n");
+  serve::CorpusExport snapshot = engine->index().Export();
+  const index::TombstoneSet dead_rows = index::TombstoneSet::FromWords(
+      snapshot.codes.size(), snapshot.tombstone_words);
+  const int words_per_code = snapshot.codes.words_per_code();
+  std::vector<uint64_t> live_words;
+  live_words.reserve(static_cast<size_t>(snapshot.live) * words_per_code);
+  std::vector<int> rank_of_gid(static_cast<size_t>(snapshot.codes.size()),
+                               -1);
+  int live = 0;
+  for (int gid = 0; gid < snapshot.codes.size(); ++gid) {
+    if (dead_rows.Test(gid)) continue;
+    const uint64_t* src = snapshot.codes.code(gid);
+    live_words.insert(live_words.end(), src, src + words_per_code);
+    rank_of_gid[static_cast<size_t>(gid)] = live++;
+  }
+  index::LinearScanIndex truth(index::PackedCodes::FromRawWords(
+      live, flags.bits, std::move(live_words)));
+  int mismatches = 0;
+  for (int q = 0; q < queries.size() && mismatches == 0; ++q) {
+    const auto expect = truth.TopK(queries.code(q), flags.k);
+    const auto got = engine->SearchOne(queries.code(q), flags.k);
+    if (expect.size() != got.size()) {
+      ++mismatches;
+      break;
+    }
+    for (size_t i = 0; i < got.size(); ++i) {
+      if (rank_of_gid[static_cast<size_t>(got[i].id)] != expect[i].id ||
+          got[i].distance != expect[i].distance) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  std::printf("exactness: %s\n", mismatches == 0 ? "OK" : "MISMATCH");
+
+  if (!flags.json.empty()) {
+    std::FILE* f = std::fopen(flags.json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr,
+                   "WARNING: cannot write %s — perf trajectory not "
+                   "recorded\n",
+                   flags.json.c_str());
+    } else {
+      std::fprintf(f, "{\n  \"bench\": \"update_throughput\",\n");
+      std::fprintf(
+          f,
+          "  \"n\": %d, \"bits\": %d, \"k\": %d, \"queries\": %d, "
+          "\"append_batch\": %d,\n",
+          flags.n, flags.bits, flags.k, flags.queries, flags.append_batch);
+      std::fprintf(
+          f,
+          "  \"appends_total\": %lld, \"removes_total\": %lld,\n"
+          "  \"appends_per_sec\": %.1f, \"removes_per_sec\": %.1f,\n"
+          "  \"concurrent_query_qps\": %.1f, \"query_p99_ms\": %.4f,\n"
+          "  \"final_epoch\": %llu, \"live_codes\": %d, "
+          "\"total_codes\": %d,\n  \"exact\": %s\n}\n",
+          static_cast<long long>(appended.load()),
+          static_cast<long long>(removed.load()), appends_per_sec,
+          removes_per_sec, stats.qps(), stats.latency_p99_ms,
+          static_cast<unsigned long long>(stats.epoch),
+          engine->index().size(), engine->index().total_size(),
+          mismatches == 0 ? "true" : "false");
+      std::fclose(f);
+      std::printf("wrote %s\n", flags.json.c_str());
+    }
+  }
+
+  if (mismatches != 0) {
+    std::printf("\nFAIL: mutated engine diverged from fresh rebuild\n");
+    return 1;
+  }
+  // The 10k appends/sec bar only means something at a corpus size where
+  // queries genuinely contend with the writer; tiny smoke runs skip it.
+  const bool gate_armed = flags.n >= 50000 && flags.target_appends >= 100000;
+  std::printf("\nwriter sustained %.1f appends/sec (+%.1f removes/sec) "
+              "with %.1f QPS of concurrent query traffic%s\n",
+              appends_per_sec, removes_per_sec, stats.qps(),
+              gate_armed ? "" : " [gate not armed at this size]");
+  if (gate_armed && appends_per_sec < 10000.0) {
+    std::printf("FAIL: append throughput below the 10k/sec acceptance "
+                "bar\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace uhscm::bench
+
+int main(int argc, char** argv) { return uhscm::bench::Main(argc, argv); }

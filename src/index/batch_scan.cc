@@ -5,12 +5,6 @@
 namespace uhscm::index {
 namespace {
 
-/// Same ordering as LinearScanIndex::TopK: ascending (distance, id);
-/// heap front is the current worst kept neighbor.
-inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
-  return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
-}
-
 /// Block of packed codes targeted at ~64 KiB so it stays cache-resident
 /// across all queries of the batch.
 constexpr int kTargetBlockBytes = 64 * 1024;
@@ -29,7 +23,12 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
                                              const BatchScanOptions& options) {
   std::vector<std::vector<Neighbor>> results(
       static_cast<size_t>(std::max(0, num_queries)));
-  k = std::min(k, db.size());
+  const TombstoneSet* dead = options.tombstones;
+  if (dead != nullptr && !dead->any()) dead = nullptr;
+  // Clamp k to the live row count so a heap can actually fill (the
+  // early-abandon threshold only arms on a full heap) and the result
+  // size matches a scan over the survivors.
+  k = std::min(k, db.size() - (dead != nullptr ? dead->dead_count() : 0));
   if (k <= 0 || num_queries <= 0) return results;
 
   const int n = db.size();
@@ -68,6 +67,7 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
         if (best >= threshold) continue;
       }
       for (int i = 0; i < count; ++i) {
+        if (dead != nullptr && dead->Test(begin + i)) continue;
         const int d = dist[i];
         if (static_cast<int>(heap.size()) < k) {
           heap.push_back({begin + i, d});

@@ -7,6 +7,7 @@
 #include "index/hamming_kernels.h"
 #include "index/linear_scan.h"
 #include "index/packed_codes.h"
+#include "index/shard_index.h"
 
 namespace uhscm::index {
 
@@ -20,6 +21,10 @@ struct BatchScanOptions {
   /// Unavailable tiers silently fall back to scalar.
   bool force_tier = false;
   KernelTier tier = KernelTier::kScalar;
+  /// Deletion bitmap over `db` rows (null = all rows live). Tombstoned
+  /// rows are still scored by the kernel (the block stays contiguous) but
+  /// can never enter a heap, so results match a scan over the survivors.
+  const TombstoneSet* tombstones = nullptr;
 };
 
 /// \brief Query-blocked x code-blocked exact top-k over packed codes.

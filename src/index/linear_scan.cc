@@ -7,21 +7,25 @@
 namespace uhscm::index {
 
 LinearScanIndex::LinearScanIndex(PackedCodes database)
-    : database_(std::move(database)) {}
+    : database_(std::move(database)) {
+  tombstones_.Resize(database_.size());
+}
 
 std::vector<Neighbor> LinearScanIndex::TopK(const uint64_t* query,
                                             int k) const {
-  k = std::min(k, database_.size());
+  k = std::min(k, size());
   if (k <= 0) return {};
   // Bounded max-heap selection: O(n log k) instead of materializing and
   // sorting all n distances — the difference between research-bench and
   // serving-path cost when k << n.
   auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+    return NeighborLess(a, b);
   };
+  const bool dead_rows = tombstones_.any();
   std::vector<Neighbor> heap;
   heap.reserve(static_cast<size_t>(k));
   for (int i = 0; i < database_.size(); ++i) {
+    if (dead_rows && tombstones_.Test(i)) continue;
     const int d = database_.DistanceTo(i, query);
     if (static_cast<int>(heap.size()) < k) {
       heap.push_back({i, d});
@@ -40,12 +44,26 @@ std::vector<Neighbor> LinearScanIndex::TopK(const uint64_t* query,
 
 std::vector<std::vector<Neighbor>> LinearScanIndex::TopKBatch(
     const uint64_t* const* queries, int num_queries, int k) const {
-  return BatchTopK(database_, queries, num_queries, k);
+  BatchScanOptions options;
+  options.tombstones = tombstones_.any() ? &tombstones_ : nullptr;
+  return BatchTopK(database_, queries, num_queries, k, options);
 }
 
 std::vector<std::vector<Neighbor>> LinearScanIndex::TopKBatch(
     const PackedCodes& queries, int k) const {
-  return BatchTopK(database_, queries, k);
+  BatchScanOptions options;
+  options.tombstones = tombstones_.any() ? &tombstones_ : nullptr;
+  return BatchTopK(database_, queries, k, options);
+}
+
+void LinearScanIndex::Append(const PackedCodes& batch) {
+  database_.Append(batch);
+  tombstones_.Resize(database_.size());
+}
+
+bool LinearScanIndex::Remove(int id) {
+  if (id < 0 || id >= database_.size()) return false;
+  return tombstones_.Set(id);
 }
 
 std::vector<int> LinearScanIndex::AllDistances(const uint64_t* query) const {
@@ -58,8 +76,10 @@ std::vector<int> LinearScanIndex::AllDistances(const uint64_t* query) const {
 
 std::vector<Neighbor> LinearScanIndex::WithinRadius(const uint64_t* query,
                                                     int r) const {
+  const bool dead_rows = tombstones_.any();
   std::vector<Neighbor> out;
   for (int i = 0; i < database_.size(); ++i) {
+    if (dead_rows && tombstones_.Test(i)) continue;
     const int d = database_.DistanceTo(i, query);
     if (d <= r) out.push_back({i, d});
   }

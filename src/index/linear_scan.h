@@ -3,52 +3,67 @@
 
 #include <vector>
 
+#include "index/neighbor.h"
 #include "index/packed_codes.h"
+#include "index/shard_index.h"
 
 namespace uhscm::index {
-
-/// One retrieval hit: database position + Hamming distance.
-struct Neighbor {
-  int id;
-  int distance;
-};
 
 /// \brief Exact Hamming-ranking retrieval by brute-force popcount scan.
 ///
 /// This is the Hamming-ranking protocol of §4.2: all database codes are
 /// ranked by distance to the query (ties broken by database id, matching
 /// the deterministic tie-breaking the evaluation metrics assume).
-class LinearScanIndex {
+///
+/// The index is mutable through the ShardIndex seam: Append adds rows at
+/// the end (ids keep ascending) and Remove tombstones a row, which every
+/// scan below then skips — results over the survivors are byte-identical
+/// (after id compaction) to a fresh build without the removed rows.
+class LinearScanIndex : public ShardIndex {
  public:
   /// Takes ownership of the packed database codes.
   explicit LinearScanIndex(PackedCodes database);
 
-  int size() const { return database_.size(); }
-  int bits() const { return database_.bits(); }
+  /// Live (non-tombstoned) rows.
+  int size() const override { return database_.size() - tombstones_.dead_count(); }
+  /// All rows ever appended, including tombstoned ones.
+  int total_size() const override { return database_.size(); }
+  int bits() const override { return database_.bits(); }
   const PackedCodes& database() const { return database_; }
+  const PackedCodes& codes() const override { return database_; }
+  const TombstoneSet& tombstones() const override { return tombstones_; }
 
-  /// Top-k nearest database codes to the packed query (ascending
-  /// distance, then ascending id). k is clamped to the database size.
-  std::vector<Neighbor> TopK(const uint64_t* query, int k) const;
+  /// Top-k nearest live database codes to the packed query (ascending
+  /// distance, then ascending id). k is clamped to the live row count.
+  std::vector<Neighbor> TopK(const uint64_t* query, int k) const override;
 
   /// Batched top-k: one result list per query, each byte-identical to the
   /// corresponding TopK call. Routes through the cache-blocked SIMD scan
   /// (index/batch_scan.h), which reads each corpus block once per batch
   /// instead of once per query — the serving hot path.
   std::vector<std::vector<Neighbor>> TopKBatch(const uint64_t* const* queries,
-                                               int num_queries, int k) const;
+                                               int num_queries,
+                                               int k) const override;
   std::vector<std::vector<Neighbor>> TopKBatch(const PackedCodes& queries,
                                                int k) const;
 
-  /// Distances from the query to every database code (used to build PR
-  /// curves over all Hamming radii in one pass).
+  /// Appends `batch` after the current rows (ids total_size()..).
+  void Append(const PackedCodes& batch) override;
+
+  /// Tombstones row `id`; false when out of range or already dead.
+  bool Remove(int id) override;
+
+  /// Distances from the query to every database row, tombstoned rows
+  /// included (used to build PR curves over all Hamming radii in one
+  /// pass on frozen corpora).
   std::vector<int> AllDistances(const uint64_t* query) const;
 
-  /// All database codes within Hamming radius r (ascending id).
+  /// All live database codes within Hamming radius r (ascending id).
   std::vector<Neighbor> WithinRadius(const uint64_t* query, int r) const;
 
  private:
   PackedCodes database_;
+  TombstoneSet tombstones_;
 };
 
 }  // namespace uhscm::index

@@ -4,8 +4,9 @@
 #include <unordered_map>
 #include <vector>
 
-#include "index/linear_scan.h"
+#include "index/neighbor.h"
 #include "index/packed_codes.h"
+#include "index/shard_index.h"
 
 namespace uhscm::index {
 
@@ -19,25 +20,60 @@ namespace uhscm::index {
 /// values within the per-substring radius, then verified with a full
 /// popcount distance. For the radii the PR protocol uses (small r),
 /// enumeration stays tiny.
-class MultiIndexHashTable {
+///
+/// Mutable through the ShardIndex seam: Append inserts the new rows into
+/// every substring table; Remove tombstones a row, which candidate
+/// verification then rejects (the stale table entries stay behind but can
+/// never surface). The substring count is fixed at construction from the
+/// initial database size.
+class MultiIndexHashTable : public ShardIndex {
  public:
   /// \param database packed database codes (owned).
   /// \param num_substrings s >= 1; substring width is ceil(bits/s). The
   ///        classic choice s = bits / log2(n) is applied when 0 is given.
   explicit MultiIndexHashTable(PackedCodes database, int num_substrings = 0);
 
-  int size() const { return database_.size(); }
-  int bits() const { return database_.bits(); }
+  /// Live (non-tombstoned) rows.
+  int size() const override {
+    return database_.size() - tombstones_.dead_count();
+  }
+  /// All rows ever appended, including tombstoned ones.
+  int total_size() const override { return database_.size(); }
+  int bits() const override { return database_.bits(); }
   int num_substrings() const { return num_substrings_; }
+  const PackedCodes& codes() const override { return database_; }
+  const TombstoneSet& tombstones() const override { return tombstones_; }
 
-  /// All database codes within Hamming radius r of the query, ascending
-  /// id — exact, verified results (identical to LinearScanIndex::
-  /// WithinRadius, which the tests cross-check).
+  /// All live database codes within Hamming radius r of the query,
+  /// ascending id — exact, verified results (identical to
+  /// LinearScanIndex::WithinRadius, which the tests cross-check).
   std::vector<Neighbor> WithinRadius(const uint64_t* query, int r) const;
+
+  /// Exact top-k by progressive radius growth: the Hamming radius doubles
+  /// until at least k verified live hits accumulate (or the radius covers
+  /// the whole space), then hits are ranked by (distance, id). k is
+  /// clamped to the live row count.
+  std::vector<Neighbor> TopK(const uint64_t* query, int k) const override;
+
+  /// Batched TopK — MIH has no cross-query amortization, so this is the
+  /// per-query search in a loop (byte-identical results).
+  std::vector<std::vector<Neighbor>> TopKBatch(const uint64_t* const* queries,
+                                               int num_queries,
+                                               int k) const override;
+
+  /// Appends `batch` after the current rows and indexes the new rows in
+  /// every substring table.
+  void Append(const PackedCodes& batch) override;
+
+  /// Tombstones row `id`; false when out of range or already dead.
+  bool Remove(int id) override;
 
  private:
   /// Extracts substring `s` (width substring_bits_) from a packed code.
   uint64_t ExtractSubstring(const uint64_t* code, int s) const;
+
+  /// Inserts rows [begin, end) into all substring tables.
+  void IndexRows(int begin, int end);
 
   /// Recursively enumerates all values at Hamming distance <= radius from
   /// `value` over `width` bits, invoking the table probe for each.
@@ -46,6 +82,7 @@ class MultiIndexHashTable {
                           std::vector<int>* candidates) const;
 
   PackedCodes database_;
+  TombstoneSet tombstones_;
   int num_substrings_ = 1;
   int substring_bits_ = 0;
   /// tables_[s] maps substring value -> database ids.

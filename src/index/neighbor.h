@@ -1,0 +1,31 @@
+#ifndef UHSCM_INDEX_NEIGHBOR_H_
+#define UHSCM_INDEX_NEIGHBOR_H_
+
+#include <utility>
+#include <vector>
+
+namespace uhscm::index {
+
+/// One retrieval hit: database position + Hamming distance.
+struct Neighbor {
+  int id;
+  int distance;
+};
+
+/// The canonical result ordering every index in the repo emits: ascending
+/// distance, ties broken by ascending id.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
+}
+
+/// Rewrites every neighbor id in place through `id_map` (shard-local ->
+/// global, global -> compacted, ...). When the map is strictly
+/// increasing, a list sorted by (distance, id) stays sorted.
+template <typename Fn>
+inline void RemapNeighborIds(std::vector<Neighbor>* list, Fn&& id_map) {
+  for (Neighbor& nb : *list) nb.id = id_map(nb.id);
+}
+
+}  // namespace uhscm::index
+
+#endif  // UHSCM_INDEX_NEIGHBOR_H_

@@ -76,6 +76,18 @@ PackedCodes PackedCodes::FromRawWords(int num_codes, int bits,
   return packed;
 }
 
+void PackedCodes::Append(const PackedCodes& other) {
+  if (other.num_codes_ == 0) return;
+  if (num_codes_ == 0 && bits_ == 0) {
+    *this = other;
+    return;
+  }
+  UHSCM_CHECK(other.bits_ == bits_,
+              "PackedCodes::Append: bit width mismatch");
+  words_.insert(words_.end(), other.words_.begin(), other.words_.end());
+  num_codes_ += other.num_codes_;
+}
+
 int PackedCodes::Distance(int i, int j) const {
   UHSCM_CHECK(i >= 0 && i < num_codes_ && j >= 0 && j < num_codes_,
               "PackedCodes::Distance: index out of range");

@@ -27,6 +27,12 @@ class PackedCodes {
   static PackedCodes FromRawWords(int num_codes, int bits,
                                   std::vector<uint64_t> words);
 
+  /// Appends all of `other`'s codes (same bit width) after the current
+  /// rows; the new rows take ids size() .. size() + other.size() - 1.
+  /// An empty receiver adopts `other`'s width. Invalidates code()
+  /// pointers (the storage may reallocate).
+  void Append(const PackedCodes& other);
+
   /// Raw packed storage, row-major per code (serialization path).
   const std::vector<uint64_t>& words() const { return words_; }
 

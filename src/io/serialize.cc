@@ -13,6 +13,10 @@ namespace uhscm::io {
 namespace {
 
 constexpr uint32_t kVersion = 1;
+/// "UHSC" version 2: packed codes + corpus epoch + tombstone bitmap (the
+/// mutable-index serving snapshot). Version 1 stays the plain
+/// codes-only artifact and remains readable.
+constexpr uint32_t kCodesSnapshotVersion = 2;
 
 /// FNV-1a over a byte range.
 uint64_t Checksum(const void* data, size_t bytes) {
@@ -37,6 +41,9 @@ struct File {
 };
 
 Status WriteBytes(std::FILE* fp, const void* data, size_t bytes) {
+  // Empty payloads (0-row matrices, empty code sets) carry a null data
+  // pointer; calling fwrite with it is UB even for 0 bytes.
+  if (bytes == 0) return Status::OK();
   if (std::fwrite(data, 1, bytes, fp) != bytes) {
     return Status::Internal("short write");
   }
@@ -44,6 +51,7 @@ Status WriteBytes(std::FILE* fp, const void* data, size_t bytes) {
 }
 
 Status ReadBytes(std::FILE* fp, void* data, size_t bytes) {
+  if (bytes == 0) return Status::OK();
   if (std::fread(data, 1, bytes, fp) != bytes) {
     return Status::Internal("short read (file truncated?)");
   }
@@ -61,21 +69,29 @@ Status ReadPod(std::FILE* fp, T* value) {
 }
 
 /// Header: 4-char magic + version.
-Status WriteHeader(std::FILE* fp, const char magic[4]) {
+Status WriteHeader(std::FILE* fp, const char magic[4],
+                   uint32_t version = kVersion) {
   UHSCM_RETURN_NOT_OK(WriteBytes(fp, magic, 4));
-  return WritePod(fp, kVersion);
+  return WritePod(fp, version);
 }
 
-Status CheckHeader(std::FILE* fp, const char magic[4],
-                   const std::string& path) {
+/// Reads magic + version; validates the magic only — multi-version
+/// artifacts (UHSC) branch on *version themselves.
+Status ReadHeader(std::FILE* fp, const char magic[4], const std::string& path,
+                  uint32_t* version) {
   char got[4];
   UHSCM_RETURN_NOT_OK(ReadBytes(fp, got, 4));
   if (std::memcmp(got, magic, 4) != 0) {
     return Status::InvalidArgument(
         StrFormat("%s: wrong artifact type (magic mismatch)", path.c_str()));
   }
+  return ReadPod(fp, version);
+}
+
+Status CheckHeader(std::FILE* fp, const char magic[4],
+                   const std::string& path) {
   uint32_t version = 0;
-  UHSCM_RETURN_NOT_OK(ReadPod(fp, &version));
+  UHSCM_RETURN_NOT_OK(ReadHeader(fp, magic, path, &version));
   if (version != kVersion) {
     return Status::InvalidArgument(
         StrFormat("%s: unsupported version %u", path.c_str(), version));
@@ -220,40 +236,168 @@ Result<std::unique_ptr<core::HashingNetwork>> LoadHashingNetwork(
   return network;
 }
 
+namespace {
+
+/// Shared v1/v2 codes section: size, bits, words, checksum.
+Status WriteCodesBody(std::FILE* fp, const index::PackedCodes& codes) {
+  const int32_t size = codes.size();
+  const int32_t bits = codes.bits();
+  UHSCM_RETURN_NOT_OK(WritePod(fp, size));
+  UHSCM_RETURN_NOT_OK(WritePod(fp, bits));
+  const size_t bytes = codes.words().size() * sizeof(uint64_t);
+  UHSCM_RETURN_NOT_OK(WriteBytes(fp, codes.words().data(), bytes));
+  return WritePod(fp, Checksum(codes.words().data(), bytes));
+}
+
+Result<index::PackedCodes> ReadCodesBody(std::FILE* fp,
+                                         const std::string& path) {
+  int32_t size = 0, bits = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(fp, &size));
+  UHSCM_RETURN_NOT_OK(ReadPod(fp, &bits));
+  if (size < 0 || bits <= 0) {
+    return Status::InvalidArgument(path + ": corrupt code header");
+  }
+  const size_t words_per_code = static_cast<size_t>((bits + 63) / 64);
+  // Guard the allocation against corrupt headers: the payload cannot be
+  // larger than what is actually left in the file, so a garbage size
+  // field fails with a Status instead of a multi-GB bad_alloc.
+  {
+    const long here = std::ftell(fp);
+    if (here >= 0 && std::fseek(fp, 0, SEEK_END) == 0) {
+      const long file_end = std::ftell(fp);
+      if (std::fseek(fp, here, SEEK_SET) != 0) {
+        return Status::Internal(path + ": seek failed");
+      }
+      const uint64_t needed =
+          static_cast<uint64_t>(size) * words_per_code * sizeof(uint64_t);
+      if (file_end >= 0 &&
+          needed > static_cast<uint64_t>(file_end - here)) {
+        return Status::InvalidArgument(
+            path + ": corrupt code header (payload exceeds file size)");
+      }
+    }
+  }
+  std::vector<uint64_t> words(static_cast<size_t>(size) * words_per_code);
+  const size_t bytes = words.size() * sizeof(uint64_t);
+  UHSCM_RETURN_NOT_OK(ReadBytes(fp, words.data(), bytes));
+  uint64_t checksum = 0;
+  UHSCM_RETURN_NOT_OK(ReadPod(fp, &checksum));
+  if (checksum != Checksum(words.data(), bytes)) {
+    return Status::InvalidArgument(path + ": checksum mismatch (corrupt)");
+  }
+  return index::PackedCodes::FromRawWords(size, bits, std::move(words));
+}
+
+}  // namespace
+
+bool CodesSnapshot::HasTombstones() const {
+  for (uint64_t w : tombstone_words) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+int CodesSnapshot::LiveCount() const {
+  int dead = 0;
+  for (uint64_t w : tombstone_words) dead += __builtin_popcountll(w);
+  return codes.size() - dead;
+}
+
 Status SavePackedCodes(const index::PackedCodes& codes,
                        const std::string& path) {
   File file(std::fopen(path.c_str(), "wb"));
   if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
   UHSCM_RETURN_NOT_OK(WriteHeader(file.fp, "UHSC"));
-  const int32_t size = codes.size();
-  const int32_t bits = codes.bits();
-  UHSCM_RETURN_NOT_OK(WritePod(file.fp, size));
-  UHSCM_RETURN_NOT_OK(WritePod(file.fp, bits));
-  const size_t bytes = codes.words().size() * sizeof(uint64_t);
-  UHSCM_RETURN_NOT_OK(WriteBytes(file.fp, codes.words().data(), bytes));
-  return WritePod(file.fp, Checksum(codes.words().data(), bytes));
+  return WriteCodesBody(file.fp, codes);
 }
 
 Result<index::PackedCodes> LoadPackedCodes(const std::string& path) {
+  Result<CodesSnapshot> snapshot = LoadCodesSnapshot(path);
+  if (!snapshot.ok()) return snapshot.status();
+  if (!snapshot->HasTombstones()) return std::move(snapshot->codes);
+  // A v2 snapshot with deletions: compact so the caller sees exactly the
+  // surviving database.
+  const index::PackedCodes& all = snapshot->codes;
+  const int words_per_code = all.words_per_code();
+  std::vector<uint64_t> words;
+  words.reserve(static_cast<size_t>(snapshot->LiveCount()) * words_per_code);
+  int live = 0;
+  for (int i = 0; i < all.size(); ++i) {
+    if (snapshot->IsDead(i)) continue;
+    const uint64_t* src = all.code(i);
+    words.insert(words.end(), src, src + words_per_code);
+    ++live;
+  }
+  return index::PackedCodes::FromRawWords(live, all.bits(), std::move(words));
+}
+
+Status SaveCodesSnapshot(const CodesSnapshot& snapshot,
+                         const std::string& path) {
+  const size_t expected_words =
+      static_cast<size_t>((snapshot.codes.size() + 63) / 64);
+  if (!snapshot.tombstone_words.empty() &&
+      snapshot.tombstone_words.size() != expected_words) {
+    return Status::InvalidArgument(
+        StrFormat("%s: tombstone bitmap has %zu words, corpus needs %zu",
+                  path.c_str(), snapshot.tombstone_words.size(),
+                  expected_words));
+  }
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
+  UHSCM_RETURN_NOT_OK(WriteHeader(file.fp, "UHSC", kCodesSnapshotVersion));
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, snapshot.epoch));
+  UHSCM_RETURN_NOT_OK(WriteCodesBody(file.fp, snapshot.codes));
+  // Tombstone section: word count, bitmap, checksum. An empty bitmap is
+  // persisted as the full-width all-live bitmap so the loader never has
+  // to special-case it.
+  const int32_t tomb_words = static_cast<int32_t>(expected_words);
+  UHSCM_RETURN_NOT_OK(WritePod(file.fp, tomb_words));
+  std::vector<uint64_t> bitmap = snapshot.tombstone_words;
+  bitmap.resize(expected_words, 0);
+  const size_t bytes = bitmap.size() * sizeof(uint64_t);
+  UHSCM_RETURN_NOT_OK(WriteBytes(file.fp, bitmap.data(), bytes));
+  return WritePod(file.fp, Checksum(bitmap.data(), bytes));
+}
+
+Result<CodesSnapshot> LoadCodesSnapshot(const std::string& path) {
   File file(std::fopen(path.c_str(), "rb"));
   if (file.fp == nullptr) return Status::NotFound("cannot open " + path);
-  UHSCM_RETURN_NOT_OK(CheckHeader(file.fp, "UHSC", path));
-  int32_t size = 0, bits = 0;
-  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &size));
-  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &bits));
-  if (size < 0 || bits <= 0) {
-    return Status::InvalidArgument(path + ": corrupt code header");
+  uint32_t version = 0;
+  UHSCM_RETURN_NOT_OK(ReadHeader(file.fp, "UHSC", path, &version));
+  if (version != kVersion && version != kCodesSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("%s: unsupported version %u", path.c_str(), version));
   }
-  const size_t words_per_code = static_cast<size_t>((bits + 63) / 64);
-  std::vector<uint64_t> words(static_cast<size_t>(size) * words_per_code);
-  const size_t bytes = words.size() * sizeof(uint64_t);
-  UHSCM_RETURN_NOT_OK(ReadBytes(file.fp, words.data(), bytes));
-  uint64_t checksum = 0;
-  UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &checksum));
-  if (checksum != Checksum(words.data(), bytes)) {
-    return Status::InvalidArgument(path + ": checksum mismatch (corrupt)");
+  CodesSnapshot snapshot;
+  snapshot.version = version;
+  if (version == kCodesSnapshotVersion) {
+    UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &snapshot.epoch));
   }
-  return index::PackedCodes::FromRawWords(size, bits, std::move(words));
+  Result<index::PackedCodes> codes = ReadCodesBody(file.fp, path);
+  if (!codes.ok()) return codes.status();
+  snapshot.codes = std::move(codes).ValueOrDie();
+  if (version == kCodesSnapshotVersion) {
+    int32_t tomb_words = 0;
+    UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &tomb_words));
+    const int32_t expected =
+        static_cast<int32_t>((snapshot.codes.size() + 63) / 64);
+    if (tomb_words != expected) {
+      return Status::InvalidArgument(
+          StrFormat("%s: tombstone bitmap has %d words, corpus needs %d",
+                    path.c_str(), tomb_words, expected));
+    }
+    snapshot.tombstone_words.resize(static_cast<size_t>(tomb_words));
+    const size_t bytes = snapshot.tombstone_words.size() * sizeof(uint64_t);
+    UHSCM_RETURN_NOT_OK(
+        ReadBytes(file.fp, snapshot.tombstone_words.data(), bytes));
+    uint64_t checksum = 0;
+    UHSCM_RETURN_NOT_OK(ReadPod(file.fp, &checksum));
+    if (checksum != Checksum(snapshot.tombstone_words.data(), bytes)) {
+      return Status::InvalidArgument(
+          path + ": tombstone checksum mismatch (corrupt)");
+    }
+  }
+  return snapshot;
 }
 
 }  // namespace uhscm::io

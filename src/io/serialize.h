@@ -44,12 +44,54 @@ Status SaveHashingNetwork(const core::HashingNetwork& network,
 Result<std::unique_ptr<core::HashingNetwork>> LoadHashingNetwork(
     const std::string& path);
 
-/// Writes a packed code database ("UHSC" block).
+/// Writes a packed code database ("UHSC" block, version 1 — no epoch, no
+/// tombstones; the training-side artifact).
 Status SavePackedCodes(const index::PackedCodes& codes,
                        const std::string& path);
 
-/// Reads a packed code database.
+/// Reads a packed code database. Accepts both the legacy v1 artifact and
+/// a v2 serving snapshot; for v2, tombstoned rows are compacted away so
+/// the caller receives exactly the surviving codes.
 Result<index::PackedCodes> LoadPackedCodes(const std::string& path);
+
+/// \brief A versioned serving snapshot: the whole corpus (live +
+/// tombstoned rows, in global-id order), the deletion bitmap, and the
+/// corpus epoch the snapshot was taken at.
+///
+/// Persisted as "UHSC" version 2. Version 1 files (SavePackedCodes
+/// output) load as a snapshot with epoch 0 and no tombstones, so every
+/// pre-versioning artifact stays servable.
+struct CodesSnapshot {
+  index::PackedCodes codes;
+  uint64_t epoch = 0;
+  /// Deletion bitmap, ceil(codes.size()/64) words (empty = all rows
+  /// live; v1 artifacts always load this way).
+  std::vector<uint64_t> tombstone_words;
+  /// On-disk format version the loader found (1 = legacy codes block,
+  /// 2 = serving snapshot). Ignored on save — SaveCodesSnapshot always
+  /// writes v2.
+  uint32_t version = 2;
+
+  bool HasTombstones() const;
+  /// Number of live (non-tombstoned) rows.
+  int LiveCount() const;
+  /// True when row `gid` is tombstoned (an empty bitmap means all rows
+  /// live — the v1 shape). The one place the raw bitmap is decoded.
+  bool IsDead(int gid) const {
+    return !tombstone_words.empty() &&
+           ((tombstone_words[static_cast<size_t>(gid >> 6)] >> (gid & 63)) &
+            1ULL) != 0;
+  }
+};
+
+/// Writes a v2 serving snapshot ("UHSC" version 2 block).
+Status SaveCodesSnapshot(const CodesSnapshot& snapshot,
+                         const std::string& path);
+
+/// Reads a serving snapshot written by SaveCodesSnapshot, or a legacy v1
+/// SavePackedCodes artifact (epoch 0, no tombstones). Corrupt or
+/// truncated files fail with a Status — never a crash.
+Result<CodesSnapshot> LoadCodesSnapshot(const std::string& path);
 
 }  // namespace uhscm::io
 

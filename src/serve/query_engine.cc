@@ -34,12 +34,16 @@ std::vector<std::vector<Neighbor>> QueryEngine::Search(
   Stopwatch watch;
   std::vector<std::vector<Neighbor>> results(static_cast<size_t>(n));
   const int words = queries.words_per_code();
+  // One epoch per batch: all lookups and inserts of this Search use it.
+  // Updates bump the epoch only after the index mutation completes, so a
+  // batch observing the new epoch always reads the updated index.
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
 
   // Phase 1: serve what the cache already knows.
   std::vector<int> misses;
   misses.reserve(static_cast<size_t>(n));
   for (int q = 0; q < n; ++q) {
-    CacheKey key{{queries.code(q), queries.code(q) + words}, k};
+    CacheKey key{{queries.code(q), queries.code(q) + words}, k, epoch};
     if (!cache_.Lookup(key, &results[static_cast<size_t>(q)])) {
       misses.push_back(q);
     }
@@ -84,7 +88,7 @@ std::vector<std::vector<Neighbor>> QueryEngine::Search(
                                 static_cast<size_t>(m + 1) * num_shards));
     const int q = misses[static_cast<size_t>(m)];
     results[static_cast<size_t>(q)] = ShardedIndex::MergeTopK(per_shard, k);
-    CacheKey key{{queries.code(q), queries.code(q) + words}, k};
+    CacheKey key{{queries.code(q), queries.code(q) + words}, k, epoch};
     cache_.Insert(key, results[static_cast<size_t>(q)]);
   });
 
@@ -97,6 +101,69 @@ std::vector<Neighbor> QueryEngine::SearchOne(const uint64_t* query, int k) {
       1, index_->bits(),
       std::vector<uint64_t>(query, query + (index_->bits() + 63) / 64));
   return Search(one, k)[0];
+}
+
+std::vector<int> QueryEngine::Append(const index::PackedCodes& codes) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  std::vector<int> ids = index_->Append(codes);
+  if (!ids.empty()) {
+    appends_.fetch_add(static_cast<int64_t>(ids.size()),
+                       std::memory_order_relaxed);
+    // Bump strictly after the index mutation: a Search that reads the new
+    // epoch is guaranteed to see the appended rows, so nothing stale can
+    // be cached under the new key.
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  return ids;
+}
+
+bool QueryEngine::Remove(int global_id) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const bool removed = index_->Remove(global_id);
+  if (removed) {
+    removes_.fetch_add(1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  return removed;
+}
+
+int QueryEngine::RemoveIds(const std::vector<int>& global_ids) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const int removed = index_->RemoveIds(global_ids);
+  if (removed > 0) {
+    removes_.fetch_add(removed, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  return removed;
+}
+
+CorpusExport QueryEngine::ExportCorpus(uint64_t* epoch_out) const {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  CorpusExport corpus = index_->Export();
+  *epoch_out = epoch();
+  return corpus;
+}
+
+ServeStatsSnapshot QueryEngine::stats() const {
+  ServeStatsSnapshot snap = stats_.Snapshot();
+  // The cache's own counters are authoritative for cache behavior (a
+  // disabled cache reports zeros); ServeStats aggregates the same
+  // hit/miss totals per batch for standalone use.
+  const ResultCacheStats cache_stats = cache_.stats();
+  snap.cache_hits = cache_stats.hits;
+  snap.cache_misses = cache_stats.misses;
+  snap.cache_evictions = cache_stats.evictions;
+  snap.appends = appends_.load(std::memory_order_relaxed);
+  snap.removes = removes_.load(std::memory_order_relaxed);
+  snap.epoch = epoch();
+  return snap;
+}
+
+void QueryEngine::ResetStats() {
+  stats_.Reset();
+  cache_.ResetStats();
+  appends_.store(0, std::memory_order_relaxed);
+  removes_.store(0, std::memory_order_relaxed);
 }
 
 void ReplayBatches(QueryEngine* engine, const index::PackedCodes& queries,

@@ -1,7 +1,10 @@
 #ifndef UHSCM_SERVE_QUERY_ENGINE_H_
 #define UHSCM_SERVE_QUERY_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -27,18 +30,25 @@ struct QueryEngineOptions {
   int miss_block = 16;
 };
 
-/// \brief The serving front end: batched top-k search over a ShardedIndex
-/// with an LRU result cache and latency/throughput accounting.
+/// \brief The serving front end: batched top-k search over a mutable
+/// ShardedIndex with an epoch-keyed LRU result cache and
+/// latency/throughput accounting.
 ///
-/// `Search` is safe to call concurrently from many request threads: the
-/// index is immutable after construction, the cache and stats take their
-/// own locks, and batch fan-out runs on the engine's private pool. Work
-/// is flattened to (uncached query, shard) units in a single ParallelFor
-/// — never nested pools, so request threads cannot deadlock the workers.
+/// `Search` is safe to call concurrently from many request threads — and
+/// concurrently with `Append`/`Remove`: the index takes per-shard
+/// reader/writer locks, the cache and stats take their own locks, and
+/// batch fan-out runs on the engine's private pool. Work is flattened to
+/// (uncached query, shard) units in a single ParallelFor — never nested
+/// pools, so request threads cannot deadlock the workers.
 ///
-/// Results are exact and deterministic: byte-identical to a
-/// single-threaded LinearScan over the unsharded corpus, whether they
-/// come from a shard merge or from the cache.
+/// The corpus **epoch** is a monotonic counter bumped after every
+/// completed update; it is folded into every cache key, so a result
+/// computed before an update can never answer a query issued after it —
+/// stale cache hits are structurally impossible.
+///
+/// Results are exact and deterministic: byte-identical (after id
+/// compaction) to a single-threaded LinearScan over the surviving rows,
+/// whether they come from a shard merge or from the cache.
 class QueryEngine {
  public:
   QueryEngine(std::unique_ptr<ShardedIndex> index,
@@ -52,11 +62,39 @@ class QueryEngine {
   /// Single-query convenience wrapper over the batched path.
   std::vector<index::Neighbor> SearchOne(const uint64_t* query, int k);
 
+  /// Appends a batch of codes to the corpus (routed to the least-full
+  /// shard) and bumps the epoch. Returns the assigned global ids.
+  std::vector<int> Append(const index::PackedCodes& codes);
+
+  /// Tombstones one global id; bumps the epoch when anything was removed.
+  bool Remove(int global_id);
+
+  /// Tombstones a list of global ids (one epoch bump for the whole
+  /// batch). Returns how many were newly removed.
+  int RemoveIds(const std::vector<int>& global_ids);
+
+  /// Current corpus epoch: 0 at construction, +1 after every completed
+  /// Append / Remove / RemoveIds that changed the corpus.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Restores a persisted epoch (snapshot hydration). Call before
+  /// serving traffic.
+  void RestoreEpoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
+  /// Consistent snapshot payload: the corpus copy and the epoch it
+  /// corresponds to, captured together under the update lock so no
+  /// concurrent Append/Remove can slip between them.
+  CorpusExport ExportCorpus(uint64_t* epoch_out) const;
+
   const ShardedIndex& index() const { return *index_; }
   int num_threads() const { return pool_->num_threads(); }
 
-  ServeStatsSnapshot stats() const { return stats_.Snapshot(); }
-  void ResetStats() { stats_.Reset(); }
+  /// ServeStats snapshot plus the cache's hit/miss/evict counters, the
+  /// update counters, and the current epoch.
+  ServeStatsSnapshot stats() const;
+  void ResetStats();
 
   size_t cache_size() const { return cache_.size(); }
 
@@ -66,6 +104,13 @@ class QueryEngine {
   ResultCache cache_;
   ServeStats stats_;
   int miss_block_;
+  /// Serializes {index mutation, epoch bump} pairs against each other
+  /// and against ExportCorpus, so a snapshot's epoch always matches its
+  /// corpus. Searches never take it.
+  mutable std::mutex update_mu_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<int64_t> appends_{0};
+  std::atomic<int64_t> removes_{0};
 };
 
 /// Replays a query stream through the engine in batches of `batch`

@@ -6,12 +6,19 @@ ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
 
 bool ResultCache::Lookup(const CacheKey& key,
                          std::vector<index::Neighbor>* out) {
+  // A disabled cache must stay lock-free: the capacity-0 configuration
+  // exists to avoid cache overhead, so it cannot become a per-query
+  // contention point. Its counters simply stay zero.
   if (capacity_ == 0) return false;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
-  if (it == index_.end()) return false;
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   *out = it->second->neighbors;
+  ++stats_.hits;
   return true;
 }
 
@@ -32,6 +39,7 @@ void ResultCache::Insert(const CacheKey& key,
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
+    ++stats_.evictions;
   }
 }
 
@@ -39,6 +47,16 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ResultCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = ResultCacheStats{};
 }
 
 size_t ResultCache::size() const {

@@ -7,26 +7,32 @@
 #include <unordered_map>
 #include <vector>
 
-#include "index/linear_scan.h"
+#include "index/neighbor.h"
 
 namespace uhscm::serve {
 
-/// Cache key: the packed query bits plus the requested k. Two queries
-/// whose sign patterns pack to the same words are the same lookup — the
-/// common case under production traffic, where popular queries repeat.
+/// Cache key: the packed query bits, the requested k, and the corpus
+/// epoch the result was computed against. Two queries whose sign patterns
+/// pack to the same words are the same lookup — the common case under
+/// production traffic, where popular queries repeat. The epoch makes
+/// stale hits impossible: every Append/Remove bumps the engine's epoch,
+/// so entries computed before an update can never answer a query issued
+/// after it (they age out through normal LRU eviction).
 struct CacheKey {
   std::vector<uint64_t> words;
   int k = 0;
+  uint64_t epoch = 0;
 
   bool operator==(const CacheKey& other) const {
-    return k == other.k && words == other.words;
+    return k == other.k && epoch == other.epoch && words == other.words;
   }
 };
 
 struct CacheKeyHash {
   size_t operator()(const CacheKey& key) const {
-    // FNV-1a over the packed words and k — same scheme io/serialize uses
-    // for checksums, cheap and well distributed for bit patterns.
+    // FNV-1a over the packed words, k, and epoch — same scheme
+    // io/serialize uses for checksums, cheap and well distributed for bit
+    // patterns.
     uint64_t h = 1469598103934665603ULL;
     auto mix = [&h](uint64_t v) {
       for (int byte = 0; byte < 8; ++byte) {
@@ -36,8 +42,17 @@ struct CacheKeyHash {
     };
     for (uint64_t w : key.words) mix(w);
     mix(static_cast<uint64_t>(key.k));
+    mix(key.epoch);
     return static_cast<size_t>(h);
   }
+};
+
+/// Monotonic counters a ResultCache keeps about itself (surfaced through
+/// ServeStatsSnapshot so operators can see the cache working).
+struct ResultCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
 };
 
 /// \brief Thread-safe LRU cache of top-k result lists.
@@ -61,6 +76,10 @@ class ResultCache {
 
   void Clear();
 
+  /// Hit/miss/eviction counters since construction or ResetStats().
+  ResultCacheStats stats() const;
+  void ResetStats();
+
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
@@ -72,6 +91,7 @@ class ResultCache {
 
   size_t capacity_;
   mutable std::mutex mu_;
+  ResultCacheStats stats_;
   /// Front = most recently used.
   std::list<Entry> lru_;
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>

@@ -13,6 +13,15 @@ struct ServeStatsSnapshot {
   int64_t batches = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  /// LRU evictions from the result cache (filled in by
+  /// QueryEngine::stats() from the cache's own counters).
+  int64_t cache_evictions = 0;
+  /// Corpus mutation counters and the resulting epoch (filled in by
+  /// QueryEngine::stats(); every Append/Remove call bumps the epoch and
+  /// invalidates all cached results by keying).
+  int64_t appends = 0;
+  int64_t removes = 0;
+  uint64_t epoch = 0;
   /// Wall-clock seconds spent inside Search calls (summed per batch, so
   /// concurrent callers accumulate their own time).
   double busy_seconds = 0.0;

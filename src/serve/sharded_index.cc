@@ -2,71 +2,56 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 #include "common/status.h"
+#include "index/linear_scan.h"
+#include "index/multi_index_hash.h"
 
 namespace uhscm::serve {
 
 using index::Neighbor;
 
-namespace {
-
-/// Exact top-k over one MIH shard: grow the Hamming radius until at least
-/// k verified hits accumulate (or the radius covers the whole space),
-/// then rank by (distance, id). WithinRadius results are exact, so the
-/// selection is exact too.
-std::vector<Neighbor> MihTopK(const index::MultiIndexHashTable& mih, int bits,
-                              const uint64_t* query, int k) {
-  k = std::min(k, mih.size());
-  if (k <= 0) return {};
-  int radius = std::max(1, bits / 16);
-  std::vector<Neighbor> hits;
-  for (;;) {
-    hits = mih.WithinRadius(query, radius);
-    if (static_cast<int>(hits.size()) >= k || radius >= bits) break;
-    radius = std::min(bits, radius * 2);
-  }
-  std::sort(hits.begin(), hits.end(), [](const Neighbor& a, const Neighbor& b) {
-    return a.distance != b.distance ? a.distance < b.distance : a.id < b.id;
-  });
-  hits.resize(static_cast<size_t>(std::min<int>(k, hits.size())));
-  return hits;
-}
-
-}  // namespace
-
 ShardedIndex::ShardedIndex(index::PackedCodes corpus,
                            const ShardedIndexOptions& options)
-    : options_(options), size_(corpus.size()), bits_(corpus.bits()) {
+    : options_(options), bits_(corpus.bits()) {
   UHSCM_CHECK(bits_ > 0, "ShardedIndex: corpus has zero code width");
-  const int num_shards =
-      std::clamp(options.num_shards, 1, std::max(1, size_));
+  const int size = corpus.size();
+  const int num_shards = std::clamp(options.num_shards, 1, std::max(1, size));
   options_.num_shards = num_shards;
+  live_size_.store(size, std::memory_order_relaxed);
+  total_size_.store(size, std::memory_order_relaxed);
 
   const int words_per_code = corpus.words_per_code();
+  locator_.reserve(static_cast<size_t>(size));
+  shard_live_.resize(static_cast<size_t>(num_shards), 0);
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
-    const int begin = static_cast<int>(
-        static_cast<int64_t>(s) * size_ / num_shards);
-    const int end = static_cast<int>(
-        static_cast<int64_t>(s + 1) * size_ / num_shards);
+    const int begin =
+        static_cast<int>(static_cast<int64_t>(s) * size / num_shards);
+    const int end =
+        static_cast<int>(static_cast<int64_t>(s + 1) * size / num_shards);
     const int count = end - begin;
     std::vector<uint64_t> words(
-        corpus.words().begin() +
-            static_cast<size_t>(begin) * words_per_code,
+        corpus.words().begin() + static_cast<size_t>(begin) * words_per_code,
         corpus.words().begin() + static_cast<size_t>(end) * words_per_code);
     index::PackedCodes shard_codes =
         index::PackedCodes::FromRawWords(count, bits_, std::move(words));
 
-    Shard shard;
-    shard.offset = begin;
+    auto shard = std::make_unique<Shard>();
+    shard->offset = begin;
+    shard->base_count = count;
     if (options_.backend == ShardBackend::kMultiIndexHash) {
-      shard.mih = std::make_unique<index::MultiIndexHashTable>(
+      shard->impl = std::make_unique<index::MultiIndexHashTable>(
           std::move(shard_codes), options_.mih_substrings);
     } else {
-      shard.scan = std::make_unique<index::LinearScanIndex>(
-          std::move(shard_codes));
+      shard->impl =
+          std::make_unique<index::LinearScanIndex>(std::move(shard_codes));
     }
+    for (int local = 0; local < count; ++local) {
+      locator_.push_back(Locator{s, local});
+    }
+    shard_live_[static_cast<size_t>(s)] = count;
     shards_.push_back(std::move(shard));
   }
 }
@@ -75,11 +60,13 @@ std::vector<Neighbor> ShardedIndex::ShardTopK(int s, const uint64_t* query,
                                               int k) const {
   UHSCM_CHECK(s >= 0 && s < num_shards(),
               "ShardedIndex::ShardTopK: shard out of range");
-  const Shard& shard = shards_[static_cast<size_t>(s)];
-  std::vector<Neighbor> local =
-      shard.scan ? shard.scan->TopK(query, k)
-                 : MihTopK(*shard.mih, bits_, query, k);
-  for (Neighbor& nb : local) nb.id += shard.offset;
+  const Shard& shard = *shards_[static_cast<size_t>(s)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  std::vector<Neighbor> local = shard.impl->TopK(query, k);
+  // The local -> global map is strictly increasing, so the (distance, id)
+  // sort order survives the remap.
+  index::RemapNeighborIds(&local,
+                          [&shard](int id) { return shard.GlobalId(id); });
   return local;
 }
 
@@ -87,21 +74,121 @@ std::vector<std::vector<Neighbor>> ShardedIndex::ShardTopKBatch(
     int s, const uint64_t* const* queries, int num_queries, int k) const {
   UHSCM_CHECK(s >= 0 && s < num_shards(),
               "ShardedIndex::ShardTopKBatch: shard out of range");
-  const Shard& shard = shards_[static_cast<size_t>(s)];
-  std::vector<std::vector<Neighbor>> results;
-  if (shard.scan) {
-    results = shard.scan->TopKBatch(queries, num_queries, k);
-  } else {
-    results.resize(static_cast<size_t>(std::max(0, num_queries)));
-    for (int q = 0; q < num_queries; ++q) {
-      results[static_cast<size_t>(q)] =
-          MihTopK(*shard.mih, bits_, queries[q], k);
-    }
-  }
+  const Shard& shard = *shards_[static_cast<size_t>(s)];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  std::vector<std::vector<Neighbor>> results =
+      shard.impl->TopKBatch(queries, num_queries, k);
   for (auto& list : results) {
-    for (Neighbor& nb : list) nb.id += shard.offset;
+    index::RemapNeighborIds(&list,
+                            [&shard](int id) { return shard.GlobalId(id); });
   }
   return results;
+}
+
+std::vector<int> ShardedIndex::Append(const index::PackedCodes& batch) {
+  UHSCM_CHECK(batch.bits() == bits_,
+              "ShardedIndex::Append: batch bit width != corpus bit width");
+  std::vector<int> ids;
+  if (batch.size() == 0) return ids;
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  // Route the whole batch to the shard with the fewest live rows so the
+  // corpus stays balanced as it grows and shrinks.
+  int target = 0;
+  for (int s = 1; s < num_shards(); ++s) {
+    if (shard_live_[static_cast<size_t>(s)] <
+        shard_live_[static_cast<size_t>(target)]) {
+      target = s;
+    }
+  }
+  Shard& shard = *shards_[static_cast<size_t>(target)];
+  const int first_id = total_size_.load(std::memory_order_relaxed);
+  ids.reserve(static_cast<size_t>(batch.size()));
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    const int local_base = shard.impl->total_size();
+    shard.impl->Append(batch);
+    for (int i = 0; i < batch.size(); ++i) {
+      const int gid = first_id + i;
+      ids.push_back(gid);
+      shard.appended_ids.push_back(gid);
+      locator_.push_back(Locator{target, local_base + i});
+    }
+  }
+  shard_live_[static_cast<size_t>(target)] += batch.size();
+  total_size_.fetch_add(batch.size(), std::memory_order_relaxed);
+  live_size_.fetch_add(batch.size(), std::memory_order_release);
+  return ids;
+}
+
+bool ShardedIndex::Remove(int global_id) {
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  if (global_id < 0 ||
+      global_id >= total_size_.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const Locator loc = locator_[static_cast<size_t>(global_id)];
+  Shard& shard = *shards_[static_cast<size_t>(loc.shard)];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (!shard.impl->Remove(loc.local)) return false;
+  --shard_live_[static_cast<size_t>(loc.shard)];
+  live_size_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+int ShardedIndex::RemoveIds(const std::vector<int>& global_ids) {
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  const int total = total_size_.load(std::memory_order_relaxed);
+  // Group by shard so each shard's writer lock is taken once per batch
+  // instead of once per id — a bulk delete stalls in-flight queries per
+  // shard, not per row.
+  std::vector<std::vector<int>> local_ids(shards_.size());
+  for (int gid : global_ids) {
+    if (gid < 0 || gid >= total) continue;
+    const Locator loc = locator_[static_cast<size_t>(gid)];
+    local_ids[static_cast<size_t>(loc.shard)].push_back(loc.local);
+  }
+  int removed = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (local_ids[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    int shard_removed = 0;
+    for (int local : local_ids[s]) {
+      shard_removed += shard.impl->Remove(local) ? 1 : 0;
+    }
+    shard_live_[s] -= shard_removed;
+    removed += shard_removed;
+  }
+  if (removed > 0) live_size_.fetch_sub(removed, std::memory_order_release);
+  return removed;
+}
+
+CorpusExport ShardedIndex::Export() const {
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+
+  const int total = total_size_.load(std::memory_order_relaxed);
+  const int words_per_code = (bits_ + 63) / 64;
+  std::vector<uint64_t> words(static_cast<size_t>(total) * words_per_code);
+  std::vector<uint64_t> tombstone_words(
+      static_cast<size_t>((total + 63) / 64), 0);
+  for (int gid = 0; gid < total; ++gid) {
+    const Locator loc = locator_[static_cast<size_t>(gid)];
+    const Shard& shard = *shards_[static_cast<size_t>(loc.shard)];
+    const uint64_t* src = shard.impl->codes().code(loc.local);
+    std::copy(src, src + words_per_code,
+              words.begin() + static_cast<size_t>(gid) * words_per_code);
+    if (shard.impl->tombstones().Test(loc.local)) {
+      tombstone_words[static_cast<size_t>(gid >> 6)] |= 1ULL << (gid & 63);
+    }
+  }
+  CorpusExport out;
+  out.codes = index::PackedCodes::FromRawWords(total, bits_, std::move(words));
+  out.tombstone_words = std::move(tombstone_words);
+  out.live = live_size_.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::vector<Neighbor> ShardedIndex::MergeTopK(
@@ -114,10 +201,7 @@ std::vector<Neighbor> ShardedIndex::MergeTopK(
     size_t pos;
   };
   auto worse = [](const Cursor& a, const Cursor& b) {
-    const Neighbor& na = (*a.list)[a.pos];
-    const Neighbor& nb = (*b.list)[b.pos];
-    return na.distance != nb.distance ? na.distance > nb.distance
-                                      : na.id > nb.id;
+    return index::NeighborLess((*b.list)[b.pos], (*a.list)[a.pos]);
   };
   std::priority_queue<Cursor, std::vector<Cursor>, decltype(worse)> heap(
       worse);
@@ -137,7 +221,7 @@ std::vector<Neighbor> ShardedIndex::MergeTopK(
 
 std::vector<Neighbor> ShardedIndex::TopK(const uint64_t* query, int k,
                                          ThreadPool* pool) const {
-  k = std::min(k, size_);
+  k = std::min(k, size());
   if (k <= 0) return {};
   std::vector<std::vector<Neighbor>> per_shard(shards_.size());
   auto search_shard = [&](int s) {

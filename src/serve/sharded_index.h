@@ -1,13 +1,16 @@
 #ifndef UHSCM_SERVE_SHARDED_INDEX_H_
 #define UHSCM_SERVE_SHARDED_INDEX_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/thread_pool.h"
-#include "index/linear_scan.h"
-#include "index/multi_index_hash.h"
+#include "index/neighbor.h"
 #include "index/packed_codes.h"
+#include "index/shard_index.h"
 
 namespace uhscm::serve {
 
@@ -30,13 +33,35 @@ struct ShardedIndexOptions {
   int mih_substrings = 0;
 };
 
+/// Point-in-time copy of the whole corpus in global-id order, the unit a
+/// versioned snapshot persists. Tombstoned rows keep their packed words
+/// (id stability across save/load); the bitmap says which rows are dead.
+struct CorpusExport {
+  index::PackedCodes codes;
+  /// Deletion bitmap, ceil(codes.size()/64) words; bit g set = global id
+  /// g is tombstoned.
+  std::vector<uint64_t> tombstone_words;
+  int live = 0;
+};
+
 /// \brief A corpus of packed codes partitioned into independently
-/// searchable shards.
+/// searchable, independently *mutable* shards.
 ///
-/// The corpus is split into contiguous row ranges, so shard-local ids map
-/// back to global ids by offset addition and the (distance, global id)
-/// ordering of merged results is byte-identical to a single LinearScan
-/// over the whole corpus — the invariant tests/serve_test.cc pins down.
+/// The initial corpus is split into contiguous row ranges; each shard is
+/// backed by an index::ShardIndex implementation (linear scan or MIH).
+/// Append routes each incoming batch to the shard with the fewest live
+/// rows and assigns fresh global ids from a monotonic counter; Remove
+/// tombstones a global id in place. Shard-local ids map to global ids
+/// through a strictly increasing per-shard map (base offset + appended-id
+/// list), so per-shard sorted result lists stay sorted after remapping
+/// and the (distance, global id) ordering of merged results is
+/// byte-identical — after id compaction — to a single LinearScan over the
+/// surviving rows, the invariant tests/serve_test.cc pins down.
+///
+/// Concurrency: each shard carries a reader/writer lock. Queries take the
+/// shard lock shared, Append/Remove take it exclusive (plus a corpus
+/// mutex for id assignment and routing), so searches run concurrently
+/// with updates and never observe a torn shard.
 ///
 /// Search is two-level: per-shard top-k (fanned out on a ThreadPool) and
 /// a k-way heap merge of the per-shard sorted lists. The per-shard method
@@ -48,14 +73,20 @@ class ShardedIndex {
   explicit ShardedIndex(index::PackedCodes corpus,
                         const ShardedIndexOptions& options = {});
 
-  int size() const { return size_; }
+  /// Live (non-tombstoned) codes across all shards.
+  int size() const { return live_size_.load(std::memory_order_relaxed); }
+  /// All codes ever added, including tombstoned ones (== the upper bound
+  /// of assigned global ids).
+  int total_size() const {
+    return total_size_.load(std::memory_order_relaxed);
+  }
   int bits() const { return bits_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
   ShardBackend backend() const { return options_.backend; }
 
-  /// Exact top-k over the whole corpus (ascending distance, then
-  /// ascending global id). Shard searches run on `pool`, or on the
-  /// process-wide pool when null. k is clamped to the corpus size.
+  /// Exact top-k over the live corpus (ascending distance, then ascending
+  /// global id). Shard searches run on `pool`, or on the process-wide
+  /// pool when null. k is clamped to the live corpus size.
   std::vector<index::Neighbor> TopK(const uint64_t* query, int k,
                                     ThreadPool* pool = nullptr) const;
 
@@ -71,6 +102,22 @@ class ShardedIndex {
   std::vector<std::vector<index::Neighbor>> ShardTopKBatch(
       int s, const uint64_t* const* queries, int num_queries, int k) const;
 
+  /// Appends a batch of codes (same bit width) to the shard with the
+  /// fewest live rows. Returns the assigned global ids (consecutive,
+  /// starting at the pre-call total_size()).
+  std::vector<int> Append(const index::PackedCodes& batch);
+
+  /// Tombstones one global id. Returns false when out of range or
+  /// already removed.
+  bool Remove(int global_id);
+
+  /// Remove() over a list; returns how many ids were newly tombstoned.
+  int RemoveIds(const std::vector<int>& global_ids);
+
+  /// Copies the whole corpus (live + tombstoned rows) in global-id order
+  /// — the payload of a versioned snapshot save.
+  CorpusExport Export() const;
+
   /// Merges per-shard sorted result lists into the global top-k via a
   /// k-way min-heap. Exposed for the batch engine and tests.
   static std::vector<index::Neighbor> MergeTopK(
@@ -78,15 +125,39 @@ class ShardedIndex {
 
  private:
   struct Shard {
-    int offset = 0;  // global id of the shard's first code
-    std::unique_ptr<index::LinearScanIndex> scan;
-    std::unique_ptr<index::MultiIndexHashTable> mih;
+    int offset = 0;      // global id of the shard's first base row
+    int base_count = 0;  // contiguous base rows [offset, offset+base_count)
+    /// Global ids of appended rows (local ids base_count..), strictly
+    /// increasing — appended under the corpus mutex from a monotonic
+    /// counter.
+    std::vector<int> appended_ids;
+    std::unique_ptr<index::ShardIndex> impl;
+    /// Queries hold this shared; Append/Remove hold it exclusive.
+    mutable std::shared_mutex mu;
+
+    int GlobalId(int local) const {
+      return local < base_count
+                 ? offset + local
+                 : appended_ids[static_cast<size_t>(local - base_count)];
+    }
+  };
+
+  /// Where a global id lives: (shard, shard-local id).
+  struct Locator {
+    int shard;
+    int local;
   };
 
   ShardedIndexOptions options_;
-  int size_ = 0;
   int bits_ = 0;
-  std::vector<Shard> shards_;
+  std::atomic<int> live_size_{0};
+  std::atomic<int> total_size_{0};
+  /// Guards locator_, shard_live_, append routing, and global-id
+  /// assignment. Always acquired before any shard lock.
+  mutable std::mutex meta_mu_;
+  std::vector<Locator> locator_;  // indexed by global id
+  std::vector<int> shard_live_;   // live rows per shard (under meta_mu_)
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace uhscm::serve

@@ -8,9 +8,29 @@ namespace uhscm::serve {
 
 Result<std::unique_ptr<QueryEngine>> LoadQueryEngine(
     const std::string& codes_path, const ServingSnapshotOptions& options) {
-  Result<index::PackedCodes> codes = io::LoadPackedCodes(codes_path);
-  if (!codes.ok()) return codes.status();
-  return MakeQueryEngine(std::move(codes).ValueOrDie(), options);
+  Result<io::CodesSnapshot> snapshot = io::LoadCodesSnapshot(codes_path);
+  if (!snapshot.ok()) return snapshot.status();
+  return MakeQueryEngineFromSnapshot(std::move(snapshot).ValueOrDie(),
+                                     options);
+}
+
+std::unique_ptr<QueryEngine> MakeQueryEngineFromSnapshot(
+    io::CodesSnapshot snapshot, const ServingSnapshotOptions& options) {
+  std::vector<int> dead;
+  if (snapshot.HasTombstones()) {
+    for (int gid = 0; gid < snapshot.codes.size(); ++gid) {
+      if (snapshot.IsDead(gid)) dead.push_back(gid);
+    }
+  }
+  // Shards partition all rows (tombstoned ones included) so global ids
+  // match the snapshot exactly; deletions are re-applied on top.
+  auto index = std::make_unique<ShardedIndex>(std::move(snapshot.codes),
+                                              options.index);
+  index->RemoveIds(dead);
+  auto engine =
+      std::make_unique<QueryEngine>(std::move(index), options.engine);
+  engine->RestoreEpoch(snapshot.epoch);
+  return engine;
 }
 
 std::unique_ptr<QueryEngine> MakeQueryEngine(
@@ -18,6 +38,17 @@ std::unique_ptr<QueryEngine> MakeQueryEngine(
   auto index =
       std::make_unique<ShardedIndex>(std::move(corpus), options.index);
   return std::make_unique<QueryEngine>(std::move(index), options.engine);
+}
+
+Status SaveServingSnapshot(const QueryEngine& engine,
+                           const std::string& path) {
+  uint64_t epoch = 0;
+  CorpusExport corpus = engine.ExportCorpus(&epoch);
+  io::CodesSnapshot snapshot;
+  snapshot.codes = std::move(corpus.codes);
+  snapshot.tombstone_words = std::move(corpus.tombstone_words);
+  snapshot.epoch = epoch;
+  return io::SaveCodesSnapshot(snapshot, path);
 }
 
 }  // namespace uhscm::serve

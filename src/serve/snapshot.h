@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "io/serialize.h"
 #include "serve/query_engine.h"
 #include "serve/sharded_index.h"
 
@@ -16,19 +17,36 @@ struct ServingSnapshotOptions {
   QueryEngineOptions engine;
 };
 
-/// \brief Snapshot integration: load a packed-code database written by
-/// io::SavePackedCodes (e.g. by `uhscm_cli train --codes=...`) into a
-/// ready-to-serve QueryEngine.
+/// \brief Snapshot integration: load a packed-code artifact into a
+/// ready-to-serve QueryEngine, and persist a live engine back out.
 ///
 /// This is the deployment seam between training and serving: training
-/// persists codes once, and any number of serving processes hydrate
-/// sharded engines from the same artifact.
+/// persists codes once (io::SavePackedCodes, format v1), any number of
+/// serving processes hydrate sharded engines from the artifact, and a
+/// mutated engine (appends + tombstone deletes) saves a *versioned* v2
+/// snapshot — epoch, codes in global-id order, and the deletion bitmap —
+/// that reloads into an engine with identical ids, epoch, and results.
+/// Legacy v1 artifacts keep loading (epoch 0, nothing tombstoned).
 Result<std::unique_ptr<QueryEngine>> LoadQueryEngine(
     const std::string& codes_path, const ServingSnapshotOptions& options = {});
 
 /// In-memory variant for tests and benches that already hold the codes.
 std::unique_ptr<QueryEngine> MakeQueryEngine(
     index::PackedCodes corpus, const ServingSnapshotOptions& options = {});
+
+/// Builds an engine from an already-loaded snapshot: shards all rows
+/// (so global ids match the snapshot), re-applies the tombstones, and
+/// restores the epoch. The seam callers use when they need the snapshot
+/// contents (query sampling, inspection) without reading the file twice.
+std::unique_ptr<QueryEngine> MakeQueryEngineFromSnapshot(
+    io::CodesSnapshot snapshot, const ServingSnapshotOptions& options = {});
+
+/// Persists the engine's current corpus — live and tombstoned rows, the
+/// deletion bitmap, and the epoch — as a v2 snapshot at `path`.
+/// Concurrent-safe: takes the index's shard locks shared for a
+/// consistent point-in-time copy.
+Status SaveServingSnapshot(const QueryEngine& engine,
+                           const std::string& path);
 
 }  // namespace uhscm::serve
 

@@ -8,6 +8,7 @@
 #include "baselines/registry.h"
 #include "core/trainer.h"
 #include "eval/retrieval_eval.h"
+#include "index/linear_scan.h"
 #include "index/multi_index_hash.h"
 #include "test_util.h"
 

@@ -200,5 +200,140 @@ TEST_P(PackedCodesRoundTrip, PreservesAllDistances) {
 INSTANTIATE_TEST_SUITE_P(Widths, PackedCodesRoundTrip,
                          ::testing::Values(16, 64, 96, 128));
 
+// ---------------------------------------------------------------------
+// Serving snapshot ("UHSC" v2): epoch + tombstone section, with v1 read
+// compatibility.
+
+index::PackedCodes RandomPacked(int n, int bits, Rng* rng) {
+  linalg::Matrix codes(n, bits);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    codes.data()[i] = rng->Bernoulli(0.5) ? 1.0f : -1.0f;
+  }
+  return index::PackedCodes::FromSignMatrix(codes);
+}
+
+TEST_F(IoTest, CodesSnapshotV2RoundTrip) {
+  Rng rng(9);
+  CodesSnapshot snapshot;
+  snapshot.codes = RandomPacked(70, 96, &rng);
+  snapshot.epoch = 42;
+  snapshot.tombstone_words.assign(static_cast<size_t>((70 + 63) / 64), 0);
+  snapshot.tombstone_words[0] |= 1ULL << 3;
+  snapshot.tombstone_words[1] |= 1ULL << (69 - 64);
+
+  const std::string path = Path("snapshot_v2.bin");
+  ASSERT_TRUE(SaveCodesSnapshot(snapshot, path).ok());
+  Result<CodesSnapshot> loaded = LoadCodesSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 42u);
+  EXPECT_EQ(loaded->codes.size(), 70);
+  EXPECT_EQ(loaded->codes.bits(), 96);
+  EXPECT_TRUE(loaded->HasTombstones());
+  EXPECT_EQ(loaded->LiveCount(), 68);
+  EXPECT_EQ(loaded->tombstone_words, snapshot.tombstone_words);
+  EXPECT_EQ(loaded->codes.words(), snapshot.codes.words());
+
+  // LoadPackedCodes on the same v2 file compacts the tombstoned rows.
+  Result<index::PackedCodes> compacted = LoadPackedCodes(path);
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_EQ(compacted->size(), 68);
+  // Row 0 of the compacted database is row 0 of the snapshot (gid 3 and
+  // 69 were dead), row 3 is gid 4.
+  EXPECT_EQ(0, index::HammingDistance(compacted->code(3),
+                                      snapshot.codes.code(4),
+                                      snapshot.codes.words_per_code()));
+}
+
+TEST_F(IoTest, LegacyV1LoadsAsSnapshotWithEpochZero) {
+  Rng rng(10);
+  index::PackedCodes packed = RandomPacked(30, 64, &rng);
+  const std::string path = Path("legacy_codes.bin");
+  ASSERT_TRUE(SavePackedCodes(packed, path).ok());
+  Result<CodesSnapshot> loaded = LoadCodesSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->epoch, 0u);
+  EXPECT_FALSE(loaded->HasTombstones());
+  EXPECT_EQ(loaded->LiveCount(), 30);
+  EXPECT_EQ(loaded->codes.words(), packed.words());
+}
+
+TEST_F(IoTest, SnapshotCorruptHeaderReturnsStatusError) {
+  const std::string path = Path("corrupt_snapshot.bin");
+  // Wrong magic.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("XXXX garbage that is long enough to read a header from",
+               f);
+    std::fclose(f);
+    Result<CodesSnapshot> loaded = LoadCodesSnapshot(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Right magic, unsupported version.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const uint32_t bad_version = 99;
+    std::fwrite("UHSC", 1, 4, f);
+    std::fwrite(&bad_version, sizeof(bad_version), 1, f);
+    std::fclose(f);
+    Result<CodesSnapshot> loaded = LoadCodesSnapshot(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Valid v2 prefix, truncated before the tombstone section.
+  {
+    Rng rng(11);
+    CodesSnapshot snapshot;
+    snapshot.codes = RandomPacked(20, 64, &rng);
+    snapshot.epoch = 7;
+    ASSERT_TRUE(SaveCodesSnapshot(snapshot, path).ok());
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    // 4 magic + 4 version + 8 epoch + 8 dims + half the code words.
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long full = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), full - 20), 0);
+    Result<CodesSnapshot> loaded = LoadCodesSnapshot(path);
+    ASSERT_FALSE(loaded.ok());
+  }
+  // Flipped tombstone bit fails the section checksum.
+  {
+    Rng rng(12);
+    CodesSnapshot snapshot;
+    snapshot.codes = RandomPacked(20, 64, &rng);
+    snapshot.epoch = 7;
+    snapshot.tombstone_words.assign(1, 1ULL << 5);
+    ASSERT_TRUE(SaveCodesSnapshot(snapshot, path).ok());
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    // The tombstone bitmap sits 12 bytes before EOF (8 checksum + ...):
+    // layout ends [bitmap words][u64 checksum].
+    ASSERT_EQ(std::fseek(f, -16, SEEK_END), 0);
+    uint64_t word = 0;
+    ASSERT_EQ(std::fread(&word, sizeof(word), 1, f), 1u);
+    word ^= 1ULL << 9;
+    ASSERT_EQ(std::fseek(f, -16, SEEK_END), 0);
+    ASSERT_EQ(std::fwrite(&word, sizeof(word), 1, f), 1u);
+    std::fclose(f);
+    Result<CodesSnapshot> loaded = LoadCodesSnapshot(path);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(IoTest, SnapshotRejectsWrongSizeTombstoneBitmap) {
+  Rng rng(13);
+  CodesSnapshot snapshot;
+  snapshot.codes = RandomPacked(100, 64, &rng);
+  snapshot.tombstone_words.assign(1, 0);  // needs 2 words for 100 rows
+  const std::string path = Path("bad_bitmap.bin");
+  Status st = SaveCodesSnapshot(snapshot, path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace uhscm::io

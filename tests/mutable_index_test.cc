@@ -1,0 +1,330 @@
+// Mutability contract of the index layer: LinearScanIndex and
+// MultiIndexHashTable behind the common ShardIndex interface, tombstone
+// semantics of every scan path, and the byte-identity invariant —
+// results over the survivors equal a fresh build without the removed
+// rows (after compacting ids by survivor rank).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/batch_scan.h"
+#include "index/linear_scan.h"
+#include "index/multi_index_hash.h"
+#include "index/neighbor.h"
+#include "index/packed_codes.h"
+#include "index/shard_index.h"
+#include "test_util.h"
+
+namespace uhscm::index {
+namespace {
+
+using linalg::Matrix;
+using uhscm::testing::RandomSignCodes;
+
+/// Extracts the submatrix of `m` whose rows are NOT in `removed`.
+Matrix SurvivorRows(const Matrix& m, const std::vector<int>& removed) {
+  std::vector<bool> dead(static_cast<size_t>(m.rows()), false);
+  for (int id : removed) dead[static_cast<size_t>(id)] = true;
+  int live = 0;
+  for (int i = 0; i < m.rows(); ++i) live += dead[static_cast<size_t>(i)] ? 0 : 1;
+  Matrix out(live, m.cols());
+  int row = 0;
+  for (int i = 0; i < m.rows(); ++i) {
+    if (dead[static_cast<size_t>(i)]) continue;
+    for (int c = 0; c < m.cols(); ++c) out(row, c) = m(i, c);
+    ++row;
+  }
+  return out;
+}
+
+/// Maps a stable id in a mutated index to its rank among survivors —
+/// the id the same row has in a compacted rebuild.
+int SurvivorRank(int id, const std::vector<int>& removed) {
+  int rank = id;
+  for (int dead : removed) {
+    EXPECT_NE(dead, id);
+    if (dead < id) --rank;
+  }
+  return rank;
+}
+
+void ExpectCompactedMatch(const std::vector<Neighbor>& rebuilt,
+                          const std::vector<Neighbor>& mutated,
+                          const std::vector<int>& removed) {
+  ASSERT_EQ(rebuilt.size(), mutated.size());
+  for (size_t i = 0; i < rebuilt.size(); ++i) {
+    EXPECT_EQ(rebuilt[i].id, SurvivorRank(mutated[i].id, removed))
+        << "rank " << i;
+    EXPECT_EQ(rebuilt[i].distance, mutated[i].distance) << "rank " << i;
+  }
+}
+
+TEST(TombstoneSetTest, SetTestAndCounts) {
+  TombstoneSet set;
+  set.Resize(70);
+  EXPECT_EQ(set.size(), 70);
+  EXPECT_EQ(set.dead_count(), 0);
+  EXPECT_FALSE(set.any());
+  EXPECT_TRUE(set.Set(0));
+  EXPECT_TRUE(set.Set(69));
+  EXPECT_FALSE(set.Set(69)) << "second removal of the same row";
+  EXPECT_EQ(set.dead_count(), 2);
+  EXPECT_TRUE(set.Test(0));
+  EXPECT_TRUE(set.Test(69));
+  EXPECT_FALSE(set.Test(1));
+  // Growing keeps existing tombstones and adds live rows.
+  set.Resize(130);
+  EXPECT_EQ(set.size(), 130);
+  EXPECT_EQ(set.dead_count(), 2);
+  EXPECT_TRUE(set.Test(69));
+  EXPECT_FALSE(set.Test(129));
+}
+
+TEST(TombstoneSetTest, FromWordsRoundTrip) {
+  TombstoneSet set;
+  set.Resize(100);
+  set.Set(3);
+  set.Set(64);
+  set.Set(99);
+  TombstoneSet restored = TombstoneSet::FromWords(100, set.words());
+  EXPECT_EQ(restored.size(), 100);
+  EXPECT_EQ(restored.dead_count(), 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(restored.Test(i), set.Test(i));
+  // Stray bits beyond the row count are dropped.
+  std::vector<uint64_t> noisy = set.words();
+  noisy.back() |= ~((1ULL << (100 & 63)) - 1);
+  TombstoneSet trimmed = TombstoneSet::FromWords(100, noisy);
+  EXPECT_EQ(trimmed.dead_count(), 3);
+}
+
+TEST(PackedCodesTest, AppendConcatenatesRows) {
+  Rng rng(11);
+  Matrix a = RandomSignCodes(5, 96, &rng);
+  Matrix b = RandomSignCodes(3, 96, &rng);
+  PackedCodes packed = PackedCodes::FromSignMatrix(a);
+  packed.Append(PackedCodes::FromSignMatrix(b));
+  EXPECT_EQ(packed.size(), 8);
+  EXPECT_EQ(packed.bits(), 96);
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<float> row = packed.Unpack(i);
+    for (int c = 0; c < 96; ++c) EXPECT_EQ(row[static_cast<size_t>(c)], a(i, c));
+  }
+  for (int i = 0; i < 3; ++i) {
+    const std::vector<float> row = packed.Unpack(5 + i);
+    for (int c = 0; c < 96; ++c) EXPECT_EQ(row[static_cast<size_t>(c)], b(i, c));
+  }
+  // An empty receiver adopts the appended codes wholesale.
+  PackedCodes empty;
+  empty.Append(PackedCodes::FromSignMatrix(b));
+  EXPECT_EQ(empty.size(), 3);
+  EXPECT_EQ(empty.bits(), 96);
+}
+
+/// Both ShardIndex implementations must satisfy the same mutability
+/// contract; the suite runs each test against each backend.
+enum class Backend { kLinearScan, kMih };
+
+std::unique_ptr<ShardIndex> MakeIndex(Backend backend, PackedCodes codes) {
+  if (backend == Backend::kMih) {
+    return std::make_unique<MultiIndexHashTable>(std::move(codes), 4);
+  }
+  return std::make_unique<LinearScanIndex>(std::move(codes));
+}
+
+class ShardIndexContract : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ShardIndexContract, AppendedRowsAreSearchable) {
+  Rng rng(21);
+  const int bits = 64, k = 8;
+  Matrix base = RandomSignCodes(120, bits, &rng);
+  Matrix extra = RandomSignCodes(40, bits, &rng);
+  Matrix all(160, bits);
+  for (int i = 0; i < 120; ++i)
+    for (int c = 0; c < bits; ++c) all(i, c) = base(i, c);
+  for (int i = 0; i < 40; ++i)
+    for (int c = 0; c < bits; ++c) all(120 + i, c) = extra(i, c);
+
+  std::unique_ptr<ShardIndex> index =
+      MakeIndex(GetParam(), PackedCodes::FromSignMatrix(base));
+  index->Append(PackedCodes::FromSignMatrix(extra));
+  EXPECT_EQ(index->size(), 160);
+  EXPECT_EQ(index->total_size(), 160);
+
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(all));
+  for (int q = 0; q < 10; ++q) {
+    PackedCodes pq =
+        PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+    const auto expect = truth.TopK(pq.code(0), k);
+    const auto got = index->TopK(pq.code(0), k);
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(expect[i].id, got[i].id);
+      EXPECT_EQ(expect[i].distance, got[i].distance);
+    }
+  }
+}
+
+TEST_P(ShardIndexContract, RemovedRowsNeverSurface) {
+  Rng rng(22);
+  const int n = 150, bits = 64, k = 12;
+  Matrix db = RandomSignCodes(n, bits, &rng);
+  std::unique_ptr<ShardIndex> index =
+      MakeIndex(GetParam(), PackedCodes::FromSignMatrix(db));
+
+  std::vector<int> removed = {0, 7, 64, 65, 149};
+  for (int id : removed) EXPECT_TRUE(index->Remove(id));
+  EXPECT_FALSE(index->Remove(7)) << "double removal";
+  EXPECT_FALSE(index->Remove(-1));
+  EXPECT_FALSE(index->Remove(n));
+  EXPECT_EQ(index->size(), n - 5);
+  EXPECT_EQ(index->total_size(), n);
+
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(SurvivorRows(db, removed)));
+  for (int q = 0; q < 10; ++q) {
+    PackedCodes pq =
+        PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+    ExpectCompactedMatch(truth.TopK(pq.code(0), k),
+                         index->TopK(pq.code(0), k), removed);
+  }
+}
+
+TEST_P(ShardIndexContract, TopKBatchMatchesTopKAfterMutations) {
+  Rng rng(23);
+  const int bits = 128, k = 9;
+  std::unique_ptr<ShardIndex> index = MakeIndex(
+      GetParam(), PackedCodes::FromSignMatrix(RandomSignCodes(200, bits, &rng)));
+  index->Append(PackedCodes::FromSignMatrix(RandomSignCodes(60, bits, &rng)));
+  for (int id : {3, 130, 201, 259}) EXPECT_TRUE(index->Remove(id));
+
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(17, bits, &rng));
+  std::vector<const uint64_t*> qptrs;
+  for (int q = 0; q < queries.size(); ++q) qptrs.push_back(queries.code(q));
+  const auto batched =
+      index->TopKBatch(qptrs.data(), static_cast<int>(qptrs.size()), k);
+  ASSERT_EQ(batched.size(), qptrs.size());
+  for (int q = 0; q < queries.size(); ++q) {
+    const auto expect = index->TopK(queries.code(q), k);
+    const auto& got = batched[static_cast<size_t>(q)];
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(expect[i].id, got[i].id);
+      EXPECT_EQ(expect[i].distance, got[i].distance);
+    }
+  }
+}
+
+TEST_P(ShardIndexContract, KLargerThanLiveCountReturnsAllSurvivors) {
+  Rng rng(24);
+  const int n = 40, bits = 32;
+  std::unique_ptr<ShardIndex> index = MakeIndex(
+      GetParam(), PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng)));
+  for (int id = 0; id < 10; ++id) EXPECT_TRUE(index->Remove(id));
+  PackedCodes pq = PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  const auto got = index->TopK(pq.code(0), 1000);
+  EXPECT_EQ(got.size(), 30u);
+  for (const Neighbor& nb : got) EXPECT_GE(nb.id, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ShardIndexContract,
+                         ::testing::Values(Backend::kLinearScan,
+                                           Backend::kMih));
+
+TEST(LinearScanMutableTest, WithinRadiusSkipsTombstonedRows) {
+  Rng rng(31);
+  const int n = 100, bits = 64;
+  Matrix db = RandomSignCodes(n, bits, &rng);
+  LinearScanIndex scan(PackedCodes::FromSignMatrix(db));
+  MultiIndexHashTable mih(PackedCodes::FromSignMatrix(db), 4);
+  std::vector<int> removed = {2, 50, 99};
+  for (int id : removed) {
+    EXPECT_TRUE(scan.Remove(id));
+    EXPECT_TRUE(mih.Remove(id));
+  }
+  for (int q = 0; q < 8; ++q) {
+    PackedCodes pq =
+        PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+    for (int r : {0, 8, 24, 64}) {
+      const auto from_scan = scan.WithinRadius(pq.code(0), r);
+      const auto from_mih = mih.WithinRadius(pq.code(0), r);
+      ASSERT_EQ(from_scan.size(), from_mih.size()) << "r=" << r;
+      for (size_t i = 0; i < from_scan.size(); ++i) {
+        EXPECT_EQ(from_scan[i].id, from_mih[i].id);
+        for (int dead : removed) EXPECT_NE(from_scan[i].id, dead);
+      }
+    }
+  }
+}
+
+TEST(BatchScanTombstoneTest, WideCodesKernelPruneRespectsTombstones) {
+  // 1024-bit codes engage the kernel-level early-abandon path
+  // (>= 16 words); tombstoned rows must not surface even when their
+  // distances were computed by the pruning kernel.
+  Rng rng(32);
+  const int n = 300, bits = 1024, k = 10;
+  Matrix db = RandomSignCodes(n, bits, &rng);
+  LinearScanIndex index(PackedCodes::FromSignMatrix(db));
+  std::vector<int> removed;
+  for (int id = 0; id < n; id += 7) {
+    removed.push_back(id);
+    ASSERT_TRUE(index.Remove(id));
+  }
+  LinearScanIndex truth(
+      PackedCodes::FromSignMatrix(SurvivorRows(db, removed)));
+
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(9, bits, &rng));
+  const auto batched = index.TopKBatch(queries, k);
+  for (int q = 0; q < queries.size(); ++q) {
+    ExpectCompactedMatch(truth.TopK(queries.code(q), k),
+                         batched[static_cast<size_t>(q)], removed);
+  }
+}
+
+TEST(MihMutableTest, AppendKeepsRadiusSearchExact) {
+  Rng rng(33);
+  const int bits = 64;
+  Matrix base = RandomSignCodes(150, bits, &rng);
+  Matrix extra = RandomSignCodes(50, bits, &rng);
+  MultiIndexHashTable mih(PackedCodes::FromSignMatrix(base), 4);
+  mih.Append(PackedCodes::FromSignMatrix(extra));
+
+  Matrix all(200, bits);
+  for (int i = 0; i < 150; ++i)
+    for (int c = 0; c < bits; ++c) all(i, c) = base(i, c);
+  for (int i = 0; i < 50; ++i)
+    for (int c = 0; c < bits; ++c) all(150 + i, c) = extra(i, c);
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(all));
+
+  for (int q = 0; q < 8; ++q) {
+    PackedCodes pq =
+        PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+    for (int r : {0, 5, 10, 20}) {
+      const auto expect = truth.WithinRadius(pq.code(0), r);
+      const auto got = mih.WithinRadius(pq.code(0), r);
+      ASSERT_EQ(expect.size(), got.size()) << "r=" << r;
+      for (size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(expect[i].id, got[i].id);
+        EXPECT_EQ(expect[i].distance, got[i].distance);
+      }
+    }
+  }
+}
+
+TEST(NeighborHelpersTest, RemapRewritesIdsOnly) {
+  std::vector<Neighbor> list = {{0, 1}, {3, 2}, {5, 2}};
+  RemapNeighborIds(&list, [](int id) { return id + 100; });
+  EXPECT_EQ(list[0].id, 100);
+  EXPECT_EQ(list[1].id, 103);
+  EXPECT_EQ(list[2].id, 105);
+  EXPECT_EQ(list[0].distance, 1) << "distances untouched";
+  EXPECT_TRUE(NeighborLess({1, 1}, {2, 1}));
+  EXPECT_TRUE(NeighborLess({9, 1}, {2, 5}));
+  EXPECT_FALSE(NeighborLess({2, 1}, {2, 1}));
+}
+
+}  // namespace
+}  // namespace uhscm::index

@@ -364,5 +364,284 @@ TEST(SnapshotTest, MissingFileFailsLoudly) {
   EXPECT_FALSE(engine.ok());
 }
 
+// ---------------------------------------------------------------------
+// Mutable corpus: appends, tombstone deletes, epoch-keyed caching, and
+// versioned snapshots.
+
+/// Reference model for the interleaving test: every code ever added with
+/// its stable global id and live flag.
+struct RefCorpus {
+  std::vector<std::vector<uint64_t>> rows;  // indexed by global id
+  std::vector<bool> live;
+  int bits = 0;
+
+  /// Survivors in global-id order, plus the gid -> compacted-rank map.
+  PackedCodes Survivors(std::vector<int>* rank_of_gid) const {
+    std::vector<uint64_t> words;
+    rank_of_gid->assign(rows.size(), -1);
+    int rank = 0;
+    for (size_t gid = 0; gid < rows.size(); ++gid) {
+      if (!live[gid]) continue;
+      words.insert(words.end(), rows[gid].begin(), rows[gid].end());
+      (*rank_of_gid)[gid] = rank++;
+    }
+    return PackedCodes::FromRawWords(rank, bits, std::move(words));
+  }
+};
+
+/// The acceptance invariant: after any interleaving of Append/Remove,
+/// engine results are byte-identical — after compacting stable ids by
+/// survivor rank — to a freshly built engine over the surviving rows.
+class RandomInterleavingSweep
+    : public ::testing::TestWithParam<ShardBackend> {};
+
+TEST_P(RandomInterleavingSweep, MatchesFreshRebuildAtEveryCheckpoint) {
+  Rng rng(777);
+  const int bits = 64, k = 10;
+  Matrix base = RandomSignCodes(120, bits, &rng);
+  RefCorpus ref;
+  ref.bits = bits;
+  {
+    PackedCodes packed = PackedCodes::FromSignMatrix(base);
+    for (int i = 0; i < packed.size(); ++i) {
+      ref.rows.emplace_back(packed.code(i),
+                            packed.code(i) + packed.words_per_code());
+      ref.live.push_back(true);
+    }
+  }
+
+  ServingSnapshotOptions options;
+  options.index.num_shards = 3;
+  options.index.backend = GetParam();
+  options.engine.num_threads = 2;
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(base), options);
+
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(12, bits, &rng));
+
+  int live_count = 120;
+  for (int step = 0; step < 60; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      // Append 1..6 fresh codes.
+      const int count = 1 + static_cast<int>(rng.UniformInt(6));
+      PackedCodes batch =
+          PackedCodes::FromSignMatrix(RandomSignCodes(count, bits, &rng));
+      const std::vector<int> ids = engine->Append(batch);
+      ASSERT_EQ(ids.size(), static_cast<size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        ASSERT_EQ(ids[static_cast<size_t>(i)],
+                  static_cast<int>(ref.rows.size()))
+            << "global ids must be assigned consecutively";
+        ref.rows.emplace_back(batch.code(i),
+                              batch.code(i) + batch.words_per_code());
+        ref.live.push_back(true);
+      }
+      live_count += count;
+    } else if (live_count > 20) {
+      // Remove a random live global id.
+      int gid;
+      do {
+        gid = static_cast<int>(rng.UniformInt(ref.rows.size()));
+      } while (!ref.live[static_cast<size_t>(gid)]);
+      ASSERT_TRUE(engine->Remove(gid));
+      ref.live[static_cast<size_t>(gid)] = false;
+      --live_count;
+    }
+
+    if (step % 10 != 9) continue;
+    // Checkpoint: engine vs fresh rebuild over the survivors.
+    std::vector<int> rank_of_gid;
+    LinearScanIndex truth(ref.Survivors(&rank_of_gid));
+    ASSERT_EQ(truth.total_size(), engine->index().size());
+    const auto batched = engine->Search(queries, k);
+    for (int q = 0; q < queries.size(); ++q) {
+      const auto expect = truth.TopK(queries.code(q), k);
+      const auto& got = batched[static_cast<size_t>(q)];
+      ASSERT_EQ(expect.size(), got.size()) << "step " << step;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_LT(static_cast<size_t>(got[i].id), rank_of_gid.size());
+        EXPECT_EQ(expect[i].id, rank_of_gid[static_cast<size_t>(got[i].id)])
+            << "step " << step << " query " << q << " rank " << i;
+        EXPECT_EQ(expect[i].distance, got[i].distance);
+      }
+    }
+  }
+  EXPECT_EQ(engine->stats().epoch, engine->epoch());
+  EXPECT_GT(engine->epoch(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, RandomInterleavingSweep,
+                         ::testing::Values(ShardBackend::kLinearScan,
+                                           ShardBackend::kMultiIndexHash));
+
+TEST(MutableEngineTest, PreUpdateCacheEntryNeverServedPostUpdate) {
+  Rng rng(801);
+  const int bits = 64, k = 5;
+  Matrix db = RandomSignCodes(100, bits, &rng);
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), {});
+
+  PackedCodes pq = PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  const auto before = engine->Search(pq, k);
+
+  // Append the query itself: post-update, the distance-0 hit must lead.
+  engine->Append(PackedCodes::FromRawWords(
+      1, bits, std::vector<uint64_t>(pq.code(0), pq.code(0) + pq.words_per_code())));
+  const auto after = engine->Search(pq, k);
+  ASSERT_EQ(after[0].size(), static_cast<size_t>(k));
+  EXPECT_EQ(after[0][0].id, 100);
+  EXPECT_EQ(after[0][0].distance, 0);
+  // Both computations were cache misses — the epoch key made the
+  // pre-update entry unreachable.
+  EXPECT_EQ(engine->stats().cache_hits, 0);
+  EXPECT_EQ(engine->stats().cache_misses, 2);
+
+  // Removing the appended row restores the original ranking (new epoch,
+  // fresh entry again).
+  ASSERT_TRUE(engine->Remove(100));
+  const auto restored = engine->Search(pq, k);
+  ASSERT_EQ(restored[0].size(), before[0].size());
+  for (size_t i = 0; i < restored[0].size(); ++i) {
+    EXPECT_EQ(restored[0][i].id, before[0][i].id);
+    EXPECT_EQ(restored[0][i].distance, before[0][i].distance);
+  }
+  EXPECT_EQ(engine->stats().cache_hits, 0);
+  EXPECT_EQ(engine->epoch(), 2u);
+  const ServeStatsSnapshot stats = engine->stats();
+  EXPECT_EQ(stats.appends, 1);
+  EXPECT_EQ(stats.removes, 1);
+}
+
+TEST(MutableEngineTest, AppendRoutesToLeastFullShardAndRemapsIds) {
+  Rng rng(802);
+  const int bits = 32;
+  ShardedIndexOptions options;
+  options.num_shards = 4;
+  ShardedIndex index(PackedCodes::FromSignMatrix(RandomSignCodes(40, bits, &rng)),
+                     options);
+  // Drain shard 2 (global ids 20..29), then append: the fresh rows must
+  // land in shard 2 with brand-new global ids.
+  for (int gid = 20; gid < 30; ++gid) ASSERT_TRUE(index.Remove(gid));
+  EXPECT_EQ(index.size(), 30);
+  PackedCodes batch =
+      PackedCodes::FromSignMatrix(RandomSignCodes(5, bits, &rng));
+  const std::vector<int> ids = index.Append(batch);
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids.front(), 40);
+  EXPECT_EQ(ids.back(), 44);
+  EXPECT_EQ(index.size(), 35);
+  EXPECT_EQ(index.total_size(), 45);
+
+  // The appended codes are retrievable under their new global ids.
+  for (int i = 0; i < batch.size(); ++i) {
+    const auto top = index.TopK(batch.code(i), 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].distance, 0);
+  }
+}
+
+TEST(ResultCacheTest, CountersTrackHitsMissesEvictions) {
+  ResultCache cache(2);
+  CacheKey a{{1}, 5, 0}, b{{2}, 5, 0}, c{{3}, 5, 0};
+  std::vector<Neighbor> out;
+  EXPECT_FALSE(cache.Lookup(a, &out));
+  cache.Insert(a, {{0, 0}});
+  cache.Insert(b, {{1, 1}});
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  cache.Insert(c, {{2, 2}});  // evicts b
+  EXPECT_FALSE(cache.Lookup(b, &out));
+  ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 1);
+  cache.ResetStats();
+  stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+TEST(ResultCacheTest, SameQueryDifferentEpochIsADistinctEntry) {
+  ResultCache cache(8);
+  CacheKey old_epoch{{42}, 3, 0}, new_epoch{{42}, 3, 1};
+  cache.Insert(old_epoch, {{7, 1}});
+  std::vector<Neighbor> out;
+  EXPECT_FALSE(cache.Lookup(new_epoch, &out));
+  EXPECT_TRUE(cache.Lookup(old_epoch, &out));
+}
+
+TEST(MutableEngineTest, EvictionCounterSurfacesThroughServeStats) {
+  Rng rng(803);
+  const int bits = 64, k = 3;
+  Matrix db = RandomSignCodes(80, bits, &rng);
+  ServingSnapshotOptions options;
+  options.engine.cache_capacity = 4;
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(10, bits, &rng));
+  engine->Search(queries, k);  // 10 inserts into a 4-entry cache
+  EXPECT_EQ(engine->stats().cache_evictions, 6);
+  engine->ResetStats();
+  EXPECT_EQ(engine->stats().cache_evictions, 0);
+}
+
+TEST(SnapshotTest, V2RoundTripPreservesIdsEpochAndResults) {
+  Rng rng(804);
+  const int bits = 64, k = 8;
+  Matrix db = RandomSignCodes(90, bits, &rng);
+  ServingSnapshotOptions options;
+  options.index.num_shards = 3;
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
+
+  engine->Append(PackedCodes::FromSignMatrix(RandomSignCodes(25, bits, &rng)));
+  engine->RemoveIds({0, 17, 89, 95, 114});
+  const uint64_t epoch = engine->epoch();
+  ASSERT_EQ(epoch, 2u);
+
+  const std::string path = ::testing::TempDir() + "/mutated_snapshot.bin";
+  ASSERT_TRUE(SaveServingSnapshot(*engine, path).ok());
+
+  // Reload with a *different* shard count: global ids, epoch, and
+  // results must be preserved regardless of partitioning.
+  ServingSnapshotOptions reload_options;
+  reload_options.index.num_shards = 5;
+  Result<std::unique_ptr<QueryEngine>> reloaded =
+      LoadQueryEngine(path, reload_options);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ((*reloaded)->epoch(), epoch);
+  EXPECT_EQ((*reloaded)->index().size(), engine->index().size());
+  EXPECT_EQ((*reloaded)->index().total_size(), engine->index().total_size());
+
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(15, bits, &rng));
+  const auto expect = engine->Search(queries, k);
+  const auto got = (*reloaded)->Search(queries, k);
+  for (int q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(expect[static_cast<size_t>(q)],
+                        got[static_cast<size_t>(q)]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, LegacyV1ArtifactStillLoads) {
+  Rng rng(805);
+  const int bits = 64, k = 5;
+  Matrix db = RandomSignCodes(70, bits, &rng);
+  PackedCodes packed = PackedCodes::FromSignMatrix(db);
+  const std::string path = ::testing::TempDir() + "/legacy_v1_codes.bin";
+  ASSERT_TRUE(io::SavePackedCodes(packed, path).ok());
+
+  Result<std::unique_ptr<QueryEngine>> engine = LoadQueryEngine(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->epoch(), 0u);
+  EXPECT_EQ((*engine)->index().size(), 70);
+  EXPECT_EQ((*engine)->index().total_size(), 70);
+
+  LinearScanIndex truth(PackedCodes::FromSignMatrix(db));
+  PackedCodes pq = PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  ExpectSameNeighbors(truth.TopK(pq.code(0), k),
+                      (*engine)->SearchOne(pq.code(0), k));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace uhscm::serve

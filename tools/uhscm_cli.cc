@@ -19,19 +19,31 @@
 //   serve  --codes=PATH [--model=PATH --dataset=... --seed=N --scale=F]
 //          [--shards=N] [--threads=N] [--batch=B] [--backend=scan|mih]
 //          [--topk=K] [--queries=N]
-//       Hydrates a sharded QueryEngine from the packed codes and replays
-//       a query stream through it twice (cold, then cache-hot), printing
-//       QPS, latency percentiles and cache hit rate. Queries are encoded
-//       from the synthetic query split when --model is given, otherwise
-//       sampled from the database codes themselves.
+//          [--append=PATH] [--delete-ids=1,5,10-20] [--save-snapshot=PATH]
+//       Hydrates a sharded QueryEngine from the packed codes (legacy v1
+//       artifact or v2 serving snapshot) and replays a query stream
+//       through it twice (cold, then cache-hot), printing QPS, latency
+//       percentiles and cache hit rate. Queries are encoded from the
+//       synthetic query split when --model is given, otherwise sampled
+//       from the database codes themselves.
+//
+//       Admin ops run after the replay passes: --append=PATH appends a
+//       packed-code artifact to the live corpus (routed to the
+//       least-full shard), --delete-ids tombstones global ids, and each
+//       bumps the corpus epoch — a third replay pass then shows the
+//       epoch-keyed cache re-filling. --save-snapshot persists the
+//       mutated corpus as a versioned v2 snapshot (epoch + tombstones)
+//       that future serve runs reload with identical ids and results.
 //
 // The corpus is synthetic and seed-determined, so "the same dataset" is
 // reproducible from (dataset, seed, scale) alone — no data files needed.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/string_util.h"
 #include "common/table_writer.h"
@@ -64,6 +76,9 @@ struct Flags {
   int threads = 0;  // 0 = hardware concurrency
   int batch = 32;
   std::string backend = "scan";
+  std::string append_file;
+  std::string delete_ids;
+  std::string save_snapshot;
 };
 
 int Usage() {
@@ -72,8 +87,58 @@ int Usage() {
                "[--dataset=...] [--bits=K] [--seed=N] [--scale=F] "
                "[--model=PATH] [--codes=PATH] [--file=PATH] [--topk=K] "
                "[--queries=N] [--shards=N] [--threads=N] [--batch=B] "
-               "[--backend=scan|mih]\n");
+               "[--backend=scan|mih] [--append=PATH] "
+               "[--delete-ids=1,5,10-20] [--save-snapshot=PATH]\n");
   return 2;
+}
+
+/// Parses "1,5,10-20" into the listed ids (ranges inclusive). Returns
+/// false on malformed input — including empty range endpoints, so a
+/// typo like "-5" is rejected instead of silently expanding to 0-5.
+bool ParseIdList(const std::string& spec, std::vector<int>* ids) {
+  // Sanity cap: a delete list bigger than this is a malformed range, not
+  // an admin op.
+  constexpr long kMaxIds = 1L << 24;
+  // Parses one non-negative id that must also survive the int cast —
+  // an overflowing value must be rejected, not wrapped onto some other
+  // row's id.
+  auto parse_id = [](const std::string& text, long* out) {
+    if (text.empty()) return false;
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    if (*end != '\0' || value < 0 ||
+        value > static_cast<long>(std::numeric_limits<int>::max())) {
+      return false;
+    }
+    *out = value;
+    return true;
+  };
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string item = spec.substr(pos, comma - pos);
+    if (item.empty()) return false;
+    const size_t dash = item.find('-');
+    if (dash == std::string::npos) {
+      long id = 0;
+      if (!parse_id(item, &id)) return false;
+      ids->push_back(static_cast<int>(id));
+    } else {
+      long lo = 0, hi = 0;
+      if (!parse_id(item.substr(0, dash), &lo) ||
+          !parse_id(item.substr(dash + 1), &hi) || hi < lo) {
+        return false;
+      }
+      if (hi - lo + 1 > kMaxIds - static_cast<long>(ids->size())) {
+        return false;
+      }
+      for (long id = lo; id <= hi; ++id) ids->push_back(static_cast<int>(id));
+    }
+    if (static_cast<long>(ids->size()) > kMaxIds) return false;
+    pos = comma + 1;
+  }
+  return !ids->empty();
 }
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -105,6 +170,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->batch = std::atoi(arg.c_str() + 8);
     } else if (StartsWith(arg, "--backend=")) {
       flags->backend = arg.substr(10);
+    } else if (StartsWith(arg, "--append=")) {
+      flags->append_file = arg.substr(9);
+    } else if (StartsWith(arg, "--delete-ids=")) {
+      flags->delete_ids = arg.substr(13);
+    } else if (StartsWith(arg, "--save-snapshot=")) {
+      flags->save_snapshot = arg.substr(16);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -198,11 +269,19 @@ int CmdInfo(const Flags& flags) {
                 (*net)->bits());
     return 0;
   }
-  if (Result<index::PackedCodes> codes = io::LoadPackedCodes(flags.file);
-      codes.ok()) {
-    std::printf("%s: packed codes, n=%d bits=%d (%d words/code)\n",
-                flags.file.c_str(), codes->size(), codes->bits(),
-                codes->words_per_code());
+  if (Result<io::CodesSnapshot> snap = io::LoadCodesSnapshot(flags.file);
+      snap.ok()) {
+    if (snap->version >= 2) {
+      std::printf(
+          "%s: serving snapshot v2, n=%d (%d live), bits=%d, epoch=%llu\n",
+          flags.file.c_str(), snap->codes.size(), snap->LiveCount(),
+          snap->codes.bits(),
+          static_cast<unsigned long long>(snap->epoch));
+    } else {
+      std::printf("%s: packed codes, n=%d bits=%d (%d words/code)\n",
+                  flags.file.c_str(), snap->codes.size(), snap->codes.bits(),
+                  snap->codes.words_per_code());
+    }
     return 0;
   }
   if (Result<linalg::Matrix> m = io::LoadMatrix(flags.file); m.ok()) {
@@ -293,15 +372,26 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "serve: --backend must be scan or mih\n");
     return 2;
   }
-  Result<index::PackedCodes> corpus = io::LoadPackedCodes(flags.codes);
-  if (!corpus.ok()) {
-    std::fprintf(stderr, "%s\n", corpus.status().ToString().c_str());
+
+  serve::ServingSnapshotOptions options;
+  options.index.num_shards = flags.shards;
+  options.index.backend = flags.backend == "mih"
+                              ? serve::ShardBackend::kMultiIndexHash
+                              : serve::ShardBackend::kLinearScan;
+  options.engine.num_threads = flags.threads;
+  // One disk read handles both the legacy v1 codes artifact and the v2
+  // serving snapshot; the loaded snapshot doubles as the query-sampling
+  // source before the engine takes ownership of it.
+  Result<io::CodesSnapshot> loaded = io::LoadCodesSnapshot(flags.codes);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
+  io::CodesSnapshot snapshot = std::move(loaded).ValueOrDie();
 
   // Build the query stream: real encoded queries when a model is given,
-  // otherwise database codes replayed against themselves. Either way
-  // `--queries` caps the stream.
+  // otherwise surviving database codes replayed against themselves.
+  // Either way `--queries` caps the stream.
   const int max_queries = std::max(1, flags.queries);
   index::PackedCodes queries;
   if (!flags.model.empty()) {
@@ -311,11 +401,12 @@ int CmdServe(const Flags& flags) {
       std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
       return 1;
     }
-    if ((*net)->bits() != corpus->bits()) {
+    if ((*net)->bits() != snapshot.codes.bits()) {
       std::fprintf(stderr,
                    "serve: model emits %d-bit codes but %s holds %d-bit "
                    "codes — wrong --model/--codes pairing?\n",
-                   (*net)->bits(), flags.codes.c_str(), corpus->bits());
+                   (*net)->bits(), flags.codes.c_str(),
+                   snapshot.codes.bits());
       return 1;
     }
     Env env = MakeEnv(flags);
@@ -326,33 +417,38 @@ int CmdServe(const Flags& flags) {
     queries = index::PackedCodes::FromSignMatrix(
         (*net)->EncodeBinary(env.dataset.pixels.SelectRows(query_rows)));
   } else {
-    const int count = std::min(max_queries, corpus->size());
-    std::vector<uint64_t> words(
-        corpus->words().begin(),
-        corpus->words().begin() +
-            static_cast<size_t>(count) * corpus->words_per_code());
-    queries = index::PackedCodes::FromRawWords(count, corpus->bits(),
-                                               std::move(words));
+    // First live rows of the snapshot (a v1 artifact has no tombstone
+    // bitmap — every row is live).
+    const int words_per_code = snapshot.codes.words_per_code();
+    const int count = std::min(max_queries, snapshot.LiveCount());
+    std::vector<uint64_t> words;
+    words.reserve(static_cast<size_t>(count) * words_per_code);
+    int taken = 0;
+    for (int gid = 0; gid < snapshot.codes.size() && taken < count; ++gid) {
+      if (snapshot.IsDead(gid)) continue;
+      const uint64_t* src = snapshot.codes.code(gid);
+      words.insert(words.end(), src, src + words_per_code);
+      ++taken;
+    }
+    queries = index::PackedCodes::FromRawWords(
+        taken, snapshot.codes.bits(), std::move(words));
   }
 
-  serve::ServingSnapshotOptions options;
-  options.index.num_shards = flags.shards;
-  options.index.backend = flags.backend == "mih"
-                              ? serve::ShardBackend::kMultiIndexHash
-                              : serve::ShardBackend::kLinearScan;
-  options.engine.num_threads = flags.threads;
   std::unique_ptr<serve::QueryEngine> engine =
-      serve::MakeQueryEngine(std::move(corpus).ValueOrDie(), options);
-  std::printf(
-      "serving %d codes @ %d bits: %d shards (%s), %d threads, %s kernel\n",
-      engine->index().size(), engine->index().bits(),
-      engine->index().num_shards(), flags.backend.c_str(),
-      engine->num_threads(),
-      index::KernelTierName(index::ActiveKernelTier()));
+      serve::MakeQueryEngineFromSnapshot(std::move(snapshot), options);
 
-  TableWriter table({"pass", "queries", "batches", "hit_rate", "qps",
-                     "p50_ms", "p99_ms"});
-  for (const char* pass : {"cold", "cache-hot"}) {
+  std::printf(
+      "serving %d live / %d total codes @ %d bits: %d shards (%s), "
+      "%d threads, %s kernel, epoch %llu\n",
+      engine->index().size(), engine->index().total_size(),
+      engine->index().bits(), engine->index().num_shards(),
+      flags.backend.c_str(), engine->num_threads(),
+      index::KernelTierName(index::ActiveKernelTier()),
+      static_cast<unsigned long long>(engine->epoch()));
+
+  TableWriter table({"pass", "queries", "batches", "hit_rate", "evictions",
+                     "qps", "p50_ms", "p99_ms"});
+  auto replay_pass = [&](const char* pass) {
     serve::ReplayBatches(engine.get(), queries, flags.batch, flags.topk);
     const serve::ServeStatsSnapshot stats = engine->stats();
     char hit_rate[32], qps[32], p50[32], p99[32];
@@ -361,10 +457,65 @@ int CmdServe(const Flags& flags) {
     std::snprintf(p50, sizeof(p50), "%.3f", stats.latency_p50_ms);
     std::snprintf(p99, sizeof(p99), "%.3f", stats.latency_p99_ms);
     table.AddRow({pass, std::to_string(stats.queries),
-                  std::to_string(stats.batches), hit_rate, qps, p50, p99});
+                  std::to_string(stats.batches), hit_rate,
+                  std::to_string(stats.cache_evictions), qps, p50, p99});
     engine->ResetStats();
+  };
+  replay_pass("cold");
+  replay_pass("cache-hot");
+
+  // Admin ops: mutate the live corpus, then replay once more so the
+  // post-update pass shows the epoch-keyed cache re-filling (the
+  // cache-hot entries above are unreachable under the new epoch).
+  bool updated = false;
+  if (!flags.append_file.empty()) {
+    Result<index::PackedCodes> extra = io::LoadPackedCodes(flags.append_file);
+    if (!extra.ok()) {
+      std::fprintf(stderr, "%s\n", extra.status().ToString().c_str());
+      return 1;
+    }
+    if (extra->bits() != engine->index().bits()) {
+      std::fprintf(stderr,
+                   "serve: --append file holds %d-bit codes, corpus is "
+                   "%d-bit\n",
+                   extra->bits(), engine->index().bits());
+      return 1;
+    }
+    const std::vector<int> ids = engine->Append(*extra);
+    std::printf("appended %zu codes (global ids %d..%d), epoch -> %llu\n",
+                ids.size(), ids.empty() ? 0 : ids.front(),
+                ids.empty() ? 0 : ids.back(),
+                static_cast<unsigned long long>(engine->epoch()));
+    updated = true;
   }
+  if (!flags.delete_ids.empty()) {
+    std::vector<int> ids;
+    if (!ParseIdList(flags.delete_ids, &ids)) {
+      std::fprintf(stderr, "serve: malformed --delete-ids list\n");
+      return 2;
+    }
+    const int removed = engine->RemoveIds(ids);
+    std::printf("removed %d/%zu ids, epoch -> %llu (%d live / %d total)\n",
+                removed, ids.size(),
+                static_cast<unsigned long long>(engine->epoch()),
+                engine->index().size(), engine->index().total_size());
+    updated = true;
+  }
+  if (updated) replay_pass("post-update");
   table.Print(std::cout);
+
+  if (!flags.save_snapshot.empty()) {
+    Status st = serve::SaveServingSnapshot(*engine, flags.save_snapshot);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote serving snapshot (v2, epoch %llu, %d live / %d "
+                "total) -> %s\n",
+                static_cast<unsigned long long>(engine->epoch()),
+                engine->index().size(), engine->index().total_size(),
+                flags.save_snapshot.c_str());
+  }
   return 0;
 }
 
