@@ -1,0 +1,363 @@
+// async_serve — offered load x replicas x (B, T) sweep of the async
+// request pipeline against the caller-batched synchronous baseline.
+//
+// The serving story this bench pins down: production callers arrive with
+// *their* batch shape — a handful of queries per request — and the
+// synchronous path scans the corpus at that shape. The pipeline admits
+// the same per-request queries into a bounded queue, re-batches them
+// adaptively (flush at B queries or T microseconds, whichever first),
+// and routes each flush to the least-loaded of N engine replicas, so the
+// SIMD batch scan runs at the shape the *load* supports, not the shape
+// any one caller happened to send.
+//
+// Baseline: one engine (all hardware threads) driven by one closed-loop
+// caller issuing synchronous Search calls of `--request-size` queries —
+// exactly the pre-pipeline `uhscm_cli serve` replay loop, where batch
+// shape was whatever the caller happened to send and the engine idled
+// between calls. Context rows show the same caller batching generously
+// (32) and `--clients` concurrent caller threads.
+//
+// Acceptance gate (armed at the default size on >= 4-core hosts): the
+// best pipeline configuration with >= 2 replicas must reach >= 1.5x the
+// single-caller caller-batched baseline QPS at saturation, with
+// end-to-end p99 staying bounded. Emits BENCH_async_serve.json.
+//
+//   $ ./build/async_serve [--n=100000] [--bits=128] [--k=10]
+//                         [--requests=2048] [--request-size=1]
+//                         [--clients=4] [--seed=2023]
+//                         [--json=BENCH_async_serve.json]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/table_writer.h"
+#include "index/packed_codes.h"
+#include "perf_util.h"
+#include "serve/batcher.h"
+#include "serve/query_engine.h"
+#include "serve/replica_set.h"
+#include "serve/router.h"
+#include "serve/serve_stats.h"
+#include "serve/snapshot.h"
+
+namespace uhscm::bench {
+namespace {
+
+struct Flags {
+  int n = 100000;
+  int bits = 128;
+  int k = 10;
+  int requests = 2048;
+  int request_size = 1;
+  int clients = 4;
+  uint64_t seed = 2023;
+  std::string json = "BENCH_async_serve.json";
+};
+
+Flags ParseAsyncFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (StartsWith(arg, "--n=")) {
+      flags.n = std::atoi(arg.c_str() + 4);
+    } else if (StartsWith(arg, "--bits=")) {
+      flags.bits = std::atoi(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--k=")) {
+      flags.k = std::atoi(arg.c_str() + 4);
+    } else if (StartsWith(arg, "--requests=")) {
+      flags.requests = std::atoi(arg.c_str() + 11);
+    } else if (StartsWith(arg, "--request-size=")) {
+      flags.request_size = std::max(1, std::atoi(arg.c_str() + 15));
+    } else if (StartsWith(arg, "--clients=")) {
+      flags.clients = std::max(1, std::atoi(arg.c_str() + 10));
+    } else if (StartsWith(arg, "--seed=")) {
+      flags.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (StartsWith(arg, "--json=")) {
+      flags.json = arg.substr(7);
+    } else {
+      std::fprintf(stderr,
+                   "usage: async_serve [--n=N] [--bits=K] [--k=K] "
+                   "[--requests=N] [--request-size=Q] [--clients=C] "
+                   "[--seed=N] [--json=PATH]\n");
+      std::exit(2);
+    }
+  }
+  return flags;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double tiq_p99_ms = 0.0;
+  int64_t by_size = 0;
+  int64_t by_timeout = 0;
+};
+
+/// Caller-batched baseline: `clients` closed-loop threads, each issuing
+/// synchronous Search calls of request_size queries against one shared
+/// engine — the pre-pipeline serving model.
+RunResult RunCallerBatched(const index::PackedCodes& corpus,
+                           const index::PackedCodes& queries, int k,
+                           int request_size, int clients) {
+  serve::ServingSnapshotOptions options;
+  options.index.num_shards = 4;
+  options.engine.cache_capacity = 0;  // measure search, not the LRU
+  auto engine = serve::MakeQueryEngine(
+      index::PackedCodes::FromRawWords(corpus.size(), corpus.bits(),
+                                       corpus.words()),
+      options);
+  const std::vector<index::PackedCodes> request_batches =
+      serve::SliceBatches(queries, request_size);
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t b = static_cast<size_t>(c); b < request_batches.size();
+           b += static_cast<size_t>(clients)) {
+        Stopwatch watch;
+        engine->Search(request_batches[b], k);
+        latencies[static_cast<size_t>(c)].push_back(watch.ElapsedMillis());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  RunResult result;
+  result.qps = seconds > 0.0 ? queries.size() / seconds : 0.0;
+  result.p99_ms = serve::Percentile(all, 99.0);
+  result.p50_ms = serve::Percentile(std::move(all), 50.0);
+  return result;
+}
+
+/// Pipeline run at saturation: the same clients submit their requests'
+/// queries one by one into the batcher (open loop, bounded by the
+/// admission queue's backpressure) and then wait for every future.
+RunResult RunPipeline(const index::PackedCodes& corpus,
+                      const index::PackedCodes& queries, int k, int replicas,
+                      int max_batch, int64_t timeout_us, int clients) {
+  serve::ReplicaSetOptions options;
+  options.replicas = replicas;
+  options.serving.index.num_shards = 4;
+  options.serving.engine.cache_capacity = 0;
+  serve::ReplicaSet replica_set(corpus, options);
+  serve::Router router(&replica_set, serve::RoutePolicy::kLeastLoaded);
+  serve::BatcherOptions batcher_options;
+  batcher_options.max_batch = max_batch;
+  batcher_options.timeout_us = timeout_us;
+  serve::Batcher batcher(&router, batcher_options);
+
+  std::atomic<int> failures{0};
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::future<serve::SearchResponse>> futures;
+      for (int q = c; q < queries.size(); q += clients) {
+        futures.push_back(batcher.Submit(queries, q, k));
+      }
+      for (std::future<serve::SearchResponse>& future : futures) {
+        if (!future.get().status.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double seconds = wall.ElapsedSeconds();
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "FATAL: %d pipeline requests failed\n",
+                 failures.load());
+    std::exit(1);
+  }
+
+  const serve::ServeStatsSnapshot stats = batcher.stats();
+  RunResult result;
+  result.qps = seconds > 0.0 ? queries.size() / seconds : 0.0;
+  result.p50_ms = stats.latency_p50_ms;
+  result.p99_ms = stats.latency_p99_ms;
+  result.tiq_p99_ms = stats.time_in_queue_p99_ms;
+  result.by_size = stats.batches_flushed_by_size;
+  result.by_timeout = stats.batches_flushed_by_timeout;
+  batcher.Drain();
+  return result;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseAsyncFlags(argc, argv);
+  Rng rng(flags.seed);
+  const index::PackedCodes corpus = index::PackedCodes::FromSignMatrix(
+      RandomSignCodes(flags.n, flags.bits, &rng));
+  const int total_queries = flags.requests * flags.request_size;
+  const index::PackedCodes queries = index::PackedCodes::FromSignMatrix(
+      RandomSignCodes(total_queries, flags.bits, &rng));
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::printf(
+      "corpus n=%d bits=%d | %d requests x %d queries (%d total), k=%d, "
+      "%d clients, %d hardware threads\n\n",
+      flags.n, flags.bits, flags.requests, flags.request_size, total_queries,
+      flags.k, flags.clients, hw);
+
+  TableWriter table({"config", "replicas", "B", "T_us", "qps", "p50_ms",
+                     "p99_ms", "tiq_p99_ms", "by_size", "by_timeout",
+                     "speedup"});
+  struct JsonRow {
+    std::string config;
+    int replicas, max_batch;
+    int64_t timeout_us;
+    RunResult result;
+    double speedup;
+  };
+  std::vector<JsonRow> json_rows;
+  auto record = [&](const std::string& config, int replicas, int max_batch,
+                    int64_t timeout_us, const RunResult& result,
+                    double speedup) {
+    table.AddRow({config, std::to_string(replicas),
+                  std::to_string(max_batch), std::to_string(timeout_us),
+                  Fmt(result.qps), Fmt(result.p50_ms, "%.3f"),
+                  Fmt(result.p99_ms, "%.3f"), Fmt(result.tiq_p99_ms, "%.3f"),
+                  std::to_string(result.by_size),
+                  std::to_string(result.by_timeout), Fmt(speedup, "%.2f")});
+    json_rows.push_back(
+        {config, replicas, max_batch, timeout_us, result, speedup});
+  };
+
+  // The gate's reference: the pre-pipeline serving model — one
+  // synchronous caller, batching at its own request shape.
+  const RunResult baseline = RunCallerBatched(corpus, queries, flags.k,
+                                              flags.request_size,
+                                              /*clients=*/1);
+  record("caller-batched", 1, flags.request_size, 0, baseline, 1.0);
+  // Context rows: a caller who happens to batch generously, and several
+  // concurrent callers sharing the one engine.
+  const RunResult generous =
+      RunCallerBatched(corpus, queries, flags.k, 32, /*clients=*/1);
+  record("caller-batched", 1, 32, 0, generous, generous.qps / baseline.qps);
+  const RunResult multi_caller = RunCallerBatched(
+      corpus, queries, flags.k, flags.request_size, flags.clients);
+  record("caller-batched-mt", 1, flags.request_size, 0, multi_caller,
+         multi_caller.qps / baseline.qps);
+
+  // Pipeline sweep. Replica counts are capped by the hardware: an
+  // oversubscribed replica adds dispatch threads without adding cores.
+  std::vector<int> replica_counts{1, 2};
+  if (hw >= 8) replica_counts.push_back(4);
+  double best_replicated_qps = 0.0;
+  RunResult best_replicated;
+  int best_replicas = 0, best_max_batch = 0;
+  for (int replicas : replica_counts) {
+    for (const auto& [max_batch, timeout_us] :
+         std::vector<std::pair<int, int64_t>>{
+             {16, 200}, {64, 500}, {256, 2000}}) {
+      const RunResult result =
+          RunPipeline(corpus, queries, flags.k, replicas, max_batch,
+                      timeout_us, flags.clients);
+      const double speedup = result.qps / baseline.qps;
+      record("pipeline", replicas, max_batch, timeout_us, result, speedup);
+      if (replicas >= 2 && result.qps > best_replicated_qps) {
+        best_replicated_qps = result.qps;
+        best_replicated = result;
+        best_replicas = replicas;
+        best_max_batch = max_batch;
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  if (!flags.json.empty()) {
+    std::FILE* f = std::fopen(flags.json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr,
+                   "WARNING: cannot write %s — perf trajectory not "
+                   "recorded\n",
+                   flags.json.c_str());
+    } else {
+      std::fprintf(f, "{\n  \"bench\": \"async_serve\",\n");
+      std::fprintf(f,
+                   "  \"n\": %d, \"bits\": %d, \"k\": %d, \"requests\": %d, "
+                   "\"request_size\": %d, \"clients\": %d, \"hw\": %d,\n",
+                   flags.n, flags.bits, flags.k, flags.requests,
+                   flags.request_size, flags.clients, hw);
+      std::fprintf(f, "  \"rows\": [\n");
+      for (size_t i = 0; i < json_rows.size(); ++i) {
+        const JsonRow& r = json_rows[i];
+        std::fprintf(
+            f,
+            "    {\"config\": \"%s\", \"replicas\": %d, \"B\": %d, "
+            "\"T_us\": %lld, \"qps\": %.1f, \"p50_ms\": %.4f, "
+            "\"p99_ms\": %.4f, \"tiq_p99_ms\": %.4f, \"by_size\": %lld, "
+            "\"by_timeout\": %lld, \"speedup\": %.3f}%s\n",
+            r.config.c_str(), r.replicas, r.max_batch,
+            static_cast<long long>(r.timeout_us), r.result.qps,
+            r.result.p50_ms, r.result.p99_ms, r.result.tiq_p99_ms,
+            static_cast<long long>(r.result.by_size),
+            static_cast<long long>(r.result.by_timeout), r.speedup,
+            i + 1 < json_rows.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]\n}\n");
+      std::fclose(f);
+      std::printf("\nwrote %s\n", flags.json.c_str());
+    }
+  }
+
+  const double speedup = best_replicated_qps / baseline.qps;
+  std::printf("\nbest replicated pipeline: %.1f QPS (%.2fx the "
+              "caller-batched baseline's %.1f), p99 %.3f ms vs baseline "
+              "%.3f ms\n",
+              best_replicated_qps, speedup, baseline.qps,
+              best_replicated.p99_ms, baseline.p99_ms);
+
+  // The 1.5x bar only means something at a size where the batcher can
+  // actually form large batches and the host has cores to overlap
+  // replicas; tiny smoke runs (CI sanitizer job, laptops) skip it.
+  const bool gate_armed =
+      flags.n >= 50000 && total_queries >= 2048 && hw >= 4;
+  if (!gate_armed) {
+    std::printf("[acceptance gate not armed at this size]\n");
+    return 0;
+  }
+  if (speedup < 1.5) {
+    std::printf("FAIL: replicated pipeline below the 1.5x QPS acceptance "
+                "bar\n");
+    return 1;
+  }
+  // "Bounded p99" means bounded by the backpressure design: at
+  // saturation a request waits at most the full admission queue plus the
+  // in-flight batches ahead of it, so allow 3x that drain time (or a
+  // 250 ms floor for timer noise). Unbounded queues would blow well
+  // past this; a healthy bounded pipeline sits comfortably inside it.
+  const double queue_entries =
+      8.0 * best_max_batch * best_replicas +
+      2.0 * best_replicas * best_max_batch;
+  const double p99_bound =
+      std::max(250.0, 3000.0 * queue_entries / best_replicated.qps);
+  if (best_replicated.p99_ms > p99_bound) {
+    std::printf("FAIL: pipeline p99 %.3f ms exceeds the bounded-latency "
+                "bar (%.3f ms)\n",
+                best_replicated.p99_ms, p99_bound);
+    return 1;
+  }
+  std::printf("PASS: >= 1.5x QPS at saturation with bounded p99\n");
+  return 0;
+}
+
+}  // namespace uhscm::bench
+
+int main(int argc, char** argv) { return uhscm::bench::Main(argc, argv); }

@@ -134,9 +134,12 @@ int Main(int argc, char** argv) {
             index::PackedCodes::FromRawWords(corpus.size(), corpus.bits(),
                                              corpus.words()),
             options);
-        serve::ReplayBatches(engine.get(), queries, batch, flags.k);  // warm-up pass
+        // Slice once, replay the same packed buffers for both passes.
+        const std::vector<index::PackedCodes> batches =
+            serve::SliceBatches(queries, batch);
+        serve::ReplayBatches(engine.get(), batches, flags.k);  // warm-up pass
         engine->ResetStats();
-        serve::ReplayBatches(engine.get(), queries, batch, flags.k);
+        serve::ReplayBatches(engine.get(), batches, flags.k);
         const serve::ServeStatsSnapshot stats = engine->stats();
         if (threads > 1 && shards > 1) {
           best_sharded_qps = std::max(best_sharded_qps, stats.qps());
@@ -162,9 +165,11 @@ int Main(int argc, char** argv) {
         index::PackedCodes::FromRawWords(corpus.size(), corpus.bits(),
                                          corpus.words()),
         options);
-    serve::ReplayBatches(engine.get(), queries, 32, flags.k);
+    const std::vector<index::PackedCodes> batches =
+        serve::SliceBatches(queries, 32);
+    serve::ReplayBatches(engine.get(), batches, flags.k);
     engine->ResetStats();
-    serve::ReplayBatches(engine.get(), queries, 32, flags.k);
+    serve::ReplayBatches(engine.get(), batches, flags.k);
     const serve::ServeStatsSnapshot stats = engine->stats();
     cache_hot_qps = stats.qps();
     record("cache-hot", hw, 4, 32, stats.qps(), stats.latency_p50_ms,

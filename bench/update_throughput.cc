@@ -150,13 +150,17 @@ int Main(int argc, char** argv) {
     done.store(true, std::memory_order_release);
   });
 
+  // Slice the query stream into packed batches once; the reader loops
+  // replay the same buffers every pass instead of re-copying the words.
+  const std::vector<index::PackedCodes> query_batches =
+      serve::SliceBatches(queries, 32);
   std::vector<std::thread> readers;
   for (int t = 0; t < kReaders; ++t) {
     readers.emplace_back([&] {
-      serve::ReplayBatches(engine.get(), queries, 32, flags.k);
+      serve::ReplayBatches(engine.get(), query_batches, flags.k);
       readers_warm.fetch_add(1, std::memory_order_release);
       while (!done.load(std::memory_order_acquire)) {
-        serve::ReplayBatches(engine.get(), queries, 32, flags.k);
+        serve::ReplayBatches(engine.get(), query_batches, flags.k);
       }
     });
   }

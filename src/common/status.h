@@ -18,6 +18,11 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kUnimplemented,
+  /// The service is shutting down (or otherwise refusing work); the
+  /// request was rejected, not failed — retrying against a live instance
+  /// would succeed. Returned by the serve pipeline for submissions that
+  /// arrive after (or survive until) a drain.
+  kUnavailable,
 };
 
 /// \brief Lightweight success/error value returned by fallible operations.
@@ -52,6 +57,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,13 +16,21 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Drain(); }
+
+void ThreadPool::Drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (drained_) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
+  // Workers exit only once the task queue is empty, so everything queued
+  // before the drain still runs; ParallelFor callers blocked on their
+  // chunks are released before the join completes.
   for (auto& w : workers_) w.join();
+  drained_ = true;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -41,8 +49,12 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
-  const int nthreads = num_threads();
-  if (count == 1 || nthreads == 1) {
+  int nthreads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    nthreads = stop_ ? 0 : num_threads();
+  }
+  if (count == 1 || nthreads <= 1) {
     for (int i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -71,7 +83,14 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
 
   const int jobs = std::min(chunks, nthreads);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      // Drained between the size check and the enqueue: no workers will
+      // drain the queue anymore, so run the loop inline instead.
+      lock.unlock();
+      for (int i = 0; i < count; ++i) fn(i);
+      return;
+    }
     for (int j = 0; j < jobs; ++j) queue_.push(Task{body});
   }
   cv_.notify_all();

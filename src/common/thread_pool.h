@@ -26,8 +26,20 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
   /// iterations finish. Iterations are chunked to limit scheduling
-  /// overhead. Safe to call with count == 0.
+  /// overhead. Safe to call with count == 0. After Drain() the loop runs
+  /// inline on the calling thread — work is never dropped.
   void ParallelFor(int count, const std::function<void(int)>& fn);
+
+  /// Orderly shutdown: stops handing new work to the workers, lets every
+  /// already-queued task finish, and joins all worker threads. Idempotent
+  /// (the destructor calls it), and safe to call while other threads are
+  /// inside ParallelFor — their in-flight chunks complete before the join
+  /// returns. Subsequent ParallelFor calls degrade to inline execution,
+  /// so callers holding a drained pool keep working, just serially. This
+  /// is the seam the async serve pipeline uses to sequence "flush
+  /// in-flight batches, then tear down the pool" without racing the
+  /// worker threads at process exit.
+  void Drain();
 
  private:
   struct Task {
@@ -41,6 +53,10 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  /// Serializes Drain callers so a second Drain (or the destructor)
+  /// cannot return while the first is still joining workers.
+  std::mutex drain_mu_;
+  bool drained_ = false;  // under drain_mu_
 };
 
 /// Convenience wrapper over a process-wide pool (lazily created, never

@@ -1,0 +1,185 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+
+namespace uhscm::serve {
+
+namespace {
+
+std::future<SearchResponse> ReadyResponse(Status status) {
+  std::promise<SearchResponse> promise;
+  promise.set_value(SearchResponse{std::move(status), {}});
+  return promise.get_future();
+}
+
+}  // namespace
+
+Batcher::Batcher(Router* router, const BatcherOptions& options)
+    : router_(router),
+      options_(options),
+      words_per_code_((router->replicas()->replica(0)->index().bits() + 63) /
+                      64),
+      bits_(router->replicas()->replica(0)->index().bits()),
+      max_inflight_batches_(
+          options.max_inflight_batches > 0
+              ? options.max_inflight_batches
+              : 2 * router->replicas()->num_replicas()),
+      queue_(options.queue_capacity != 0
+                 ? options.queue_capacity
+                 : static_cast<size_t>(std::max(1, options.max_batch)) * 8 *
+                       static_cast<size_t>(
+                           router->replicas()->num_replicas())) {
+  options_.max_batch = std::max(1, options_.max_batch);
+  options_.timeout_us = std::max<int64_t>(1, options_.timeout_us);
+  flush_thread_ = std::thread([this] { FlushLoop(); });
+}
+
+Batcher::~Batcher() { Drain(); }
+
+std::future<SearchResponse> Batcher::Submit(const uint64_t* words,
+                                            int num_words, int k) {
+  if (num_words != words_per_code_) {
+    return ReadyResponse(Status::InvalidArgument(
+        "Batcher::Submit: query word count does not match the corpus code "
+        "width"));
+  }
+  // A drained batcher's queue is closed, so the queue rejects (and
+  // counts) the submission — no separate pre-check, which would race
+  // with a concurrent Drain and miss the rejection counter.
+  return queue_.Submit(words, num_words, k);
+}
+
+std::future<SearchResponse> Batcher::Submit(const index::PackedCodes& queries,
+                                            int q, int k) {
+  return Submit(queries.code(q), queries.words_per_code(), k);
+}
+
+void Batcher::FlushLoop() {
+  std::vector<PendingRequest> batch;
+  const auto timeout = std::chrono::microseconds(options_.timeout_us);
+  while (queue_.CollectBatch(options_.max_batch, timeout, &batch)) {
+    // A full batch flushed because it hit B; anything shorter means the
+    // T deadline (or a drain) cut it off.
+    const bool by_timeout =
+        static_cast<int>(batch.size()) < options_.max_batch;
+    FlushBatch(std::move(batch), by_timeout);
+    batch.clear();
+  }
+}
+
+void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
+  if (batch.empty()) return;
+  pipeline_stats_.RecordFlush(static_cast<int>(batch.size()), by_timeout);
+  const auto flush_time = std::chrono::steady_clock::now();
+
+  // The engine API carries one k per Search call, so a mixed-k flush
+  // dispatches one packed batch per distinct k (request order preserved
+  // within each group; under homogeneous traffic this is one group).
+  std::map<int, std::vector<size_t>> groups;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    groups[batch[i].k].push_back(i);
+  }
+
+  for (auto& [k, members] : groups) {
+    auto group = std::make_shared<std::vector<PendingRequest>>();
+    group->reserve(members.size());
+    auto queue_waits = std::make_shared<std::vector<double>>();
+    queue_waits->reserve(members.size());
+    std::vector<uint64_t> words;
+    words.reserve(members.size() * static_cast<size_t>(words_per_code_));
+    for (size_t i : members) {
+      words.insert(words.end(), batch[i].words.begin(),
+                   batch[i].words.end());
+      queue_waits->push_back(std::chrono::duration<double>(
+                                 flush_time - batch[i].admit_time)
+                                 .count());
+      group->push_back(std::move(batch[i]));
+    }
+    index::PackedCodes queries = index::PackedCodes::FromRawWords(
+        static_cast<int>(group->size()), bits_, std::move(words));
+
+    // End-to-end backpressure: don't let batches pile up in the engines'
+    // dispatch queues. Blocking here fills the admission queue, which in
+    // turn blocks Submit — overload surfaces at the front door, and the
+    // router always sees genuine (bounded) per-replica load.
+    {
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      inflight_cv_.wait(lock, [this] {
+        return inflight_batches_.load(std::memory_order_relaxed) <
+               max_inflight_batches_;
+      });
+      inflight_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    QueryEngine* engine = router_->Pick();
+    engine->SubmitBatch(
+        std::move(queries), k,
+        [this, group, queue_waits](
+            std::vector<std::vector<index::Neighbor>> results) {
+          const auto now = std::chrono::steady_clock::now();
+          for (size_t i = 0; i < group->size(); ++i) {
+            PendingRequest& request = (*group)[i];
+            pipeline_stats_.RecordRequestDone(
+                (*queue_waits)[i],
+                std::chrono::duration<double>(now - request.admit_time)
+                    .count());
+            request.promise.set_value(
+                SearchResponse{Status::OK(), std::move(results[i])});
+          }
+          {
+            std::lock_guard<std::mutex> lock(inflight_mu_);
+            inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
+          }
+          inflight_cv_.notify_all();
+        });
+  }
+}
+
+void Batcher::Drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (drained_.load(std::memory_order_acquire)) return;
+  // Order matters: close first (rejects new work and wakes the flush
+  // thread), join the flush thread (its in-hand partial batch is
+  // dispatched with real results), then fail whatever never made it out
+  // of the queue, and finally wait for every dispatched batch to call
+  // back so no engine callback can touch this batcher after Drain.
+  queue_.Close();
+  if (flush_thread_.joinable()) flush_thread_.join();
+  const int failed = queue_.FailPending(
+      Status::Unavailable("pipeline drained before the request was served"));
+  pipeline_stats_.RecordRejected(failed);
+  {
+    std::unique_lock<std::mutex> lock(inflight_mu_);
+    inflight_cv_.wait(lock, [this] {
+      return inflight_batches_.load(std::memory_order_relaxed) == 0;
+    });
+  }
+  drained_.store(true, std::memory_order_release);
+}
+
+ServeStatsSnapshot Batcher::stats() const {
+  ServeStatsSnapshot snap = router_->replicas()->AggregatedStats();
+  // Pipeline counters overwrite the engine-side queries/batches/latency:
+  // what a pipeline client experiences (queue wait included) is the
+  // serving truth; the engines' cache/update/epoch fields pass through.
+  pipeline_stats_.FillSnapshot(&snap);
+  snap.queue_depth = static_cast<int64_t>(queue_.depth());
+  // Shutdown rejections live in two places: requests drained out of the
+  // queue (recorded via FailPending) and submissions the closed queue
+  // turned away at the door.
+  snap.rejected_requests += queue_.rejected();
+  return snap;
+}
+
+void Batcher::ResetStats() {
+  pipeline_stats_.Reset();
+  queue_.ResetRejected();
+  router_->replicas()->ResetStats();
+}
+
+}  // namespace uhscm::serve

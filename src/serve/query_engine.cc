@@ -19,6 +19,82 @@ QueryEngine::QueryEngine(std::unique_ptr<ShardedIndex> index,
   UHSCM_CHECK(index_ != nullptr, "QueryEngine: null index");
 }
 
+QueryEngine::~QueryEngine() { Drain(); }
+
+void QueryEngine::SubmitBatch(index::PackedCodes queries, int k,
+                              BatchCallback done) {
+  const int n = queries.size();
+  inflight_.fetch_add(n, std::memory_order_relaxed);
+  auto task = [this, queries = std::move(queries), k,
+               done = std::move(done), n]() mutable {
+    done(Search(queries, k));
+    // Decrement only after the callback returns: a router that sees the
+    // old load cannot race ahead of a completion the client hasn't
+    // observed yet, and tests can hold a batch "in flight" by blocking
+    // in the callback.
+    inflight_.fetch_sub(n, std::memory_order_relaxed);
+  };
+  {
+    std::unique_lock<std::mutex> lock(dispatch_mu_);
+    if (!drained_) {
+      if (!dispatch_thread_.joinable()) {
+        dispatch_thread_ = std::thread([this] { DispatchLoop(); });
+      }
+      dispatch_tasks_.push_back(std::move(task));
+      lock.unlock();
+      dispatch_cv_.notify_one();
+      return;
+    }
+  }
+  task();  // drained: complete inline, never drop
+}
+
+std::future<std::vector<std::vector<Neighbor>>> QueryEngine::SubmitBatch(
+    index::PackedCodes queries, int k) {
+  auto promise =
+      std::make_shared<std::promise<std::vector<std::vector<Neighbor>>>>();
+  std::future<std::vector<std::vector<Neighbor>>> future =
+      promise->get_future();
+  SubmitBatch(std::move(queries), k,
+              [promise](std::vector<std::vector<Neighbor>> results) {
+                promise->set_value(std::move(results));
+              });
+  return future;
+}
+
+void QueryEngine::DispatchLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mu_);
+      dispatch_cv_.wait(
+          lock, [this] { return dispatch_stop_ || !dispatch_tasks_.empty(); });
+      if (dispatch_tasks_.empty()) return;  // stop requested, queue flushed
+      task = std::move(dispatch_tasks_.front());
+      dispatch_tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void QueryEngine::Drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  std::thread dispatch;
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    if (drained_) return;
+    drained_ = true;
+    dispatch_stop_ = true;
+    dispatch.swap(dispatch_thread_);
+  }
+  dispatch_cv_.notify_all();
+  // The dispatch loop finishes every queued batch before exiting, and it
+  // must be gone before the pool is drained — its Searches fan out on
+  // the pool.
+  if (dispatch.joinable()) dispatch.join();
+  pool_->Drain();
+}
+
 std::vector<std::vector<Neighbor>> QueryEngine::Search(
     const index::PackedCodes& queries, int k) {
   const int n = queries.size();
@@ -166,9 +242,12 @@ void QueryEngine::ResetStats() {
   removes_.store(0, std::memory_order_relaxed);
 }
 
-void ReplayBatches(QueryEngine* engine, const index::PackedCodes& queries,
-                   int batch, int k) {
+std::vector<index::PackedCodes> SliceBatches(const index::PackedCodes& queries,
+                                             int batch) {
   batch = std::max(1, batch);
+  std::vector<index::PackedCodes> batches;
+  batches.reserve(static_cast<size_t>(
+      (queries.size() + batch - 1) / std::max(1, batch)));
   const int words = queries.words_per_code();
   for (int begin = 0; begin < queries.size(); begin += batch) {
     const int count = std::min(batch, queries.size() - begin);
@@ -176,9 +255,21 @@ void ReplayBatches(QueryEngine* engine, const index::PackedCodes& queries,
         queries.words().begin() + static_cast<size_t>(begin) * words,
         queries.words().begin() +
             static_cast<size_t>(begin + count) * words);
-    engine->Search(index::PackedCodes::FromRawWords(count, queries.bits(),
-                                                    std::move(slice)),
-                   k);
+    batches.push_back(index::PackedCodes::FromRawWords(count, queries.bits(),
+                                                       std::move(slice)));
+  }
+  return batches;
+}
+
+void ReplayBatches(QueryEngine* engine, const index::PackedCodes& queries,
+                   int batch, int k) {
+  ReplayBatches(engine, SliceBatches(queries, batch), k);
+}
+
+void ReplayBatches(QueryEngine* engine,
+                   const std::vector<index::PackedCodes>& batches, int k) {
+  for (const index::PackedCodes& batch : batches) {
+    engine->Search(batch, k);
   }
 }
 

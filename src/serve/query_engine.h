@@ -2,9 +2,14 @@
 #define UHSCM_SERVE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -53,6 +58,7 @@ class QueryEngine {
  public:
   QueryEngine(std::unique_ptr<ShardedIndex> index,
               const QueryEngineOptions& options = {});
+  ~QueryEngine();
 
   /// Top-k neighbors for each of `queries` (packed, same bit width as the
   /// corpus). Returns one ascending (distance, id) list per query.
@@ -61,6 +67,44 @@ class QueryEngine {
 
   /// Single-query convenience wrapper over the batched path.
   std::vector<index::Neighbor> SearchOne(const uint64_t* query, int k);
+
+  /// Per-batch completion callback: one ascending result list per query,
+  /// in query order — exactly what Search returns.
+  using BatchCallback =
+      std::function<void(std::vector<std::vector<index::Neighbor>>)>;
+
+  /// \name Non-blocking batch seam (driven by the pipeline's Batcher)
+  ///
+  /// SubmitBatch enqueues the batch on the engine's dispatch thread and
+  /// returns immediately; the dispatch thread runs Search (whose fan-out
+  /// uses the worker pool) and invokes `done` with results byte-identical
+  /// to a synchronous Search of the same batch at the same epoch. Batches
+  /// execute in submission order, one at a time per engine — replication
+  /// is the cross-batch parallelism lever, keeping each engine's pool
+  /// contention-free. The dispatch thread is started lazily on the first
+  /// SubmitBatch, so purely synchronous engines never pay for it. After
+  /// Drain() the submission runs inline on the caller (still completed,
+  /// never dropped).
+  ///@{
+  void SubmitBatch(index::PackedCodes queries, int k, BatchCallback done);
+
+  /// Future-returning convenience wrapper over the callback form.
+  std::future<std::vector<std::vector<index::Neighbor>>> SubmitBatch(
+      index::PackedCodes queries, int k);
+
+  /// Queries admitted through SubmitBatch whose callback has not yet
+  /// returned — the load signal the least-loaded router balances on.
+  int64_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// Orderly shutdown of the async machinery: runs every already-
+  /// submitted batch to completion (callbacks included), joins the
+  /// dispatch thread, then drains the worker pool. Idempotent; the
+  /// destructor calls it. Search/SubmitBatch afterwards still work,
+  /// inline and single-threaded.
+  void Drain();
+  ///@}
 
   /// Appends a batch of codes to the corpus (routed to the least-full
   /// shard) and bumps the epoch. Returns the assigned global ids.
@@ -99,6 +143,8 @@ class QueryEngine {
   size_t cache_size() const { return cache_.size(); }
 
  private:
+  void DispatchLoop();
+
   std::unique_ptr<ShardedIndex> index_;
   std::unique_ptr<ThreadPool> pool_;
   ResultCache cache_;
@@ -111,13 +157,42 @@ class QueryEngine {
   std::atomic<uint64_t> epoch_{0};
   std::atomic<int64_t> appends_{0};
   std::atomic<int64_t> removes_{0};
+
+  /// Async dispatch state. The thread is lazily created under
+  /// dispatch_mu_ and joined by Drain() *before* pool_ is torn down —
+  /// the destruction-ordering contract that lets in-flight batches use
+  /// the pool safely at shutdown.
+  mutable std::mutex dispatch_mu_;
+  std::condition_variable dispatch_cv_;
+  std::deque<std::function<void()>> dispatch_tasks_;
+  std::thread dispatch_thread_;
+  bool dispatch_stop_ = false;
+  bool drained_ = false;  // under dispatch_mu_
+  /// Serializes Drain callers (same pattern as ThreadPool::Drain): a
+  /// second Drain — or the destructor — must not return while the first
+  /// is still joining the dispatch thread and draining the pool.
+  std::mutex drain_mu_;
+  std::atomic<int64_t> inflight_{0};
 };
 
+/// Slices a query stream into `batch`-sized PackedCodes (the final batch
+/// may be short). Replay loops that run multiple passes should slice
+/// once and reuse the packed buffers instead of re-copying the words on
+/// every pass.
+std::vector<index::PackedCodes> SliceBatches(const index::PackedCodes& queries,
+                                             int batch);
+
 /// Replays a query stream through the engine in batches of `batch`
-/// packed queries (the final batch may be short). The batch-slicing loop
-/// shared by `uhscm_cli serve` and the throughput bench.
+/// packed queries. One-pass convenience over SliceBatches + the
+/// pre-sliced overload below.
 void ReplayBatches(QueryEngine* engine, const index::PackedCodes& queries,
                    int batch, int k);
+
+/// Replays pre-sliced batches through the engine — the multi-pass form
+/// `uhscm_cli serve` and the throughput benches use so the packed
+/// buffers are built once per stream, not once per pass.
+void ReplayBatches(QueryEngine* engine,
+                   const std::vector<index::PackedCodes>& batches, int k);
 
 }  // namespace uhscm::serve
 

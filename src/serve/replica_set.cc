@@ -1,0 +1,101 @@
+#include "serve/replica_set.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/status.h"
+
+namespace uhscm::serve {
+
+namespace {
+
+ServingSnapshotOptions PerReplicaOptions(const ReplicaSetOptions& options,
+                                         int replicas) {
+  ServingSnapshotOptions serving = options.serving;
+  if (serving.engine.num_threads == 0) {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 0) hw = 4;
+    serving.engine.num_threads = std::max(1, hw / replicas);
+  }
+  return serving;
+}
+
+}  // namespace
+
+ReplicaSet::ReplicaSet(const io::CodesSnapshot& snapshot,
+                       const ReplicaSetOptions& options) {
+  const int replicas = std::max(1, options.replicas);
+  const ServingSnapshotOptions serving = PerReplicaOptions(options, replicas);
+  engines_.reserve(static_cast<size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    engines_.push_back(
+        MakeQueryEngineFromSnapshot(io::CodesSnapshot(snapshot), serving));
+  }
+}
+
+ReplicaSet::ReplicaSet(const index::PackedCodes& corpus,
+                       const ReplicaSetOptions& options) {
+  const int replicas = std::max(1, options.replicas);
+  const ServingSnapshotOptions serving = PerReplicaOptions(options, replicas);
+  engines_.reserve(static_cast<size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    engines_.push_back(MakeQueryEngine(
+        index::PackedCodes::FromRawWords(corpus.size(), corpus.bits(),
+                                         corpus.words()),
+        serving));
+  }
+}
+
+std::vector<int> ReplicaSet::Append(const index::PackedCodes& codes) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  std::vector<int> ids = engines_.front()->Append(codes);
+  for (size_t r = 1; r < engines_.size(); ++r) {
+    const std::vector<int> replica_ids = engines_[r]->Append(codes);
+    UHSCM_CHECK(replica_ids == ids,
+                "ReplicaSet::Append: replicas assigned divergent ids");
+  }
+  return ids;
+}
+
+bool ReplicaSet::Remove(int global_id) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const bool removed = engines_.front()->Remove(global_id);
+  for (size_t r = 1; r < engines_.size(); ++r) {
+    const bool replica_removed = engines_[r]->Remove(global_id);
+    UHSCM_CHECK(replica_removed == removed,
+                "ReplicaSet::Remove: replicas diverged on a tombstone");
+  }
+  return removed;
+}
+
+int ReplicaSet::RemoveIds(const std::vector<int>& global_ids) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  const int removed = engines_.front()->RemoveIds(global_ids);
+  for (size_t r = 1; r < engines_.size(); ++r) {
+    const int replica_removed = engines_[r]->RemoveIds(global_ids);
+    UHSCM_CHECK(replica_removed == removed,
+                "ReplicaSet::RemoveIds: replicas diverged on tombstones");
+  }
+  return removed;
+}
+
+std::vector<ServeStatsSnapshot> ReplicaSet::PerReplicaStats() const {
+  std::vector<ServeStatsSnapshot> stats;
+  stats.reserve(engines_.size());
+  for (const auto& engine : engines_) stats.push_back(engine->stats());
+  return stats;
+}
+
+ServeStatsSnapshot ReplicaSet::AggregatedStats() const {
+  return AggregateServeStats(PerReplicaStats());
+}
+
+void ReplicaSet::ResetStats() {
+  for (auto& engine : engines_) engine->ResetStats();
+}
+
+void ReplicaSet::DrainAll() {
+  for (auto& engine : engines_) engine->Drain();
+}
+
+}  // namespace uhscm::serve

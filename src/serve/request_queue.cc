@@ -1,0 +1,132 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace uhscm::serve {
+
+namespace {
+
+std::future<SearchResponse> RejectedFuture() {
+  std::promise<SearchResponse> promise;
+  promise.set_value(SearchResponse{
+      Status::Unavailable("request queue closed — pipeline draining"), {}});
+  return promise.get_future();
+}
+
+PendingRequest MakeRequest(const uint64_t* words, int num_words, int k) {
+  PendingRequest request;
+  request.words.assign(words, words + std::max(0, num_words));
+  request.k = k;
+  request.admit_time = std::chrono::steady_clock::now();
+  return request;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+std::future<SearchResponse> RequestQueue::Submit(const uint64_t* words,
+                                                 int num_words, int k) {
+  PendingRequest request = MakeRequest(words, num_words, k);
+  std::future<SearchResponse> future = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || queue_.size() < capacity_; });
+    if (closed_) {
+      ++rejected_;
+      return RejectedFuture();
+    }
+    queue_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return future;
+}
+
+bool RequestQueue::TrySubmit(const uint64_t* words, int num_words, int k,
+                             std::future<SearchResponse>* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      ++rejected_;
+      *out = RejectedFuture();
+      return true;
+    }
+    if (queue_.size() >= capacity_) return false;
+    PendingRequest request = MakeRequest(words, num_words, k);
+    *out = request.promise.get_future();
+    queue_.push_back(std::move(request));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::CollectBatch(int max_batch,
+                                std::chrono::microseconds timeout,
+                                std::vector<PendingRequest>* out) {
+  out->clear();
+  max_batch = std::max(1, max_batch);
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (closed_) return false;  // leftovers are FailPending's to complete
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    while (!queue_.empty() && static_cast<int>(out->size()) < max_batch) {
+      out->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      not_full_.notify_one();
+    }
+    if (static_cast<int>(out->size()) >= max_batch || closed_) break;
+    if (!not_empty_.wait_until(
+            lock, deadline, [&] { return closed_ || !queue_.empty(); })) {
+      break;  // T elapsed first: flush whatever the batch holds
+    }
+  }
+  return true;
+}
+
+void RequestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+int RequestQueue::FailPending(const Status& status) {
+  std::deque<PendingRequest> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(queue_);
+  }
+  for (PendingRequest& request : pending) {
+    request.promise.set_value(SearchResponse{status, {}});
+  }
+  not_full_.notify_all();
+  return static_cast<int>(pending.size());
+}
+
+size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+int64_t RequestQueue::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+void RequestQueue::ResetRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rejected_ = 0;
+}
+
+}  // namespace uhscm::serve

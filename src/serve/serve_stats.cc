@@ -71,4 +71,122 @@ double Percentile(std::vector<double> samples, double p) {
   return samples[rank > 0 ? rank - 1 : 0];
 }
 
+int BatchSizeBucket(int size) {
+  if (size <= 1) return 0;
+  int bucket = 0;
+  // Smallest b with size <= 2^b.
+  while (bucket < kBatchSizeBuckets - 1 && (1 << bucket) < size) ++bucket;
+  return bucket;
+}
+
+std::string BatchSizeBucketLabel(int bucket) {
+  if (bucket <= 0) return "1";
+  if (bucket == 1) return "2";
+  if (bucket >= kBatchSizeBuckets - 1) {
+    return ">" + std::to_string(1 << (kBatchSizeBuckets - 2));
+  }
+  return "<=" + std::to_string(1 << bucket);
+}
+
+PipelineStats::PipelineStats(size_t max_latency_samples)
+    : max_samples_(std::max<size_t>(1, max_latency_samples)) {}
+
+namespace {
+/// Bounded ring-buffer append shared by the two sample windows.
+void PushSample(std::vector<double>* samples, size_t* next_slot,
+                size_t max_samples, double value) {
+  if (samples->size() < max_samples) {
+    samples->push_back(value);
+  } else {
+    (*samples)[*next_slot] = value;
+    *next_slot = (*next_slot + 1) % max_samples;
+  }
+}
+}  // namespace
+
+void PipelineStats::RecordFlush(int batch_size, bool by_timeout) {
+  if (batch_size <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  (by_timeout ? flushes_by_timeout_ : flushes_by_size_) += 1;
+  batch_size_hist_[static_cast<size_t>(BatchSizeBucket(batch_size))] += 1;
+}
+
+void PipelineStats::RecordRequestDone(double queue_seconds,
+                                      double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  requests_done_ += 1;
+  PushSample(&queue_wait_ms_, &next_queue_slot_, max_samples_,
+             queue_seconds * 1e3);
+  PushSample(&total_latency_ms_, &next_total_slot_, max_samples_,
+             total_seconds * 1e3);
+}
+
+void PipelineStats::RecordRejected(int count) {
+  if (count <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  rejected_ += count;
+}
+
+void PipelineStats::FillSnapshot(ServeStatsSnapshot* snap) const {
+  std::vector<double> queue_waits, totals;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap->queries = requests_done_;
+    snap->batches = flushes_by_size_ + flushes_by_timeout_;
+    snap->batches_flushed_by_size = flushes_by_size_;
+    snap->batches_flushed_by_timeout = flushes_by_timeout_;
+    snap->rejected_requests = rejected_;
+    snap->batch_size_hist = batch_size_hist_;
+    snap->busy_seconds = wall_.ElapsedSeconds();
+    queue_waits = queue_wait_ms_;
+    totals = total_latency_ms_;
+  }
+  if (!totals.empty()) {
+    double sum = 0.0;
+    for (double s : totals) sum += s;
+    snap->latency_mean_ms = sum / static_cast<double>(totals.size());
+    snap->latency_p99_ms = Percentile(totals, 99.0);
+    snap->latency_p50_ms = Percentile(std::move(totals), 50.0);
+  }
+  if (!queue_waits.empty()) {
+    snap->time_in_queue_p99_ms = Percentile(queue_waits, 99.0);
+    snap->time_in_queue_p50_ms = Percentile(std::move(queue_waits), 50.0);
+  }
+}
+
+void PipelineStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  wall_.Restart();
+  requests_done_ = 0;
+  rejected_ = 0;
+  flushes_by_size_ = 0;
+  flushes_by_timeout_ = 0;
+  batch_size_hist_.fill(0);
+  next_queue_slot_ = 0;
+  queue_wait_ms_.clear();
+  next_total_slot_ = 0;
+  total_latency_ms_.clear();
+}
+
+ServeStatsSnapshot AggregateServeStats(
+    const std::vector<ServeStatsSnapshot>& per_replica) {
+  ServeStatsSnapshot agg;
+  agg.replicas = static_cast<int>(per_replica.size());
+  for (const ServeStatsSnapshot& snap : per_replica) {
+    agg.queries += snap.queries;
+    agg.batches += snap.batches;
+    agg.cache_hits += snap.cache_hits;
+    agg.cache_misses += snap.cache_misses;
+    agg.cache_evictions += snap.cache_evictions;
+    agg.appends += snap.appends;
+    agg.removes += snap.removes;
+    agg.busy_seconds += snap.busy_seconds;
+    agg.epoch = std::max(agg.epoch, snap.epoch);
+    agg.latency_p50_ms = std::max(agg.latency_p50_ms, snap.latency_p50_ms);
+    agg.latency_p99_ms = std::max(agg.latency_p99_ms, snap.latency_p99_ms);
+    agg.latency_mean_ms = std::max(agg.latency_mean_ms, snap.latency_mean_ms);
+  }
+  return agg;
+}
+
 }  // namespace uhscm::serve

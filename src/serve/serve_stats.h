@@ -1,11 +1,20 @@
 #ifndef UHSCM_SERVE_SERVE_STATS_H_
 #define UHSCM_SERVE_SERVE_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
+#include "common/stopwatch.h"
+
 namespace uhscm::serve {
+
+/// Power-of-two batch-size histogram buckets: bucket 0 counts flushes of
+/// exactly 1 query, bucket b>0 counts sizes in (2^(b-1), 2^b], and the
+/// last bucket absorbs everything larger.
+constexpr int kBatchSizeBuckets = 10;
 
 /// Point-in-time view of a QueryEngine's serving counters.
 struct ServeStatsSnapshot {
@@ -29,6 +38,25 @@ struct ServeStatsSnapshot {
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
+
+  // --- async pipeline counters (all zero when serving synchronously;
+  // filled in by Batcher::stats()) ---
+  /// Requests sitting in the admission queue right now.
+  int64_t queue_depth = 0;
+  /// Flushes triggered by reaching the batch-size bound B.
+  int64_t batches_flushed_by_size = 0;
+  /// Flushes triggered by the T-microsecond deadline (includes the final
+  /// partial flush of a drain).
+  int64_t batches_flushed_by_timeout = 0;
+  /// Submissions rejected with a shutdown Status (drained pipeline).
+  int64_t rejected_requests = 0;
+  /// Flushed-batch size distribution (see kBatchSizeBuckets).
+  std::array<int64_t, kBatchSizeBuckets> batch_size_hist{};
+  /// Admission-to-flush wait percentiles.
+  double time_in_queue_p50_ms = 0.0;
+  double time_in_queue_p99_ms = 0.0;
+  /// Replica count this snapshot aggregates over (0 = single engine).
+  int replicas = 0;
 
   double hit_rate() const {
     const int64_t total = cache_hits + cache_misses;
@@ -78,6 +106,66 @@ class ServeStats {
 /// Percentile (p in [0,100]) of a sample vector; 0 when empty. Sorts a
 /// copy — callers on the hot path should snapshot sparingly.
 double Percentile(std::vector<double> samples, double p);
+
+/// Histogram bucket for a flushed batch of `size` queries.
+int BatchSizeBucket(int size);
+
+/// Human-readable bucket label ("1", "2", "<=4", ..., ">256").
+std::string BatchSizeBucketLabel(int bucket);
+
+/// \brief Thread-safe accounting for the async request pipeline: flush
+/// reasons, batch-size distribution, time-in-queue, and end-to-end
+/// request latency (admission to future completion — what a pipeline
+/// client experiences, queue wait included).
+///
+/// FillSnapshot writes the pipeline fields of a ServeStatsSnapshot plus
+/// the latency/throughput fields from its own end-to-end samples;
+/// busy_seconds is the wall time since construction or Reset(), so
+/// qps() reports true pipeline throughput, not summed latencies.
+class PipelineStats {
+ public:
+  explicit PipelineStats(size_t max_latency_samples = 1 << 16);
+
+  /// Records one flushed batch and why it flushed.
+  void RecordFlush(int batch_size, bool by_timeout);
+
+  /// Records one completed request: seconds spent queued before its
+  /// batch flushed, and total seconds from admission to completion.
+  void RecordRequestDone(double queue_seconds, double total_seconds);
+
+  /// Records submissions rejected with a shutdown Status.
+  void RecordRejected(int count);
+
+  /// Fills the pipeline + latency + queries/batches fields of *snap
+  /// (leaves cache/update fields alone — those belong to the engines).
+  void FillSnapshot(ServeStatsSnapshot* snap) const;
+
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  size_t max_samples_;
+  Stopwatch wall_;  // restarted by Reset(); powers the snapshot's qps()
+  int64_t requests_done_ = 0;
+  int64_t rejected_ = 0;
+  int64_t flushes_by_size_ = 0;
+  int64_t flushes_by_timeout_ = 0;
+  std::array<int64_t, kBatchSizeBuckets> batch_size_hist_{};
+  size_t next_queue_slot_ = 0;
+  std::vector<double> queue_wait_ms_;
+  size_t next_total_slot_ = 0;
+  std::vector<double> total_latency_ms_;
+};
+
+/// Sums per-replica engine snapshots into one corpus-wide view: counters
+/// add, busy_seconds add (so qps() stays "queries per engine-busy
+/// second"), epoch takes the max (replicas are update-coherent, so they
+/// agree outside an in-flight fan-out), and latency percentiles take the
+/// worst replica — a conservative bound, since exact percentiles cannot
+/// be recovered from per-replica summaries. `replicas` is set to the
+/// input count.
+ServeStatsSnapshot AggregateServeStats(
+    const std::vector<ServeStatsSnapshot>& per_replica);
 
 }  // namespace uhscm::serve
 

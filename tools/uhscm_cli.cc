@@ -17,28 +17,38 @@
 //       Reloads model + codes and prints top-k results for sample
 //       queries with relevance flags.
 //   serve  --codes=PATH [--model=PATH --dataset=... --seed=N --scale=F]
-//          [--shards=N] [--threads=N] [--batch=B] [--backend=scan|mih]
-//          [--topk=K] [--queries=N]
+//          [--shards=N] [--threads=N] [--backend=scan|mih]
+//          [--replicas=N] [--batch-max=B] [--batch-timeout-us=T]
+//          [--route=rr|least] [--topk=K] [--queries=N]
 //          [--append=PATH] [--delete-ids=1,5,10-20] [--save-snapshot=PATH]
-//       Hydrates a sharded QueryEngine from the packed codes (legacy v1
-//       artifact or v2 serving snapshot) and replays a query stream
-//       through it twice (cold, then cache-hot), printing QPS, latency
-//       percentiles and cache hit rate. Queries are encoded from the
-//       synthetic query split when --model is given, otherwise sampled
-//       from the database codes themselves.
+//       Hydrates N QueryEngine replicas from the packed codes (legacy v1
+//       artifact or v2 serving snapshot) behind the async request
+//       pipeline — bounded admission queue, adaptive batcher (flush at B
+//       queries or T microseconds, whichever first), load-aware router —
+//       and replays a query stream through it twice (cold, then
+//       cache-hot), printing QPS, latency percentiles, cache hit rate,
+//       queue depth, flush reasons, and time-in-queue percentiles. The
+//       query stream is loaded/encoded once and its packed buffer reused
+//       across all passes. Queries are encoded from the synthetic query
+//       split when --model is given, otherwise sampled from the database
+//       codes themselves.
 //
-//       Admin ops run after the replay passes: --append=PATH appends a
-//       packed-code artifact to the live corpus (routed to the
-//       least-full shard), --delete-ids tombstones global ids, and each
-//       bumps the corpus epoch — a third replay pass then shows the
-//       epoch-keyed cache re-filling. --save-snapshot persists the
-//       mutated corpus as a versioned v2 snapshot (epoch + tombstones)
-//       that future serve runs reload with identical ids and results.
+//       Admin ops run after the replay passes and fan out to every
+//       replica: --append=PATH appends a packed-code artifact to the
+//       live corpus (routed to the least-full shard), --delete-ids
+//       tombstones global ids, and each bumps the corpus epoch — a third
+//       replay pass then shows the epoch-keyed caches re-filling.
+//       --save-snapshot persists the mutated corpus as a versioned v2
+//       snapshot (epoch + tombstones) that future serve runs reload with
+//       identical ids and results.
 //
 // The corpus is synthetic and seed-determined, so "the same dataset" is
 // reproducible from (dataset, seed, scale) alone — no data files needed.
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <iostream>
 #include <limits>
 #include <map>
@@ -55,6 +65,10 @@
 #include "index/hamming_kernels.h"
 #include "index/linear_scan.h"
 #include "io/serialize.h"
+#include "serve/batcher.h"
+#include "serve/replica_set.h"
+#include "serve/request_queue.h"
+#include "serve/router.h"
 #include "serve/serve_stats.h"
 #include "serve/snapshot.h"
 #include "vlp/simulated_vlp.h"
@@ -73,8 +87,11 @@ struct Flags {
   int topk = 10;
   int queries = 5;
   int shards = 4;
-  int threads = 0;  // 0 = hardware concurrency
-  int batch = 32;
+  int threads = 0;  // 0 = hardware concurrency (divided across replicas)
+  int replicas = 1;
+  int batch_max = 32;
+  int64_t batch_timeout_us = 200;
+  std::string route = "least";
   std::string backend = "scan";
   std::string append_file;
   std::string delete_ids;
@@ -86,7 +103,8 @@ int Usage() {
                "usage: uhscm_cli <train|info|eval|query|serve> "
                "[--dataset=...] [--bits=K] [--seed=N] [--scale=F] "
                "[--model=PATH] [--codes=PATH] [--file=PATH] [--topk=K] "
-               "[--queries=N] [--shards=N] [--threads=N] [--batch=B] "
+               "[--queries=N] [--shards=N] [--threads=N] [--replicas=N] "
+               "[--batch-max=B] [--batch-timeout-us=T] [--route=rr|least] "
                "[--backend=scan|mih] [--append=PATH] "
                "[--delete-ids=1,5,10-20] [--save-snapshot=PATH]\n");
   return 2;
@@ -166,8 +184,17 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->shards = std::atoi(arg.c_str() + 9);
     } else if (StartsWith(arg, "--threads=")) {
       flags->threads = std::atoi(arg.c_str() + 10);
+    } else if (StartsWith(arg, "--replicas=")) {
+      flags->replicas = std::atoi(arg.c_str() + 11);
+    } else if (StartsWith(arg, "--batch-max=")) {
+      flags->batch_max = std::atoi(arg.c_str() + 12);
     } else if (StartsWith(arg, "--batch=")) {
-      flags->batch = std::atoi(arg.c_str() + 8);
+      // Legacy alias from the caller-batched serve loop.
+      flags->batch_max = std::atoi(arg.c_str() + 8);
+    } else if (StartsWith(arg, "--batch-timeout-us=")) {
+      flags->batch_timeout_us = std::atoll(arg.c_str() + 19);
+    } else if (StartsWith(arg, "--route=")) {
+      flags->route = arg.substr(8);
     } else if (StartsWith(arg, "--backend=")) {
       flags->backend = arg.substr(10);
     } else if (StartsWith(arg, "--append=")) {
@@ -372,13 +399,19 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "serve: --backend must be scan or mih\n");
     return 2;
   }
+  serve::RoutePolicy route_policy;
+  if (!serve::ParseRoutePolicy(flags.route, &route_policy)) {
+    std::fprintf(stderr, "serve: --route must be rr or least\n");
+    return 2;
+  }
 
-  serve::ServingSnapshotOptions options;
-  options.index.num_shards = flags.shards;
-  options.index.backend = flags.backend == "mih"
-                              ? serve::ShardBackend::kMultiIndexHash
-                              : serve::ShardBackend::kLinearScan;
-  options.engine.num_threads = flags.threads;
+  serve::ReplicaSetOptions options;
+  options.replicas = std::max(1, flags.replicas);
+  options.serving.index.num_shards = flags.shards;
+  options.serving.index.backend =
+      flags.backend == "mih" ? serve::ShardBackend::kMultiIndexHash
+                             : serve::ShardBackend::kLinearScan;
+  options.serving.engine.num_threads = flags.threads;
   // One disk read handles both the legacy v1 codes artifact and the v2
   // serving snapshot; the loaded snapshot doubles as the query-sampling
   // source before the engine takes ownership of it.
@@ -389,8 +422,10 @@ int CmdServe(const Flags& flags) {
   }
   io::CodesSnapshot snapshot = std::move(loaded).ValueOrDie();
 
-  // Build the query stream: real encoded queries when a model is given,
-  // otherwise surviving database codes replayed against themselves.
+  // Build the query stream *once*: real encoded queries when a model is
+  // given, otherwise surviving database codes replayed against
+  // themselves. Every replay pass below submits straight out of this one
+  // packed buffer — the stream is never re-read or re-encoded per pass.
   // Either way `--queries` caps the stream.
   const int max_queries = std::max(1, flags.queries);
   index::PackedCodes queries;
@@ -434,39 +469,81 @@ int CmdServe(const Flags& flags) {
         taken, snapshot.codes.bits(), std::move(words));
   }
 
-  std::unique_ptr<serve::QueryEngine> engine =
-      serve::MakeQueryEngineFromSnapshot(std::move(snapshot), options);
+  // The async pipeline: N identically-hydrated replicas behind a
+  // load-aware router, fed by the adaptive batcher. All query traffic
+  // goes through Batcher::Submit — nothing calls Search directly.
+  serve::ReplicaSet replicas(snapshot, options);
+  // Each replica holds its own corpus copy now; drop the loaded
+  // snapshot's buffers so peak memory stays at N copies, not N+1.
+  snapshot = io::CodesSnapshot();
+  serve::Router router(&replicas, route_policy);
+  serve::BatcherOptions batcher_options;
+  batcher_options.max_batch = flags.batch_max;
+  batcher_options.timeout_us = flags.batch_timeout_us;
+  serve::Batcher batcher(&router, batcher_options);
 
+  const serve::QueryEngine& engine0 = *replicas.replica(0);
   std::printf(
-      "serving %d live / %d total codes @ %d bits: %d shards (%s), "
-      "%d threads, %s kernel, epoch %llu\n",
-      engine->index().size(), engine->index().total_size(),
-      engine->index().bits(), engine->index().num_shards(),
-      flags.backend.c_str(), engine->num_threads(),
+      "serving %d live / %d total codes @ %d bits: %d replicas x %d shards "
+      "(%s), %d threads each, %s routing, batch B=%d T=%lldus, %s kernel, "
+      "epoch %llu\n",
+      engine0.index().size(), engine0.index().total_size(),
+      engine0.index().bits(), replicas.num_replicas(),
+      engine0.index().num_shards(), flags.backend.c_str(),
+      engine0.num_threads(), serve::RoutePolicyName(route_policy),
+      batcher.options().max_batch,
+      static_cast<long long>(batcher.options().timeout_us),
       index::KernelTierName(index::ActiveKernelTier()),
-      static_cast<unsigned long long>(engine->epoch()));
+      static_cast<unsigned long long>(replicas.epoch()));
 
-  TableWriter table({"pass", "queries", "batches", "hit_rate", "evictions",
-                     "qps", "p50_ms", "p99_ms"});
-  auto replay_pass = [&](const char* pass) {
-    serve::ReplayBatches(engine.get(), queries, flags.batch, flags.topk);
-    const serve::ServeStatsSnapshot stats = engine->stats();
-    char hit_rate[32], qps[32], p50[32], p99[32];
+  TableWriter table({"pass", "queries", "batches", "by_size", "by_timeout",
+                     "hit_rate", "tiq_p50_ms", "tiq_p99_ms", "qps", "p50_ms",
+                     "p99_ms"});
+  // Per-pass stats are reset between passes; the batch-size histogram is
+  // accumulated across all of them for the run-wide summary line.
+  std::array<int64_t, serve::kBatchSizeBuckets> hist_total{};
+  auto replay_pass = [&](const char* pass) -> bool {
+    // Reset at the start (not the end) so the final pass's engine and
+    // pipeline counters survive for the per-replica table below.
+    batcher.ResetStats();
+    std::vector<std::future<serve::SearchResponse>> futures;
+    futures.reserve(static_cast<size_t>(queries.size()));
+    for (int q = 0; q < queries.size(); ++q) {
+      futures.push_back(batcher.Submit(queries, q, flags.topk));
+    }
+    for (std::future<serve::SearchResponse>& future : futures) {
+      const serve::SearchResponse response = future.get();
+      if (!response.status.ok()) {
+        std::fprintf(stderr, "serve: pipeline request failed: %s\n",
+                     response.status.ToString().c_str());
+        return false;
+      }
+    }
+    const serve::ServeStatsSnapshot stats = batcher.stats();
+    char hit_rate[32], tiq50[32], tiq99[32], qps[32], p50[32], p99[32];
     std::snprintf(hit_rate, sizeof(hit_rate), "%.2f", stats.hit_rate());
+    std::snprintf(tiq50, sizeof(tiq50), "%.3f", stats.time_in_queue_p50_ms);
+    std::snprintf(tiq99, sizeof(tiq99), "%.3f", stats.time_in_queue_p99_ms);
     std::snprintf(qps, sizeof(qps), "%.1f", stats.qps());
     std::snprintf(p50, sizeof(p50), "%.3f", stats.latency_p50_ms);
     std::snprintf(p99, sizeof(p99), "%.3f", stats.latency_p99_ms);
     table.AddRow({pass, std::to_string(stats.queries),
-                  std::to_string(stats.batches), hit_rate,
-                  std::to_string(stats.cache_evictions), qps, p50, p99});
-    engine->ResetStats();
+                  std::to_string(stats.batches),
+                  std::to_string(stats.batches_flushed_by_size),
+                  std::to_string(stats.batches_flushed_by_timeout), hit_rate,
+                  tiq50, tiq99, qps, p50, p99});
+    for (int b = 0; b < serve::kBatchSizeBuckets; ++b) {
+      hist_total[static_cast<size_t>(b)] +=
+          stats.batch_size_hist[static_cast<size_t>(b)];
+    }
+    return true;
   };
-  replay_pass("cold");
-  replay_pass("cache-hot");
+  if (!replay_pass("cold") || !replay_pass("cache-hot")) return 1;
 
-  // Admin ops: mutate the live corpus, then replay once more so the
-  // post-update pass shows the epoch-keyed cache re-filling (the
-  // cache-hot entries above are unreachable under the new epoch).
+  // Admin ops: mutate the live corpus (fanned to every replica so
+  // epochs stay coherent), then replay once more so the post-update pass
+  // shows the epoch-keyed caches re-filling (the cache-hot entries above
+  // are unreachable under the new epoch).
   bool updated = false;
   if (!flags.append_file.empty()) {
     Result<index::PackedCodes> extra = io::LoadPackedCodes(flags.append_file);
@@ -474,18 +551,19 @@ int CmdServe(const Flags& flags) {
       std::fprintf(stderr, "%s\n", extra.status().ToString().c_str());
       return 1;
     }
-    if (extra->bits() != engine->index().bits()) {
+    if (extra->bits() != engine0.index().bits()) {
       std::fprintf(stderr,
                    "serve: --append file holds %d-bit codes, corpus is "
                    "%d-bit\n",
-                   extra->bits(), engine->index().bits());
+                   extra->bits(), engine0.index().bits());
       return 1;
     }
-    const std::vector<int> ids = engine->Append(*extra);
-    std::printf("appended %zu codes (global ids %d..%d), epoch -> %llu\n",
+    const std::vector<int> ids = replicas.Append(*extra);
+    std::printf("appended %zu codes (global ids %d..%d) to %d replicas, "
+                "epoch -> %llu\n",
                 ids.size(), ids.empty() ? 0 : ids.front(),
-                ids.empty() ? 0 : ids.back(),
-                static_cast<unsigned long long>(engine->epoch()));
+                ids.empty() ? 0 : ids.back(), replicas.num_replicas(),
+                static_cast<unsigned long long>(replicas.epoch()));
     updated = true;
   }
   if (!flags.delete_ids.empty()) {
@@ -494,28 +572,62 @@ int CmdServe(const Flags& flags) {
       std::fprintf(stderr, "serve: malformed --delete-ids list\n");
       return 2;
     }
-    const int removed = engine->RemoveIds(ids);
+    const int removed = replicas.RemoveIds(ids);
     std::printf("removed %d/%zu ids, epoch -> %llu (%d live / %d total)\n",
                 removed, ids.size(),
-                static_cast<unsigned long long>(engine->epoch()),
-                engine->index().size(), engine->index().total_size());
+                static_cast<unsigned long long>(replicas.epoch()),
+                engine0.index().size(), engine0.index().total_size());
     updated = true;
   }
-  if (updated) replay_pass("post-update");
+  if (updated && !replay_pass("post-update")) return 1;
   table.Print(std::cout);
 
+  std::printf("queue depth now: %lld | batch size histogram:",
+              static_cast<long long>(batcher.stats().queue_depth));
+  for (int b = 0; b < serve::kBatchSizeBuckets; ++b) {
+    if (hist_total[static_cast<size_t>(b)] == 0) continue;
+    std::printf(" %s:%lld", serve::BatchSizeBucketLabel(b).c_str(),
+                static_cast<long long>(hist_total[static_cast<size_t>(b)]));
+  }
+  std::printf("\n");
+  if (replicas.num_replicas() > 1) {
+    // routed_batches counts the whole run; the engine columns cover the
+    // final pass (per-pass resets scope the main table above).
+    TableWriter replica_table(
+        {"replica", "routed_batches", "queries", "hit_rate", "p99_ms"});
+    const std::vector<serve::ServeStatsSnapshot> per_replica =
+        replicas.PerReplicaStats();
+    for (int r = 0; r < replicas.num_replicas(); ++r) {
+      char hit_rate[32], p99[32];
+      std::snprintf(hit_rate, sizeof(hit_rate), "%.2f",
+                    per_replica[static_cast<size_t>(r)].hit_rate());
+      std::snprintf(p99, sizeof(p99), "%.3f",
+                    per_replica[static_cast<size_t>(r)].latency_p99_ms);
+      replica_table.AddRow(
+          {std::to_string(r), std::to_string(router.routed(r)),
+           std::to_string(per_replica[static_cast<size_t>(r)].queries),
+           hit_rate, p99});
+    }
+    replica_table.Print(std::cout);
+  }
+
   if (!flags.save_snapshot.empty()) {
-    Status st = serve::SaveServingSnapshot(*engine, flags.save_snapshot);
+    // Replicas are update-coherent, so replica 0's corpus is the corpus.
+    Status st = serve::SaveServingSnapshot(engine0, flags.save_snapshot);
     if (!st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
     std::printf("wrote serving snapshot (v2, epoch %llu, %d live / %d "
                 "total) -> %s\n",
-                static_cast<unsigned long long>(engine->epoch()),
-                engine->index().size(), engine->index().total_size(),
+                static_cast<unsigned long long>(replicas.epoch()),
+                engine0.index().size(), engine0.index().total_size(),
                 flags.save_snapshot.c_str());
   }
+  // Orderly exit: reject new work, resolve anything still queued, wait
+  // for in-flight batches — then the replicas (and their pools) tear
+  // down with nothing in flight.
+  batcher.Drain();
   return 0;
 }
 
