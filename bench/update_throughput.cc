@@ -9,12 +9,21 @@
 // the run must be byte-identical (after id compaction) to a freshly
 // built engine over the surviving rows.
 //
-// Acceptance gate: at the default corpus size the writer must sustain
-// >= 10k appends/sec while queries run, or the bench exits non-zero.
+// A second phase measures what tombstone compaction buys: the corpus is
+// churned (append + delete) until half the rows are dead, steady-state
+// scan throughput is measured over the 50%-dead corpus, the engine is
+// compacted, and throughput is measured again. Results before and after
+// compaction must be byte-identical (same distances, same global ids).
+//
+// Acceptance gates: at the default corpus size the writer must sustain
+// >= 10k appends/sec while queries run, and the compacted scan must
+// reach >= 1.5x the 50%-dead uncompacted scan throughput — or the bench
+// exits non-zero.
 //
 //   $ ./build/update_throughput [--n=50000] [--bits=64] [--k=10]
 //                               [--queries=256] [--append-batch=64]
 //                               [--target-appends=200000] [--seed=2023]
+//                               [--churn-passes=6]
 //                               [--json=BENCH_update_throughput.json]
 #include <atomic>
 #include <cstdio>
@@ -46,6 +55,9 @@ struct Flags {
   int append_batch = 64;
   int target_appends = 200000;
   uint64_t seed = 2023;
+  /// Full replays of the query stream per churn-phase measurement; more
+  /// passes smooth the timing at the cost of wall clock.
+  int churn_passes = 6;
   std::string json = "BENCH_update_throughput.json";
 };
 
@@ -67,13 +79,15 @@ Flags ParseUpdateFlags(int argc, char** argv) {
       flags.target_appends = std::atoi(arg.c_str() + 17);
     } else if (StartsWith(arg, "--seed=")) {
       flags.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (StartsWith(arg, "--churn-passes=")) {
+      flags.churn_passes = std::max(1, std::atoi(arg.c_str() + 15));
     } else if (StartsWith(arg, "--json=")) {
       flags.json = arg.substr(7);
     } else {
       std::fprintf(stderr,
                    "usage: update_throughput [--n=N] [--bits=K] [--k=K] "
                    "[--queries=N] [--append-batch=B] [--target-appends=N] "
-                   "[--seed=N] [--json=PATH]\n");
+                   "[--seed=N] [--churn-passes=N] [--json=PATH]\n");
       std::exit(2);
     }
   }
@@ -227,6 +241,99 @@ int Main(int argc, char** argv) {
   }
   std::printf("exactness: %s\n", mismatches == 0 ? "OK" : "MISMATCH");
 
+  // -------------------------------------------------------------------
+  // Phase 2: append+delete churn to 50% dead, then compaction. Dead rows
+  // still burn scan bandwidth (the blocked kernels compute their
+  // distances before the tombstone filter drops them), so the compacted
+  // steady-state scan should approach 2x the 50%-dead scan; the gate
+  // asks for >= 1.5x. The result cache is disabled so the measurement is
+  // scan throughput, not hit rate.
+  std::printf("\nchurn phase: appending %d rows, tombstoning half the "
+              "corpus...\n", flags.n);
+  serve::ServingSnapshotOptions churn_options;
+  churn_options.index.num_shards = 4;
+  churn_options.engine.cache_capacity = 0;
+  auto churn_engine = serve::MakeQueryEngine(
+      index::PackedCodes::FromRawWords(corpus.size(), corpus.bits(),
+                                       corpus.words()),
+      churn_options);
+  {
+    // Churn in writer-sized batches so the append path (not one giant
+    // copy) produces the grown corpus.
+    int appended_rows = 0;
+    while (appended_rows < flags.n) {
+      const int count = std::min(flags.append_batch, flags.n - appended_rows);
+      churn_engine->Append(index::PackedCodes::FromSignMatrix(
+          RandomSignCodes(count, flags.bits, &rng)));
+      appended_rows += count;
+    }
+  }
+  const int churn_total = churn_engine->index().total_size();
+  std::vector<int> churn_dead;
+  churn_dead.reserve(static_cast<size_t>(churn_total) / 2);
+  for (int gid = 0; gid < churn_total; gid += 2) churn_dead.push_back(gid);
+  churn_engine->RemoveIds(churn_dead);
+  const double dead_fraction =
+      static_cast<double>(churn_total - churn_engine->index().size()) /
+      churn_total;
+
+  auto measure_qps = [&](serve::QueryEngine* engine) {
+    Stopwatch watch;
+    for (int pass = 0; pass < flags.churn_passes; ++pass) {
+      serve::ReplayBatches(engine, query_batches, flags.k);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    return seconds > 0.0 ? flags.churn_passes *
+                               static_cast<double>(queries.size()) / seconds
+                         : 0.0;
+  };
+  const double dead_qps = measure_qps(churn_engine.get());
+
+  // Compacted results must be byte-identical — same distances, same
+  // *global* ids — to the 50%-dead index.
+  std::vector<std::vector<index::Neighbor>> before;
+  before.reserve(static_cast<size_t>(queries.size()));
+  for (int q = 0; q < queries.size(); ++q) {
+    before.push_back(churn_engine->SearchOne(queries.code(q), flags.k));
+  }
+  Stopwatch compact_watch;
+  const serve::CompactionStats compact_stats = churn_engine->Compact();
+  const double compact_ms = compact_watch.ElapsedSeconds() * 1e3;
+  int compact_mismatches = 0;
+  for (int q = 0; q < queries.size() && compact_mismatches == 0; ++q) {
+    const auto after = churn_engine->SearchOne(queries.code(q), flags.k);
+    const auto& expect = before[static_cast<size_t>(q)];
+    if (after.size() != expect.size()) {
+      ++compact_mismatches;
+      break;
+    }
+    for (size_t i = 0; i < after.size(); ++i) {
+      if (after[i].id != expect[i].id ||
+          after[i].distance != expect[i].distance) {
+        ++compact_mismatches;
+        break;
+      }
+    }
+  }
+  const double compacted_qps = measure_qps(churn_engine.get());
+  const double compaction_speedup =
+      dead_qps > 0.0 ? compacted_qps / dead_qps : 0.0;
+
+  TableWriter churn_table({"metric", "value"});
+  churn_table.AddRow({"churn_total_ids", std::to_string(churn_total)});
+  churn_table.AddRow({"churn_dead_fraction", Fmt(dead_fraction, "%.3f")});
+  churn_table.AddRow(
+      {"rows_reclaimed", std::to_string(compact_stats.rows_reclaimed)});
+  churn_table.AddRow(
+      {"shards_compacted", std::to_string(compact_stats.shards_compacted)});
+  churn_table.AddRow({"compaction_ms", Fmt(compact_ms, "%.2f")});
+  churn_table.AddRow({"scan_qps_50pct_dead", Fmt(dead_qps)});
+  churn_table.AddRow({"scan_qps_compacted", Fmt(compacted_qps)});
+  churn_table.AddRow({"compaction_speedup", Fmt(compaction_speedup, "%.2f")});
+  churn_table.Print(std::cout);
+  std::printf("compaction identity: %s\n",
+              compact_mismatches == 0 ? "OK" : "MISMATCH");
+
   if (!flags.json.empty()) {
     std::FILE* f = std::fopen(flags.json.c_str(), "w");
     if (f == nullptr) {
@@ -247,13 +354,24 @@ int Main(int argc, char** argv) {
           "  \"appends_per_sec\": %.1f, \"removes_per_sec\": %.1f,\n"
           "  \"concurrent_query_qps\": %.1f, \"query_p99_ms\": %.4f,\n"
           "  \"final_epoch\": %llu, \"live_codes\": %d, "
-          "\"total_codes\": %d,\n  \"exact\": %s\n}\n",
+          "\"total_codes\": %d,\n  \"exact\": %s,\n",
           static_cast<long long>(appended.load()),
           static_cast<long long>(removed.load()), appends_per_sec,
           removes_per_sec, stats.qps(), stats.latency_p99_ms,
           static_cast<unsigned long long>(stats.epoch),
           engine->index().size(), engine->index().total_size(),
           mismatches == 0 ? "true" : "false");
+      std::fprintf(
+          f,
+          "  \"churn_total_ids\": %d, \"churn_dead_fraction\": %.3f,\n"
+          "  \"rows_reclaimed\": %d, \"shards_compacted\": %d,\n"
+          "  \"compaction_ms\": %.2f,\n"
+          "  \"scan_qps_50pct_dead\": %.1f, \"scan_qps_compacted\": %.1f,\n"
+          "  \"compaction_speedup\": %.2f, \"compact_exact\": %s\n}\n",
+          churn_total, dead_fraction, compact_stats.rows_reclaimed,
+          compact_stats.shards_compacted, compact_ms, dead_qps,
+          compacted_qps, compaction_speedup,
+          compact_mismatches == 0 ? "true" : "false");
       std::fclose(f);
       std::printf("wrote %s\n", flags.json.c_str());
     }
@@ -261,6 +379,10 @@ int Main(int argc, char** argv) {
 
   if (mismatches != 0) {
     std::printf("\nFAIL: mutated engine diverged from fresh rebuild\n");
+    return 1;
+  }
+  if (compact_mismatches != 0) {
+    std::printf("\nFAIL: compaction changed results or global ids\n");
     return 1;
   }
   // The 10k appends/sec bar only means something at a corpus size where
@@ -273,6 +395,14 @@ int Main(int argc, char** argv) {
   if (gate_armed && appends_per_sec < 10000.0) {
     std::printf("FAIL: append throughput below the 10k/sec acceptance "
                 "bar\n");
+    return 1;
+  }
+  std::printf("compaction: %.2fx scan throughput vs the 50%%-dead corpus "
+              "(%.1f -> %.1f QPS)%s\n",
+              compaction_speedup, dead_qps, compacted_qps,
+              gate_armed ? "" : " [gate not armed at this size]");
+  if (gate_armed && compaction_speedup < 1.5) {
+    std::printf("FAIL: compacted scan below the 1.5x acceptance bar\n");
     return 1;
   }
   return 0;

@@ -66,6 +66,11 @@ bool LinearScanIndex::Remove(int id) {
   return tombstones_.Set(id);
 }
 
+std::unique_ptr<ShardIndex> LinearScanIndex::Compact() const {
+  return std::make_unique<LinearScanIndex>(
+      CompactLiveRows(database_, tombstones_));
+}
+
 std::vector<int> LinearScanIndex::AllDistances(const uint64_t* query) const {
   std::vector<int> out(static_cast<size_t>(database_.size()));
   for (int i = 0; i < database_.size(); ++i) {

@@ -53,6 +53,10 @@ class LinearScanIndex : public ShardIndex {
   /// Tombstones row `id`; false when out of range or already dead.
   bool Remove(int id) override;
 
+  /// Fresh LinearScanIndex over the survivor rows only (survivor order
+  /// preserved, tombstone set empty).
+  std::unique_ptr<ShardIndex> Compact() const override;
+
   /// Distances from the query to every database row, tombstoned rows
   /// included (used to build PR curves over all Hamming radii in one
   /// pass on frozen corpora).

@@ -50,6 +50,11 @@ bool MultiIndexHashTable::Remove(int id) {
   return tombstones_.Set(id);
 }
 
+std::unique_ptr<ShardIndex> MultiIndexHashTable::Compact() const {
+  return std::make_unique<MultiIndexHashTable>(
+      CompactLiveRows(database_, tombstones_), num_substrings_);
+}
+
 uint64_t MultiIndexHashTable::ExtractSubstring(const uint64_t* code,
                                                int s) const {
   const int begin = s * substring_bits_;

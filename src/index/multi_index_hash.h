@@ -68,6 +68,12 @@ class MultiIndexHashTable : public ShardIndex {
   /// Tombstones row `id`; false when out of range or already dead.
   bool Remove(int id) override;
 
+  /// Fresh MultiIndexHashTable over the survivor rows only: the stale
+  /// table entries Remove left behind are rebuilt away. The substring
+  /// count is carried over unchanged (not re-derived from the smaller
+  /// row count) so replicas compacting the same shard stay identical.
+  std::unique_ptr<ShardIndex> Compact() const override;
+
  private:
   /// Extracts substring `s` (width substring_bits_) from a packed code.
   uint64_t ExtractSubstring(const uint64_t* code, int s) const;

@@ -2,6 +2,7 @@
 #define UHSCM_INDEX_SHARD_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "index/neighbor.h"
@@ -121,7 +122,33 @@ class ShardIndex {
   /// Tombstones row `id`. Returns false when out of range or already
   /// dead.
   virtual bool Remove(int id) = 0;
+
+  /// Builds a fresh index of the same kind over the live rows only —
+  /// the rebuild half of the compaction protocol. Survivors keep their
+  /// relative order, so the new index's local id of an old survivor is
+  /// its rank among the survivors; queries against the compacted index
+  /// are byte-identical to this index after that rank remap. Const (and
+  /// safe to run concurrently with query methods): the caller swaps the
+  /// result in under its own writer lock.
+  virtual std::unique_ptr<ShardIndex> Compact() const = 0;
 };
+
+/// Copies the live rows of `codes` (those not set in `dead`) into a
+/// fresh PackedCodes, preserving order — the survivor copy both
+/// Compact() implementations start from.
+inline PackedCodes CompactLiveRows(const PackedCodes& codes,
+                                   const TombstoneSet& dead) {
+  const int words_per_code = codes.words_per_code();
+  const int live = codes.size() - dead.dead_count();
+  std::vector<uint64_t> words;
+  words.reserve(static_cast<size_t>(live) * words_per_code);
+  for (int i = 0; i < codes.size(); ++i) {
+    if (dead.Test(i)) continue;
+    const uint64_t* src = codes.code(i);
+    words.insert(words.end(), src, src + words_per_code);
+  }
+  return PackedCodes::FromRawWords(live, codes.bits(), std::move(words));
+}
 
 }  // namespace uhscm::index
 

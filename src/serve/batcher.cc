@@ -120,16 +120,29 @@ void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
     engine->SubmitBatch(
         std::move(queries), k,
         [this, group, queue_waits](
-            std::vector<std::vector<index::Neighbor>> results) {
+            Status status, std::vector<std::vector<index::Neighbor>> results) {
           const auto now = std::chrono::steady_clock::now();
-          for (size_t i = 0; i < group->size(); ++i) {
-            PendingRequest& request = (*group)[i];
-            pipeline_stats_.RecordRequestDone(
-                (*queue_waits)[i],
-                std::chrono::duration<double>(now - request.admit_time)
-                    .count());
-            request.promise.set_value(
-                SearchResponse{Status::OK(), std::move(results[i])});
+          if (!status.ok()) {
+            // The replica died under this batch (killed mid-stream):
+            // every member's future resolves with the failure status —
+            // never dropped — and the rejection is counted. The
+            // engine-side in-flight decrement happens after this
+            // callback returns, so the batcher's and the router's
+            // accounting both return to zero.
+            for (PendingRequest& request : *group) {
+              request.promise.set_value(SearchResponse{status, {}});
+            }
+            pipeline_stats_.RecordRejected(static_cast<int>(group->size()));
+          } else {
+            for (size_t i = 0; i < group->size(); ++i) {
+              PendingRequest& request = (*group)[i];
+              pipeline_stats_.RecordRequestDone(
+                  (*queue_waits)[i],
+                  std::chrono::duration<double>(now - request.admit_time)
+                      .count());
+              request.promise.set_value(
+                  SearchResponse{Status::OK(), std::move(results[i])});
+            }
           }
           {
             std::lock_guard<std::mutex> lock(inflight_mu_);

@@ -1,6 +1,7 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
@@ -15,25 +16,36 @@ QueryEngine::QueryEngine(std::unique_ptr<ShardedIndex> index,
       pool_(std::make_unique<ThreadPool>(options.num_threads)),
       cache_(options.cache_capacity),
       stats_(options.max_latency_samples),
-      miss_block_(std::max(1, options.miss_block)) {
+      miss_block_(std::max(1, options.miss_block)),
+      compact_dead_fraction_(options.compact_dead_fraction) {
   UHSCM_CHECK(index_ != nullptr, "QueryEngine: null index");
 }
 
 QueryEngine::~QueryEngine() { Drain(); }
 
+void QueryEngine::CompleteTask(DispatchTask task, bool killed) {
+  const int n = task.queries.size();
+  if (killed) {
+    task.done(Status::Unavailable("engine killed before the batch ran"), {});
+  } else {
+    task.done(Status::OK(), Search(task.queries, task.k));
+  }
+  // Decrement only after the callback returns — on *every* completion
+  // path, including the killed one: a batch that resolves Unavailable
+  // and leaks its in-flight count would bias least-loaded routing away
+  // from this replica forever. (Decrementing after the callback also
+  // means a router seeing the old load cannot race ahead of a completion
+  // the client hasn't observed yet, and tests can hold a batch "in
+  // flight" by blocking in the callback.)
+  inflight_.fetch_sub(n, std::memory_order_relaxed);
+}
+
 void QueryEngine::SubmitBatch(index::PackedCodes queries, int k,
                               BatchCallback done) {
   const int n = queries.size();
   inflight_.fetch_add(n, std::memory_order_relaxed);
-  auto task = [this, queries = std::move(queries), k,
-               done = std::move(done), n]() mutable {
-    done(Search(queries, k));
-    // Decrement only after the callback returns: a router that sees the
-    // old load cannot race ahead of a completion the client hasn't
-    // observed yet, and tests can hold a batch "in flight" by blocking
-    // in the callback.
-    inflight_.fetch_sub(n, std::memory_order_relaxed);
-  };
+  DispatchTask task{std::move(queries), k, std::move(done)};
+  bool reject = false;
   {
     std::unique_lock<std::mutex> lock(dispatch_mu_);
     if (!drained_) {
@@ -45,8 +57,11 @@ void QueryEngine::SubmitBatch(index::PackedCodes queries, int k,
       dispatch_cv_.notify_one();
       return;
     }
+    reject = killed_;
   }
-  task();  // drained: complete inline, never drop
+  // Drained: complete inline, never drop. Killed: reject inline — the
+  // corpus may be mid-teardown, so no new search may start.
+  CompleteTask(std::move(task), reject);
 }
 
 std::future<std::vector<std::vector<Neighbor>>> QueryEngine::SubmitBatch(
@@ -56,7 +71,16 @@ std::future<std::vector<std::vector<Neighbor>>> QueryEngine::SubmitBatch(
   std::future<std::vector<std::vector<Neighbor>>> future =
       promise->get_future();
   SubmitBatch(std::move(queries), k,
-              [promise](std::vector<std::vector<Neighbor>> results) {
+              [promise](Status status,
+                        std::vector<std::vector<Neighbor>> results) {
+                // The future carries no Status channel, so a failed
+                // batch (killed engine) must not masquerade as an empty
+                // success — surface it as an exception from get().
+                if (!status.ok()) {
+                  promise->set_exception(std::make_exception_ptr(
+                      std::runtime_error(status.ToString())));
+                  return;
+                }
                 promise->set_value(std::move(results));
               });
   return future;
@@ -64,7 +88,8 @@ std::future<std::vector<std::vector<Neighbor>>> QueryEngine::SubmitBatch(
 
 void QueryEngine::DispatchLoop() {
   for (;;) {
-    std::function<void()> task;
+    DispatchTask task;
+    bool killed = false;
     {
       std::unique_lock<std::mutex> lock(dispatch_mu_);
       dispatch_cv_.wait(
@@ -72,12 +97,13 @@ void QueryEngine::DispatchLoop() {
       if (dispatch_tasks_.empty()) return;  // stop requested, queue flushed
       task = std::move(dispatch_tasks_.front());
       dispatch_tasks_.pop_front();
+      killed = killed_;
     }
-    task();
+    CompleteTask(std::move(task), killed);
   }
 }
 
-void QueryEngine::Drain() {
+void QueryEngine::Shutdown(bool kill) {
   std::lock_guard<std::mutex> drain_lock(drain_mu_);
   std::thread dispatch;
   {
@@ -85,15 +111,22 @@ void QueryEngine::Drain() {
     if (drained_) return;
     drained_ = true;
     dispatch_stop_ = true;
+    killed_ = kill;
+    if (kill) killed_flag_.store(true, std::memory_order_release);
     dispatch.swap(dispatch_thread_);
   }
   dispatch_cv_.notify_all();
-  // The dispatch loop finishes every queued batch before exiting, and it
+  // The dispatch loop settles every queued batch before exiting — with
+  // results on a drain, with an Unavailable status on a kill — and it
   // must be gone before the pool is drained — its Searches fan out on
   // the pool.
   if (dispatch.joinable()) dispatch.join();
   pool_->Drain();
 }
+
+void QueryEngine::Drain() { Shutdown(/*kill=*/false); }
+
+void QueryEngine::Kill() { Shutdown(/*kill=*/true); }
 
 std::vector<std::vector<Neighbor>> QueryEngine::Search(
     const index::PackedCodes& queries, int k) {
@@ -110,10 +143,12 @@ std::vector<std::vector<Neighbor>> QueryEngine::Search(
   Stopwatch watch;
   std::vector<std::vector<Neighbor>> results(static_cast<size_t>(n));
   const int words = queries.words_per_code();
-  // One epoch per batch: all lookups and inserts of this Search use it.
-  // Updates bump the epoch only after the index mutation completes, so a
-  // batch observing the new epoch always reads the updated index.
-  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  // One cache epoch per batch: all lookups and inserts of this Search
+  // use it. Updates bump it only after the index mutation completes, so
+  // a batch observing the new value always reads the updated index; it
+  // is monotonic even across RestoreEpoch, so no key ever aliases two
+  // corpus states.
+  const uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
 
   // Phase 1: serve what the cache already knows.
   std::vector<int> misses;
@@ -179,6 +214,15 @@ std::vector<Neighbor> QueryEngine::SearchOne(const uint64_t* query, int k) {
   return Search(one, k)[0];
 }
 
+void QueryEngine::BumpEpochsLocked() {
+  // Always bump the pair together: a mutator that advanced epoch_ but
+  // not cache_epoch_ would let a reused (epoch, query, k) key serve a
+  // stale cached result — the bug class the monotonic cache epoch
+  // exists to make impossible.
+  cache_epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
 std::vector<int> QueryEngine::Append(const index::PackedCodes& codes) {
   std::lock_guard<std::mutex> lock(update_mu_);
   std::vector<int> ids = index_->Append(codes);
@@ -188,7 +232,7 @@ std::vector<int> QueryEngine::Append(const index::PackedCodes& codes) {
     // Bump strictly after the index mutation: a Search that reads the new
     // epoch is guaranteed to see the appended rows, so nothing stale can
     // be cached under the new key.
-    epoch_.fetch_add(1, std::memory_order_release);
+    BumpEpochsLocked();
   }
   return ids;
 }
@@ -198,7 +242,8 @@ bool QueryEngine::Remove(int global_id) {
   const bool removed = index_->Remove(global_id);
   if (removed) {
     removes_.fetch_add(1, std::memory_order_relaxed);
-    epoch_.fetch_add(1, std::memory_order_release);
+    MaybeCompactLocked();
+    BumpEpochsLocked();
   }
   return removed;
 }
@@ -208,9 +253,52 @@ int QueryEngine::RemoveIds(const std::vector<int>& global_ids) {
   const int removed = index_->RemoveIds(global_ids);
   if (removed > 0) {
     removes_.fetch_add(removed, std::memory_order_relaxed);
-    epoch_.fetch_add(1, std::memory_order_release);
+    MaybeCompactLocked();
+    BumpEpochsLocked();
   }
   return removed;
+}
+
+void QueryEngine::RecordCompaction(const CompactionStats& stats,
+                                   double elapsed_seconds) {
+  compactions_.fetch_add(stats.shards_compacted, std::memory_order_relaxed);
+  compact_rows_reclaimed_.fetch_add(stats.rows_reclaimed,
+                                    std::memory_order_relaxed);
+  compact_micros_.fetch_add(static_cast<int64_t>(elapsed_seconds * 1e6),
+                            std::memory_order_relaxed);
+}
+
+bool QueryEngine::MaybeCompactLocked() {
+  if (compact_dead_fraction_ <= 0.0) return false;
+  Stopwatch watch;
+  const CompactionStats stats = index_->MaybeCompact(compact_dead_fraction_);
+  if (stats.rows_reclaimed == 0) return false;
+  RecordCompaction(stats, watch.ElapsedSeconds());
+  return true;
+}
+
+CompactionStats QueryEngine::Compact() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  Stopwatch watch;
+  const CompactionStats stats = index_->CompactAll();
+  if (stats.rows_reclaimed > 0) {
+    RecordCompaction(stats, watch.ElapsedSeconds());
+    BumpEpochsLocked();
+  }
+  return stats;
+}
+
+void QueryEngine::RestoreEpoch(uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  // The reported epoch may move backwards (hydrating an older snapshot
+  // into a live engine); the cache-key epoch never does — a restore
+  // bumps it like an update, so entries keyed under any previous value
+  // are permanently unreachable even when a Search in flight across
+  // the restore publishes under the old key after this returns.
+  // Clearing just frees the unreachable entries early.
+  cache_epoch_.fetch_add(1, std::memory_order_release);
+  cache_.Clear();
+  epoch_.store(epoch, std::memory_order_release);
 }
 
 CorpusExport QueryEngine::ExportCorpus(uint64_t* epoch_out) const {
@@ -231,6 +319,12 @@ ServeStatsSnapshot QueryEngine::stats() const {
   snap.cache_evictions = cache_stats.evictions;
   snap.appends = appends_.load(std::memory_order_relaxed);
   snap.removes = removes_.load(std::memory_order_relaxed);
+  snap.compactions = compactions_.load(std::memory_order_relaxed);
+  snap.compact_rows_reclaimed =
+      compact_rows_reclaimed_.load(std::memory_order_relaxed);
+  snap.compaction_ms =
+      static_cast<double>(compact_micros_.load(std::memory_order_relaxed)) /
+      1e3;
   snap.epoch = epoch();
   return snap;
 }
@@ -240,6 +334,9 @@ void QueryEngine::ResetStats() {
   cache_.ResetStats();
   appends_.store(0, std::memory_order_relaxed);
   removes_.store(0, std::memory_order_relaxed);
+  compactions_.store(0, std::memory_order_relaxed);
+  compact_rows_reclaimed_.store(0, std::memory_order_relaxed);
+  compact_micros_.store(0, std::memory_order_relaxed);
 }
 
 std::vector<index::PackedCodes> SliceBatches(const index::PackedCodes& queries,

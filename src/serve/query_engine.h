@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "index/packed_codes.h"
 #include "serve/result_cache.h"
@@ -33,6 +34,12 @@ struct QueryEngineOptions {
   /// amortize corpus memory traffic further but leave fewer units to
   /// spread across the pool. Clamped to >= 1.
   int miss_block = 16;
+  /// Auto-compaction threshold: after every completed Remove/RemoveIds,
+  /// any shard whose dead fraction reaches this value is compacted
+  /// (survivor rebuild off-lock, swap under the shard's writer lock,
+  /// locator remap — results and global ids unchanged). <= 0 disables
+  /// auto-compaction; Compact() stays available either way.
+  double compact_dead_fraction = 0.0;
 };
 
 /// \brief The serving front end: batched top-k search over a mutable
@@ -68,10 +75,15 @@ class QueryEngine {
   /// Single-query convenience wrapper over the batched path.
   std::vector<index::Neighbor> SearchOne(const uint64_t* query, int k);
 
-  /// Per-batch completion callback: one ascending result list per query,
-  /// in query order — exactly what Search returns.
-  using BatchCallback =
-      std::function<void(std::vector<std::vector<index::Neighbor>>)>;
+  /// Per-batch completion callback: on OK, one ascending result list per
+  /// query in query order — exactly what Search returns. A non-OK status
+  /// (only Unavailable, from a killed engine) carries an empty result
+  /// vector; either way the callback runs exactly once and the engine's
+  /// in-flight counter is decremented after it returns — no completion
+  /// path may leak in-flight queries, or least-loaded routing is
+  /// permanently biased away from this replica.
+  using BatchCallback = std::function<void(
+      Status, std::vector<std::vector<index::Neighbor>>)>;
 
   /// \name Non-blocking batch seam (driven by the pipeline's Batcher)
   ///
@@ -88,7 +100,11 @@ class QueryEngine {
   ///@{
   void SubmitBatch(index::PackedCodes queries, int k, BatchCallback done);
 
-  /// Future-returning convenience wrapper over the callback form.
+  /// Future-returning convenience wrapper over the callback form. A
+  /// batch that fails (killed engine) surfaces as a std::runtime_error
+  /// from future::get() — the future has no Status channel, and an
+  /// empty-success masquerade would read out of shape for callers
+  /// indexing one result list per query.
   std::future<std::vector<std::vector<index::Neighbor>>> SubmitBatch(
       index::PackedCodes queries, int k);
 
@@ -104,6 +120,22 @@ class QueryEngine {
   /// destructor calls it. Search/SubmitBatch afterwards still work,
   /// inline and single-threaded.
   void Drain();
+
+  /// Fail-fast shutdown — the "replica died" path. Queued batches that
+  /// have not started searching resolve their callbacks with an
+  /// Unavailable status (empty results) instead of running; the batch
+  /// currently executing finishes normally. Later SubmitBatch calls also
+  /// resolve Unavailable immediately. Every completion path still
+  /// decrements the in-flight counter, so a killed replica reads as
+  /// idle, not as eternally loaded. Joins the dispatch thread and worker
+  /// pool like Drain; idempotent, and a no-op after Drain.
+  void Kill();
+
+  /// True once Kill() has marked the engine dead (set before Kill
+  /// waits for in-flight work, so observers can order against it).
+  /// Lock-free — the router consults it on every batch placement to
+  /// steer traffic away from dead replicas.
+  bool killed() const { return killed_flag_.load(std::memory_order_acquire); }
   ///@}
 
   /// Appends a batch of codes to the corpus (routed to the least-full
@@ -117,15 +149,24 @@ class QueryEngine {
   /// batch). Returns how many were newly removed.
   int RemoveIds(const std::vector<int>& global_ids);
 
+  /// Compacts every shard holding dead rows (see
+  /// ShardedIndex::CompactAll) and bumps the epoch when anything was
+  /// reclaimed. Results and global ids are unchanged — the epoch bump
+  /// buys cache coherence for free rather than correcting anything.
+  CompactionStats Compact();
+
   /// Current corpus epoch: 0 at construction, +1 after every completed
-  /// Append / Remove / RemoveIds that changed the corpus.
+  /// Append / Remove / RemoveIds / Compact that changed the corpus.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
 
-  /// Restores a persisted epoch (snapshot hydration). Call before
-  /// serving traffic.
-  void RestoreEpoch(uint64_t epoch) {
-    epoch_.store(epoch, std::memory_order_release);
-  }
+  /// Restores a persisted epoch (snapshot hydration). Hydrating an
+  /// older snapshot moves the *reported* epoch backwards, but cache
+  /// keys use a separate strictly monotonic counter that a restore
+  /// bumps like any update — so entries cached under a previously-used
+  /// (epoch, query, k) combination can never come back from the dead,
+  /// even with searches in flight across the restore. The cache is
+  /// also cleared to free the now-unreachable entries.
+  void RestoreEpoch(uint64_t epoch);
 
   /// Consistent snapshot payload: the corpus copy and the epoch it
   /// corresponds to, captured together under the update lock so no
@@ -143,20 +184,50 @@ class QueryEngine {
   size_t cache_size() const { return cache_.size(); }
 
  private:
+  /// One queued SubmitBatch: kept as data (not a closure) so Kill() can
+  /// resolve it with a status without running the search.
+  struct DispatchTask {
+    index::PackedCodes queries;
+    int k = 0;
+    BatchCallback done;
+  };
+
   void DispatchLoop();
+  /// Runs (killed=false) or fails (killed=true) one task, then
+  /// decrements the in-flight counter — the single completion path.
+  void CompleteTask(DispatchTask task, bool killed);
+  void Shutdown(bool kill);
+  /// Auto-compaction check; caller holds update_mu_. Returns true when
+  /// anything was reclaimed (the caller's epoch bump covers it).
+  bool MaybeCompactLocked();
+  /// Folds one compaction pass into the stats counters.
+  void RecordCompaction(const CompactionStats& stats, double elapsed_seconds);
+  /// Advances the reported epoch and the cache-key epoch together after
+  /// a completed mutation; caller holds update_mu_.
+  void BumpEpochsLocked();
 
   std::unique_ptr<ShardedIndex> index_;
   std::unique_ptr<ThreadPool> pool_;
   ResultCache cache_;
   ServeStats stats_;
   int miss_block_;
+  double compact_dead_fraction_;
   /// Serializes {index mutation, epoch bump} pairs against each other
   /// and against ExportCorpus, so a snapshot's epoch always matches its
   /// corpus. Searches never take it.
   mutable std::mutex update_mu_;
   std::atomic<uint64_t> epoch_{0};
+  /// The epoch folded into cache keys. Tracks epoch_ bump-for-bump but
+  /// is *never* restored backwards — RestoreEpoch bumps it instead — so
+  /// a (cache epoch, query, k) key is never reused across distinct
+  /// corpus states and stale entries are structurally unreachable even
+  /// when the reported epoch revisits an old value.
+  std::atomic<uint64_t> cache_epoch_{0};
   std::atomic<int64_t> appends_{0};
   std::atomic<int64_t> removes_{0};
+  std::atomic<int64_t> compactions_{0};
+  std::atomic<int64_t> compact_rows_reclaimed_{0};
+  std::atomic<int64_t> compact_micros_{0};
 
   /// Async dispatch state. The thread is lazily created under
   /// dispatch_mu_ and joined by Drain() *before* pool_ is torn down —
@@ -164,13 +235,17 @@ class QueryEngine {
   /// the pool safely at shutdown.
   mutable std::mutex dispatch_mu_;
   std::condition_variable dispatch_cv_;
-  std::deque<std::function<void()>> dispatch_tasks_;
+  std::deque<DispatchTask> dispatch_tasks_;
   std::thread dispatch_thread_;
   bool dispatch_stop_ = false;
   bool drained_ = false;  // under dispatch_mu_
-  /// Serializes Drain callers (same pattern as ThreadPool::Drain): a
-  /// second Drain — or the destructor — must not return while the first
-  /// is still joining the dispatch thread and draining the pool.
+  bool killed_ = false;   // under dispatch_mu_
+  /// Mirror of killed_ readable without the dispatch mutex (set in the
+  /// same critical section that sets killed_).
+  std::atomic<bool> killed_flag_{false};
+  /// Serializes Drain/Kill callers (same pattern as ThreadPool::Drain):
+  /// a second shutdown — or the destructor — must not return while the
+  /// first is still joining the dispatch thread and draining the pool.
   std::mutex drain_mu_;
   std::atomic<int64_t> inflight_{0};
 };

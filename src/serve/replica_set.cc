@@ -59,24 +59,68 @@ std::vector<int> ReplicaSet::Append(const index::PackedCodes& codes) {
 
 bool ReplicaSet::Remove(int global_id) {
   std::lock_guard<std::mutex> lock(update_mu_);
-  const bool removed = engines_.front()->Remove(global_id);
+  // Removes fan out concurrently: each replica mutates only its own
+  // state with the same argument, and a delete can trigger that
+  // replica's auto-compaction (a full shard rebuild) — run in parallel
+  // the stall is one rebuild, not replicas-many.
+  std::vector<char> removed(engines_.size());
+  std::vector<std::thread> workers;
+  workers.reserve(engines_.size() - 1);
   for (size_t r = 1; r < engines_.size(); ++r) {
-    const bool replica_removed = engines_[r]->Remove(global_id);
-    UHSCM_CHECK(replica_removed == removed,
+    workers.emplace_back([this, r, global_id, &removed] {
+      removed[r] = engines_[r]->Remove(global_id) ? 1 : 0;
+    });
+  }
+  removed[0] = engines_.front()->Remove(global_id) ? 1 : 0;
+  for (std::thread& worker : workers) worker.join();
+  for (size_t r = 1; r < engines_.size(); ++r) {
+    UHSCM_CHECK(removed[r] == removed[0],
                 "ReplicaSet::Remove: replicas diverged on a tombstone");
   }
-  return removed;
+  return removed[0] != 0;
 }
 
 int ReplicaSet::RemoveIds(const std::vector<int>& global_ids) {
   std::lock_guard<std::mutex> lock(update_mu_);
-  const int removed = engines_.front()->RemoveIds(global_ids);
+  std::vector<int> removed(engines_.size());
+  std::vector<std::thread> workers;
+  workers.reserve(engines_.size() - 1);
   for (size_t r = 1; r < engines_.size(); ++r) {
-    const int replica_removed = engines_[r]->RemoveIds(global_ids);
-    UHSCM_CHECK(replica_removed == removed,
+    workers.emplace_back([this, r, &global_ids, &removed] {
+      removed[r] = engines_[r]->RemoveIds(global_ids);
+    });
+  }
+  removed[0] = engines_.front()->RemoveIds(global_ids);
+  for (std::thread& worker : workers) worker.join();
+  for (size_t r = 1; r < engines_.size(); ++r) {
+    UHSCM_CHECK(removed[r] == removed[0],
                 "ReplicaSet::RemoveIds: replicas diverged on tombstones");
   }
-  return removed;
+  return removed[0];
+}
+
+CompactionStats ReplicaSet::Compact() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  // Unlike the per-row update fan-outs, a compaction is a full shard
+  // rebuild per replica — run the independent rebuilds concurrently so
+  // the write path stalls for one rebuild, not replicas-many, then
+  // check coherence once everything has landed.
+  std::vector<CompactionStats> stats(engines_.size());
+  std::vector<std::thread> workers;
+  workers.reserve(engines_.size() - 1);
+  for (size_t r = 1; r < engines_.size(); ++r) {
+    workers.emplace_back(
+        [this, r, &stats] { stats[r] = engines_[r]->Compact(); });
+  }
+  stats[0] = engines_.front()->Compact();
+  for (std::thread& worker : workers) worker.join();
+  for (size_t r = 1; r < engines_.size(); ++r) {
+    UHSCM_CHECK(stats[r] == stats[0],
+                "ReplicaSet::Compact: replicas reclaimed divergent rows");
+    UHSCM_CHECK(engines_[r]->epoch() == engines_.front()->epoch(),
+                "ReplicaSet::Compact: replicas diverged on the epoch");
+  }
+  return stats[0];
 }
 
 std::vector<ServeStatsSnapshot> ReplicaSet::PerReplicaStats() const {

@@ -65,6 +65,12 @@ class ReplicaSet {
   std::vector<int> Append(const index::PackedCodes& codes);
   bool Remove(int global_id);
   int RemoveIds(const std::vector<int>& global_ids);
+
+  /// Compacts every replica (QueryEngine::Compact — all shards holding
+  /// dead rows). Replicas hold identical corpora, so every replica must
+  /// reclaim the identical shard/row counts and land on the identical
+  /// epoch — checked, because a divergence here means divergent ids.
+  CompactionStats Compact();
   ///@}
 
   /// Corpus epoch (replica 0; all replicas agree outside an in-flight

@@ -32,9 +32,13 @@ bool ParseRoutePolicy(const std::string& name, RoutePolicy* policy);
 /// Route() is a lock-free replica pick: an atomic rotation counter for
 /// round-robin, or a scan of the replicas' in-flight query counters for
 /// least-loaded (N is small — a handful of replicas — so the scan is a
-/// few relaxed loads). Per-replica routed-batch counters are kept for
-/// observability; they are maintained with relaxed atomics and carry no
-/// ordering guarantees.
+/// few relaxed loads). Both policies skip killed replicas (a dead
+/// engine's in-flight count is permanently zero, which would otherwise
+/// make it the *most* attractive least-loaded target); only when every
+/// replica is dead does Route() hand out a dead one, whose fast
+/// Unavailable rejection is then the correct answer. Per-replica
+/// routed-batch counters are kept for observability; they are
+/// maintained with relaxed atomics and carry no ordering guarantees.
 class Router {
  public:
   Router(ReplicaSet* replicas, RoutePolicy policy = RoutePolicy::kLeastLoaded);

@@ -180,6 +180,9 @@ ServeStatsSnapshot AggregateServeStats(
     agg.cache_evictions += snap.cache_evictions;
     agg.appends += snap.appends;
     agg.removes += snap.removes;
+    agg.compactions += snap.compactions;
+    agg.compact_rows_reclaimed += snap.compact_rows_reclaimed;
+    agg.compaction_ms += snap.compaction_ms;
     agg.busy_seconds += snap.busy_seconds;
     agg.epoch = std::max(agg.epoch, snap.epoch);
     agg.latency_p50_ms = std::max(agg.latency_p50_ms, snap.latency_p50_ms);

@@ -30,6 +30,13 @@ struct ServeStatsSnapshot {
   /// invalidates all cached results by keying).
   int64_t appends = 0;
   int64_t removes = 0;
+  /// Tombstone-compaction accounting (filled in by QueryEngine::stats()):
+  /// shards compacted, dead rows whose scan bandwidth was reclaimed, and
+  /// wall-clock milliseconds spent rebuilding+swapping (queries keep
+  /// running throughout — only writers wait).
+  int64_t compactions = 0;
+  int64_t compact_rows_reclaimed = 0;
+  double compaction_ms = 0.0;
   uint64_t epoch = 0;
   /// Wall-clock seconds spent inside Search calls (summed per batch, so
   /// concurrent callers accumulate their own time).

@@ -127,6 +127,7 @@ bool ShardedIndex::Remove(int global_id) {
     return false;
   }
   const Locator loc = locator_[static_cast<size_t>(global_id)];
+  if (loc.shard == Locator::kGone) return false;  // compacted away
   Shard& shard = *shards_[static_cast<size_t>(loc.shard)];
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   if (!shard.impl->Remove(loc.local)) return false;
@@ -145,6 +146,7 @@ int ShardedIndex::RemoveIds(const std::vector<int>& global_ids) {
   for (int gid : global_ids) {
     if (gid < 0 || gid >= total) continue;
     const Locator loc = locator_[static_cast<size_t>(gid)];
+    if (loc.shard == Locator::kGone) continue;  // compacted away
     local_ids[static_cast<size_t>(loc.shard)].push_back(loc.local);
   }
   int removed = 0;
@@ -163,6 +165,77 @@ int ShardedIndex::RemoveIds(const std::vector<int>& global_ids) {
   return removed;
 }
 
+int ShardedIndex::ShardDeadLocked(int s) const {
+  const Shard& shard = *shards_[static_cast<size_t>(s)];
+  // base_count + appended_ids tracks the impl's total row count and is
+  // readable under meta_mu_ alone (every mutator holds it).
+  return shard.base_count + static_cast<int>(shard.appended_ids.size()) -
+         shard_live_[static_cast<size_t>(s)];
+}
+
+int ShardedIndex::CompactShard(int s) {
+  UHSCM_CHECK(s >= 0 && s < num_shards(),
+              "ShardedIndex::CompactShard: shard out of range");
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  if (ShardDeadLocked(s) == 0) return 0;
+  return CompactShardLocked(s);
+}
+
+CompactionStats ShardedIndex::MaybeCompact(double dead_fraction) {
+  std::lock_guard<std::mutex> meta(meta_mu_);
+  CompactionStats stats;
+  for (int s = 0; s < num_shards(); ++s) {
+    const Shard& shard = *shards_[static_cast<size_t>(s)];
+    const int total =
+        shard.base_count + static_cast<int>(shard.appended_ids.size());
+    const int dead = ShardDeadLocked(s);
+    if (dead <= 0) continue;
+    if (static_cast<double>(dead) < dead_fraction * total) continue;
+    stats.shards_compacted += 1;
+    stats.rows_reclaimed += CompactShardLocked(s);
+  }
+  return stats;
+}
+
+int ShardedIndex::CompactShardLocked(int s) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  // Off the shard's writer lock: meta_mu_ (held by the caller) keeps the
+  // shard write-quiescent — every mutator takes it first — while
+  // in-flight queries keep reading the old impl under their shared
+  // locks. Compact() only does const reads, so it races with nothing.
+  std::unique_ptr<index::ShardIndex> compacted = shard.impl->Compact();
+  const index::TombstoneSet& dead = shard.impl->tombstones();
+  const int old_total = shard.impl->total_size();
+
+  // New local ids are survivor ranks; survivor global ids in old-local
+  // order are strictly increasing (base ids ascend, appended ids ascend
+  // above them), so the remapped shard stays merge-compatible.
+  std::vector<int> survivor_gids;
+  survivor_gids.reserve(static_cast<size_t>(compacted->total_size()));
+  int reclaimed = 0;
+  for (int local = 0; local < old_total; ++local) {
+    const int gid = shard.GlobalId(local);
+    if (dead.Test(local)) {
+      locator_[static_cast<size_t>(gid)] = Locator{Locator::kGone, -1};
+      ++reclaimed;
+    } else {
+      locator_[static_cast<size_t>(gid)] =
+          Locator{s, static_cast<int>(survivor_gids.size())};
+      survivor_gids.push_back(gid);
+    }
+  }
+
+  // The swap is the only step queries must not observe half-done: take
+  // the writer lock just long enough to exchange the pointers.
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    shard.impl = std::move(compacted);
+    shard.base_count = 0;  // all locals now map through appended_ids
+    shard.appended_ids = std::move(survivor_gids);
+  }
+  return reclaimed;
+}
+
 CorpusExport ShardedIndex::Export() const {
   std::lock_guard<std::mutex> meta(meta_mu_);
   std::vector<std::shared_lock<std::shared_mutex>> locks;
@@ -176,6 +249,13 @@ CorpusExport ShardedIndex::Export() const {
       static_cast<size_t>((total + 63) / 64), 0);
   for (int gid = 0; gid < total; ++gid) {
     const Locator loc = locator_[static_cast<size_t>(gid)];
+    if (loc.shard == Locator::kGone) {
+      // Compacted away: the packed words are gone, but the id slot must
+      // survive serialization so every live id reloads unchanged. A
+      // zeroed row marked dead is never scanned and never surfaces.
+      tombstone_words[static_cast<size_t>(gid >> 6)] |= 1ULL << (gid & 63);
+      continue;
+    }
     const Shard& shard = *shards_[static_cast<size_t>(loc.shard)];
     const uint64_t* src = shard.impl->codes().code(loc.local);
     std::copy(src, src + words_per_code,

@@ -44,6 +44,22 @@ struct CorpusExport {
   int live = 0;
 };
 
+/// What one compaction pass reclaimed (zeroes when no shard qualified).
+struct CompactionStats {
+  int shards_compacted = 0;
+  int rows_reclaimed = 0;
+
+  CompactionStats& operator+=(const CompactionStats& other) {
+    shards_compacted += other.shards_compacted;
+    rows_reclaimed += other.rows_reclaimed;
+    return *this;
+  }
+  bool operator==(const CompactionStats& other) const {
+    return shards_compacted == other.shards_compacted &&
+           rows_reclaimed == other.rows_reclaimed;
+  }
+};
+
 /// \brief A corpus of packed codes partitioned into independently
 /// searchable, independently *mutable* shards.
 ///
@@ -112,10 +128,48 @@ class ShardedIndex {
   bool Remove(int global_id);
 
   /// Remove() over a list; returns how many ids were newly tombstoned.
+  /// Duplicate, out-of-range, already-tombstoned, and compacted-away ids
+  /// each count zero — the live counters move by exactly the number of
+  /// rows that actually died.
   int RemoveIds(const std::vector<int>& global_ids);
 
+  /// \name Tombstone compaction
+  ///
+  /// Dead rows keep burning scan bandwidth (and MIH bucket entries)
+  /// until compacted away. Compaction rebuilds one shard over its
+  /// survivors and swaps the rebuild in, remapping the global-id
+  /// locator so every surviving global id resolves to its new local
+  /// slot. Global ids never change, and results over the survivors are
+  /// byte-identical to the uncompacted index.
+  ///
+  /// Protocol: the whole pass runs under the corpus meta mutex (which
+  /// every mutator takes first, so the shard is write-quiescent), but
+  /// the expensive survivor rebuild runs *off* the shard's writer lock
+  /// — in-flight queries keep scanning the old shard the whole time.
+  /// Only the final pointer swap takes the writer lock, so readers
+  /// stall for a pointer exchange, not a rebuild. Writers queued on the
+  /// meta mutex resume once the pass finishes.
+  ///@{
+
+  /// Compacts shard `s` if it holds any dead rows. Returns the number
+  /// of rows reclaimed (0 when the shard was already clean).
+  int CompactShard(int s);
+
+  /// Compacts every shard whose dead fraction (dead rows / total rows)
+  /// is >= `dead_fraction` (clamped to > 0 — a clean shard never
+  /// qualifies). The decision depends only on deterministic per-shard
+  /// counters, so identically-hydrated replicas compact identically.
+  CompactionStats MaybeCompact(double dead_fraction);
+
+  /// Compacts every shard holding any dead row.
+  CompactionStats CompactAll() { return MaybeCompact(0.0); }
+  ///@}
+
   /// Copies the whole corpus (live + tombstoned rows) in global-id order
-  /// — the payload of a versioned snapshot save.
+  /// — the payload of a versioned snapshot save. Global ids whose rows
+  /// were compacted away serialize as zeroed rows with their tombstone
+  /// bit set: the id space stays dense on disk, reloads keep every
+  /// surviving id stable, and the dead rows never surface.
   CorpusExport Export() const;
 
   /// Merges per-shard sorted result lists into the global top-k via a
@@ -142,11 +196,19 @@ class ShardedIndex {
     }
   };
 
-  /// Where a global id lives: (shard, shard-local id).
+  /// Where a global id lives: (shard, shard-local id). A compacted-away
+  /// id has shard == kGone: its row no longer exists anywhere, and every
+  /// id-addressed operation must treat it as already removed.
   struct Locator {
+    static constexpr int kGone = -1;
     int shard;
     int local;
   };
+
+  /// Dead rows in shard `s`; caller holds meta_mu_.
+  int ShardDeadLocked(int s) const;
+  /// The meta-locked body of CompactShard; `s` must hold dead rows.
+  int CompactShardLocked(int s);
 
   ShardedIndexOptions options_;
   int bits_ = 0;

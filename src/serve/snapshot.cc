@@ -27,6 +27,15 @@ std::unique_ptr<QueryEngine> MakeQueryEngineFromSnapshot(
   auto index = std::make_unique<ShardedIndex>(std::move(snapshot.codes),
                                               options.index);
   index->RemoveIds(dead);
+  // Hydration-time compaction, unconditional: a snapshot's dead rows
+  // (tombstoned or compacted-away holes serialized as zeroed rows)
+  // serve no purpose in memory — they only burn scan bandwidth until
+  // something re-triggers a compaction. Reclaiming them here is
+  // result-identical by construction (same global ids, same survivors)
+  // and costs one rebuild pass at load, so an engine that was compacted
+  // when saved comes back compacted. Done on the bare index so the
+  // restored epoch still matches the snapshot exactly.
+  index->CompactAll();
   auto engine =
       std::make_unique<QueryEngine>(std::move(index), options.engine);
   engine->RestoreEpoch(snapshot.epoch);

@@ -229,6 +229,136 @@ TEST_P(ShardIndexContract, KLargerThanLiveCountReturnsAllSurvivors) {
   for (const Neighbor& nb : got) EXPECT_GE(nb.id, 10);
 }
 
+TEST_P(ShardIndexContract, CompactDropsDeadRowsOnly) {
+  Rng rng(25);
+  const int bits = 64, k = 10;
+  std::unique_ptr<ShardIndex> index = MakeIndex(
+      GetParam(), PackedCodes::FromSignMatrix(RandomSignCodes(130, bits, &rng)));
+  index->Append(PackedCodes::FromSignMatrix(RandomSignCodes(40, bits, &rng)));
+  std::vector<int> removed = {0, 63, 64, 129, 130, 169};
+  for (int id : removed) ASSERT_TRUE(index->Remove(id));
+
+  std::unique_ptr<ShardIndex> compacted = index->Compact();
+  EXPECT_EQ(compacted->size(), 164);
+  EXPECT_EQ(compacted->total_size(), 164) << "no dead rows after compaction";
+  EXPECT_FALSE(compacted->tombstones().any());
+
+  // The compacted index's local ids are survivor ranks, so its results
+  // must equal the tombstoned index's results after the rank remap —
+  // and the original index must be untouched (Compact is const).
+  EXPECT_EQ(index->size(), 164);
+  EXPECT_EQ(index->total_size(), 170);
+  for (int q = 0; q < 10; ++q) {
+    PackedCodes pq =
+        PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+    ExpectCompactedMatch(compacted->TopK(pq.code(0), k),
+                         index->TopK(pq.code(0), k), removed);
+  }
+}
+
+TEST_P(ShardIndexContract, CompactOfCleanIndexIsIdentity) {
+  Rng rng(26);
+  const int bits = 64, k = 7;
+  std::unique_ptr<ShardIndex> index = MakeIndex(
+      GetParam(), PackedCodes::FromSignMatrix(RandomSignCodes(80, bits, &rng)));
+  std::unique_ptr<ShardIndex> compacted = index->Compact();
+  EXPECT_EQ(compacted->total_size(), 80);
+  for (int q = 0; q < 5; ++q) {
+    PackedCodes pq =
+        PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+    const auto expect = index->TopK(pq.code(0), k);
+    const auto got = compacted->TopK(pq.code(0), k);
+    ASSERT_EQ(expect.size(), got.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(expect[i].id, got[i].id);
+      EXPECT_EQ(expect[i].distance, got[i].distance);
+    }
+  }
+}
+
+TEST_P(ShardIndexContract, RandomizedAppendRemoveCompactStaysExact) {
+  // Randomized interleaving of Append / Remove / Compact / Search: after
+  // every compaction (and at every checkpoint) results must be
+  // byte-identical to a fresh LinearScan rebuild of the survivors. The
+  // reference tracks each current local id's packed words and live flag;
+  // Compact() renumbers locals by survivor rank, so the reference
+  // compacts the same way.
+  Rng rng(27);
+  const int bits = 64, k = 8;
+  const int words_per_code = (bits + 63) / 64;
+  PackedCodes base = PackedCodes::FromSignMatrix(RandomSignCodes(60, bits, &rng));
+  std::vector<std::vector<uint64_t>> rows;  // indexed by current local id
+  std::vector<bool> live;
+  for (int i = 0; i < base.size(); ++i) {
+    rows.emplace_back(base.code(i), base.code(i) + words_per_code);
+    live.push_back(true);
+  }
+  std::unique_ptr<ShardIndex> index = MakeIndex(GetParam(), std::move(base));
+
+  auto live_count = [&] {
+    int count = 0;
+    for (bool alive : live) count += alive ? 1 : 0;
+    return count;
+  };
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(8, bits, &rng));
+
+  for (int step = 0; step < 80; ++step) {
+    const uint64_t op = rng.UniformInt(10);
+    if (op < 4) {
+      const int count = 1 + static_cast<int>(rng.UniformInt(5));
+      PackedCodes batch =
+          PackedCodes::FromSignMatrix(RandomSignCodes(count, bits, &rng));
+      index->Append(batch);
+      for (int i = 0; i < count; ++i) {
+        rows.emplace_back(batch.code(i), batch.code(i) + words_per_code);
+        live.push_back(true);
+      }
+    } else if (op < 8 && live_count() > 10) {
+      int id;
+      do {
+        id = static_cast<int>(rng.UniformInt(rows.size()));
+      } while (!live[static_cast<size_t>(id)]);
+      ASSERT_TRUE(index->Remove(id));
+      live[static_cast<size_t>(id)] = false;
+    } else {
+      std::unique_ptr<ShardIndex> compacted = index->Compact();
+      index = std::move(compacted);
+      std::vector<std::vector<uint64_t>> survivor_rows;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (live[i]) survivor_rows.push_back(std::move(rows[i]));
+      }
+      rows = std::move(survivor_rows);
+      live.assign(rows.size(), true);
+      ASSERT_EQ(index->total_size(), static_cast<int>(rows.size()));
+    }
+
+    // Checkpoint: byte-identity with a fresh rebuild over survivors.
+    std::vector<uint64_t> survivor_words;
+    std::vector<int> rank_of_id(rows.size(), -1);
+    int rank = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!live[i]) continue;
+      survivor_words.insert(survivor_words.end(), rows[i].begin(),
+                            rows[i].end());
+      rank_of_id[i] = rank++;
+    }
+    LinearScanIndex truth(
+        PackedCodes::FromRawWords(rank, bits, std::move(survivor_words)));
+    ASSERT_EQ(index->size(), rank) << "step " << step;
+    for (int q = 0; q < queries.size(); ++q) {
+      const auto expect = truth.TopK(queries.code(q), k);
+      const auto got = index->TopK(queries.code(q), k);
+      ASSERT_EQ(expect.size(), got.size()) << "step " << step;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(expect[i].id, rank_of_id[static_cast<size_t>(got[i].id)])
+            << "step " << step << " query " << q << " rank " << i;
+        ASSERT_EQ(expect[i].distance, got[i].distance);
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, ShardIndexContract,
                          ::testing::Values(Backend::kLinearScan,
                                            Backend::kMih));

@@ -622,6 +622,309 @@ TEST(SnapshotTest, V2RoundTripPreservesIdsEpochAndResults) {
   std::remove(path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Tombstone compaction: dead rows leave the shards, global ids and
+// results stay byte-identical, and the locator keeps resolving.
+
+class CompactionSweep : public ::testing::TestWithParam<ShardBackend> {};
+
+TEST_P(CompactionSweep, CompactionIsInvisibleToQueries) {
+  Rng rng(900);
+  const int bits = 64, k = 10;
+  ShardedIndexOptions options;
+  options.num_shards = 3;
+  options.backend = GetParam();
+  ShardedIndex index(PackedCodes::FromSignMatrix(RandomSignCodes(150, bits, &rng)),
+                     options);
+  index.Append(PackedCodes::FromSignMatrix(RandomSignCodes(30, bits, &rng)));
+  std::vector<int> doomed;
+  for (int gid = 0; gid < 180; gid += 3) doomed.push_back(gid);
+  ASSERT_EQ(index.RemoveIds(doomed), static_cast<int>(doomed.size()));
+
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(15, bits, &rng));
+  std::vector<std::vector<Neighbor>> before;
+  for (int q = 0; q < queries.size(); ++q) {
+    before.push_back(index.TopK(queries.code(q), k));
+  }
+
+  const CompactionStats stats = index.CompactAll();
+  EXPECT_EQ(stats.rows_reclaimed, static_cast<int>(doomed.size()));
+  EXPECT_EQ(stats.shards_compacted, 3);
+  EXPECT_EQ(index.size(), 120);
+  EXPECT_EQ(index.total_size(), 180)
+      << "the global id space never shrinks — ids are forever";
+
+  // Byte-identical results with the *same global ids* — compaction must
+  // be invisible to every reader.
+  for (int q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(before[static_cast<size_t>(q)],
+                        index.TopK(queries.code(q), k));
+  }
+  // A second pass finds nothing to reclaim.
+  const CompactionStats again = index.CompactAll();
+  EXPECT_EQ(again.rows_reclaimed, 0);
+  EXPECT_EQ(again.shards_compacted, 0);
+}
+
+TEST_P(CompactionSweep, LocatorStaysCorrectAcrossCompactions) {
+  Rng rng(901);
+  const int bits = 64;
+  ShardedIndexOptions options;
+  options.num_shards = 2;
+  options.backend = GetParam();
+  ShardedIndex index(PackedCodes::FromSignMatrix(RandomSignCodes(40, bits, &rng)),
+                     options);
+  // Shard 0 holds gids 0..19, shard 1 holds 20..39. Compact one shard
+  // at a time through the manual per-shard entry point.
+  ASSERT_EQ(index.RemoveIds({1, 3, 5, 21, 23}), 5);
+  EXPECT_EQ(index.CompactShard(0), 3);
+  EXPECT_EQ(index.CompactShard(0), 0) << "shard 0 is already clean";
+  EXPECT_EQ(index.CompactShard(1), 2);
+
+  // Compacted-away ids are gone for good: a second remove is a no-op,
+  // not a strike against some other row's new local slot.
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_EQ(index.RemoveIds({1, 3, 5}), 0);
+  EXPECT_EQ(index.size(), 35);
+
+  // Surviving ids still resolve: removing one drops exactly one row.
+  EXPECT_TRUE(index.Remove(0));
+  EXPECT_EQ(index.size(), 34);
+
+  // Appends after compaction keep drawing fresh monotonic ids, land in
+  // the emptiest shard, and are retrievable.
+  PackedCodes batch =
+      PackedCodes::FromSignMatrix(RandomSignCodes(4, bits, &rng));
+  const std::vector<int> ids = index.Append(batch);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids.front(), 40);
+  for (int i = 0; i < batch.size(); ++i) {
+    const auto top = index.TopK(batch.code(i), 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].distance, 0);
+    EXPECT_GE(top[0].id, 0);
+  }
+  // And the new rows compact away cleanly too.
+  ASSERT_TRUE(index.Remove(ids[1]));
+  EXPECT_EQ(index.CompactAll().rows_reclaimed, 2);
+  EXPECT_FALSE(index.Remove(ids[1]));
+}
+
+TEST_P(CompactionSweep, MaybeCompactHonorsDeadFractionThreshold) {
+  Rng rng(902);
+  const int bits = 64;
+  ShardedIndexOptions options;
+  options.num_shards = 2;
+  options.backend = GetParam();
+  // Shard 0 holds gids 0..19, shard 1 holds 20..39.
+  ShardedIndex index(PackedCodes::FromSignMatrix(RandomSignCodes(40, bits, &rng)),
+                     options);
+  // 50% dead in shard 0, 10% dead in shard 1.
+  std::vector<int> doomed;
+  for (int gid = 0; gid < 10; ++gid) doomed.push_back(gid);
+  doomed.push_back(25);
+  doomed.push_back(26);
+  ASSERT_EQ(index.RemoveIds(doomed), 12);
+
+  const CompactionStats stats = index.MaybeCompact(0.25);
+  EXPECT_EQ(stats.shards_compacted, 1) << "only shard 0 crossed 25% dead";
+  EXPECT_EQ(stats.rows_reclaimed, 10);
+  EXPECT_EQ(index.size(), 28);
+
+  // Lowering the threshold sweeps up the rest.
+  const CompactionStats rest = index.MaybeCompact(0.05);
+  EXPECT_EQ(rest.shards_compacted, 1);
+  EXPECT_EQ(rest.rows_reclaimed, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CompactionSweep,
+                         ::testing::Values(ShardBackend::kLinearScan,
+                                           ShardBackend::kMultiIndexHash));
+
+TEST(MutableEngineTest, RemoveIdsCountsEachDeadRowOnce) {
+  // Pins the RemoveIds accounting contract: duplicates in one call,
+  // out-of-range ids, already-tombstoned ids, and compacted-away ids
+  // must each decrement the live counters at most once per actual row
+  // death — a double-decrement would skew least-full append routing and
+  // under-report the live corpus forever.
+  Rng rng(903);
+  const int bits = 64;
+  ShardedIndexOptions options;
+  options.num_shards = 2;
+  ShardedIndex index(PackedCodes::FromSignMatrix(RandomSignCodes(30, bits, &rng)),
+                     options);
+  ASSERT_TRUE(index.Remove(7));  // already tombstoned before the batch
+  EXPECT_EQ(index.size(), 29);
+
+  // 4 and 9 appear twice; 7 is already dead; -3 and 1000 are out of
+  // range. Exactly {4, 9, 11} newly die.
+  EXPECT_EQ(index.RemoveIds({4, 4, 9, 7, 9, -3, 1000, 11}), 3);
+  EXPECT_EQ(index.size(), 26);
+  EXPECT_EQ(index.total_size(), 30);
+
+  // After compaction the same ids are locator-gone; repeating the call
+  // must not touch any surviving row's new local slot.
+  ASSERT_EQ(index.CompactAll().rows_reclaimed, 4);
+  EXPECT_EQ(index.RemoveIds({4, 4, 9, 7, 9, -3, 1000, 11}), 0);
+  EXPECT_EQ(index.size(), 26);
+
+  // Counters stay exact: appends after the churn still balance onto the
+  // emptiest shard without tripping the live bookkeeping.
+  const std::vector<int> ids =
+      index.Append(PackedCodes::FromSignMatrix(RandomSignCodes(3, bits, &rng)));
+  EXPECT_EQ(ids.front(), 30);
+  EXPECT_EQ(index.size(), 29);
+}
+
+TEST(MutableEngineTest, AutoCompactionTriggersAtThreshold) {
+  Rng rng(904);
+  const int bits = 64, k = 6;
+  Matrix db = RandomSignCodes(120, bits, &rng);
+  ServingSnapshotOptions options;
+  options.index.num_shards = 3;
+  options.engine.compact_dead_fraction = 0.4;
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
+
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(10, bits, &rng));
+  const auto before = engine->Search(queries, k);
+
+  // 10% dead: below the threshold, nothing compacts.
+  std::vector<int> first_wave;
+  for (int gid = 0; gid < 12; ++gid) first_wave.push_back(gid * 10);
+  ASSERT_EQ(engine->RemoveIds(first_wave), 12);
+  ServeStatsSnapshot stats = engine->stats();
+  EXPECT_EQ(stats.compactions, 0);
+
+  // Push shard 0 (gids 0..39) over 40% dead: auto-compaction fires on
+  // the RemoveIds call itself, invisible to results.
+  std::vector<int> second_wave;
+  for (int gid = 0; gid < 20; ++gid) second_wave.push_back(gid);
+  const int newly_dead = engine->RemoveIds(second_wave);
+  ASSERT_GT(newly_dead, 0);
+  stats = engine->stats();
+  EXPECT_GT(stats.compactions, 0);
+  EXPECT_GT(stats.compact_rows_reclaimed, 0);
+
+  // Results equal a reference engine that saw the same removals but
+  // never compacted — same distances, same global ids.
+  ServingSnapshotOptions reference_options;
+  reference_options.index.num_shards = 3;
+  auto reference =
+      MakeQueryEngine(PackedCodes::FromSignMatrix(db), reference_options);
+  reference->RemoveIds(first_wave);
+  reference->RemoveIds(second_wave);
+  ASSERT_EQ(reference->index().size(), engine->index().size());
+  const auto expect = reference->Search(queries, k);
+  const auto got = engine->Search(queries, k);
+  for (int q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(expect[static_cast<size_t>(q)],
+                        got[static_cast<size_t>(q)]);
+  }
+}
+
+TEST(MutableEngineTest, ManualCompactBumpsEpochOnlyWhenReclaiming) {
+  Rng rng(905);
+  const int bits = 64;
+  auto engine = MakeQueryEngine(
+      PackedCodes::FromSignMatrix(RandomSignCodes(50, bits, &rng)), {});
+  EXPECT_EQ(engine->Compact().rows_reclaimed, 0);
+  EXPECT_EQ(engine->epoch(), 0u) << "a no-op compaction is not an update";
+
+  ASSERT_TRUE(engine->Remove(10));
+  ASSERT_EQ(engine->epoch(), 1u);
+  const CompactionStats stats = engine->Compact();
+  EXPECT_EQ(stats.rows_reclaimed, 1);
+  EXPECT_EQ(engine->epoch(), 2u);
+  EXPECT_EQ(engine->stats().compactions, stats.shards_compacted);
+}
+
+TEST(SnapshotTest, CompactedEngineRoundTripsWithStableIds) {
+  Rng rng(906);
+  const int bits = 64, k = 8;
+  Matrix db = RandomSignCodes(100, bits, &rng);
+  ServingSnapshotOptions options;
+  options.index.num_shards = 4;
+  auto engine = MakeQueryEngine(PackedCodes::FromSignMatrix(db), options);
+  engine->Append(PackedCodes::FromSignMatrix(RandomSignCodes(20, bits, &rng)));
+  std::vector<int> doomed;
+  for (int gid = 0; gid < 120; gid += 4) doomed.push_back(gid);
+  ASSERT_EQ(engine->RemoveIds(doomed), 30);
+  ASSERT_EQ(engine->Compact().rows_reclaimed, 30);
+
+  const std::string path = ::testing::TempDir() + "/compacted_snapshot.bin";
+  ASSERT_TRUE(SaveServingSnapshot(*engine, path).ok());
+
+  // The compacted-away ids persist as dead slots: the reloaded engine
+  // keeps every surviving global id and every result byte-identical.
+  ServingSnapshotOptions reload_options;
+  reload_options.index.num_shards = 2;
+  Result<std::unique_ptr<QueryEngine>> reloaded =
+      LoadQueryEngine(path, reload_options);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ((*reloaded)->epoch(), engine->epoch());
+  EXPECT_EQ((*reloaded)->index().size(), 90);
+  EXPECT_EQ((*reloaded)->index().total_size(), 120);
+
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(12, bits, &rng));
+  const auto expect = engine->Search(queries, k);
+  const auto got = (*reloaded)->Search(queries, k);
+  for (int q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(expect[static_cast<size_t>(q)],
+                        got[static_cast<size_t>(q)]);
+  }
+
+  // Hydration always compacts, and enabling runtime auto-compaction on
+  // top must not disturb ids, the restored epoch, or results.
+  ServingSnapshotOptions compact_reload = reload_options;
+  compact_reload.engine.compact_dead_fraction = 0.1;
+  Result<std::unique_ptr<QueryEngine>> compacted =
+      LoadQueryEngine(path, compact_reload);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ((*compacted)->epoch(), engine->epoch());
+  EXPECT_EQ((*compacted)->index().size(), 90);
+  const auto compact_got = (*compacted)->Search(queries, k);
+  for (int q = 0; q < queries.size(); ++q) {
+    ExpectSameNeighbors(expect[static_cast<size_t>(q)],
+                        compact_got[static_cast<size_t>(q)]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MutableEngineTest, RestoreEpochClearsStaleCacheEntries) {
+  // Regression: RestoreEpoch used to only store the epoch. Hydrating an
+  // *older* snapshot's epoch into a live engine then made pre-restore
+  // cache entries reachable again under a reused (epoch, query, k) key,
+  // serving the pre-restore corpus. RestoreEpoch must drop the cache.
+  Rng rng(907);
+  const int bits = 64, k = 5;
+  PackedCodes pq = PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  auto engine = MakeQueryEngine(
+      PackedCodes::FromSignMatrix(RandomSignCodes(60, bits, &rng)), {});
+
+  // Cache an entry at epoch 0, then mutate: append the query itself so
+  // post-update results are visibly different.
+  const auto stale = engine->SearchOne(pq.code(0), k);
+  engine->Append(PackedCodes::FromRawWords(
+      1, bits,
+      std::vector<uint64_t>(pq.code(0), pq.code(0) + pq.words_per_code())));
+  ASSERT_EQ(engine->epoch(), 1u);
+
+  // Rewind the epoch to 0 (hydrating an older snapshot in place). The
+  // old (epoch 0) cache entry must NOT come back from the dead: the
+  // index still contains the appended row, so the distance-0 hit leads.
+  engine->RestoreEpoch(0);
+  const auto fresh = engine->SearchOne(pq.code(0), k);
+  ASSERT_FALSE(fresh.empty());
+  EXPECT_EQ(fresh[0].distance, 0)
+      << "stale pre-restore cache entry served after RestoreEpoch";
+  EXPECT_EQ(fresh[0].id, 60);
+  ASSERT_NE(stale[0].distance, 0)
+      << "test needs the stale entry to be distinguishable";
+}
+
 TEST(SnapshotTest, LegacyV1ArtifactStillLoads) {
   Rng rng(805);
   const int bits = 64, k = 5;

@@ -20,7 +20,8 @@
 //          [--shards=N] [--threads=N] [--backend=scan|mih]
 //          [--replicas=N] [--batch-max=B] [--batch-timeout-us=T]
 //          [--route=rr|least] [--topk=K] [--queries=N]
-//          [--append=PATH] [--delete-ids=1,5,10-20] [--save-snapshot=PATH]
+//          [--append=PATH] [--delete-ids=1,5,10-20] [--compact]
+//          [--compact-threshold=F] [--save-snapshot=PATH]
 //       Hydrates N QueryEngine replicas from the packed codes (legacy v1
 //       artifact or v2 serving snapshot) behind the async request
 //       pipeline — bounded admission queue, adaptive batcher (flush at B
@@ -38,6 +39,12 @@
 //       live corpus (routed to the least-full shard), --delete-ids
 //       tombstones global ids, and each bumps the corpus epoch — a third
 //       replay pass then shows the epoch-keyed caches re-filling.
+//       --compact reclaims tombstoned rows (shard rebuild + locator
+//       remap, global ids unchanged) on every replica;
+//       --compact-threshold=F turns on auto-compaction whenever a
+//       shard's dead fraction reaches F. Hydration always compacts a
+//       snapshot's dead rows, so a delete-heavy snapshot reloads
+//       reclaimed either way.
 //       --save-snapshot persists the mutated corpus as a versioned v2
 //       snapshot (epoch + tombstones) that future serve runs reload with
 //       identical ids and results.
@@ -46,6 +53,7 @@
 // reproducible from (dataset, seed, scale) alone — no data files needed.
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
@@ -96,6 +104,8 @@ struct Flags {
   std::string append_file;
   std::string delete_ids;
   std::string save_snapshot;
+  double compact_threshold = 0.0;  // 0 = auto-compaction off
+  bool compact = false;
 };
 
 int Usage() {
@@ -106,7 +116,8 @@ int Usage() {
                "[--queries=N] [--shards=N] [--threads=N] [--replicas=N] "
                "[--batch-max=B] [--batch-timeout-us=T] [--route=rr|least] "
                "[--backend=scan|mih] [--append=PATH] "
-               "[--delete-ids=1,5,10-20] [--save-snapshot=PATH]\n");
+               "[--delete-ids=1,5,10-20] [--compact] "
+               "[--compact-threshold=F] [--save-snapshot=PATH]\n");
   return 2;
 }
 
@@ -203,6 +214,23 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->delete_ids = arg.substr(13);
     } else if (StartsWith(arg, "--save-snapshot=")) {
       flags->save_snapshot = arg.substr(16);
+    } else if (StartsWith(arg, "--compact-threshold=")) {
+      // A dead *fraction* in [0, 1] — "30" meaning 30% would silently
+      // never fire, so anything malformed or out of range is an error,
+      // not a disabled feature.
+      char* end = nullptr;
+      flags->compact_threshold = std::strtod(arg.c_str() + 20, &end);
+      if (end == arg.c_str() + 20 || *end != '\0' ||
+          !std::isfinite(flags->compact_threshold) ||
+          flags->compact_threshold < 0.0 || flags->compact_threshold > 1.0) {
+        std::fprintf(stderr,
+                     "--compact-threshold must be a dead fraction in "
+                     "[0, 1], got %s\n",
+                     arg.c_str() + 20);
+        return false;
+      }
+    } else if (arg == "--compact") {
+      flags->compact = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -412,6 +440,7 @@ int CmdServe(const Flags& flags) {
       flags.backend == "mih" ? serve::ShardBackend::kMultiIndexHash
                              : serve::ShardBackend::kLinearScan;
   options.serving.engine.num_threads = flags.threads;
+  options.serving.engine.compact_dead_fraction = flags.compact_threshold;
   // One disk read handles both the legacy v1 codes artifact and the v2
   // serving snapshot; the loaded snapshot doubles as the query-sampling
   // source before the engine takes ownership of it.
@@ -578,6 +607,29 @@ int CmdServe(const Flags& flags) {
                 static_cast<unsigned long long>(replicas.epoch()),
                 engine0.index().size(), engine0.index().total_size());
     updated = true;
+  }
+  if (flags.compact) {
+    // Manual admin compaction, fanned to every replica with coherence
+    // checks. Runs after the deletes above so the reclaim covers them.
+    const serve::CompactionStats stats = replicas.Compact();
+    std::printf(
+        "compacted %d shard(s), reclaimed %d dead row(s) per replica, "
+        "epoch -> %llu (%d live / %d total ids)\n",
+        stats.shards_compacted, stats.rows_reclaimed,
+        static_cast<unsigned long long>(replicas.epoch()),
+        engine0.index().size(), engine0.index().total_size());
+    updated = updated || stats.rows_reclaimed > 0;
+  }
+  // Report compaction work done by the admin ops (manual --compact and
+  // any auto-compaction the deletes triggered) before the post-update
+  // pass resets the per-pass counters.
+  if (const serve::ServeStatsSnapshot agg = batcher.stats();
+      agg.compactions > 0) {
+    std::printf("compactions: %lld shard(s), %lld row(s) reclaimed, "
+                "%.2f ms total (all replicas)\n",
+                static_cast<long long>(agg.compactions),
+                static_cast<long long>(agg.compact_rows_reclaimed),
+                agg.compaction_ms);
   }
   if (updated && !replay_pass("post-update")) return 1;
   table.Print(std::cout);
