@@ -40,6 +40,8 @@
 #include "common/string_util.h"
 #include "common/table_writer.h"
 #include "index/packed_codes.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "perf_util.h"
 #include "serve/batcher.h"
 #include "serve/query_engine.h"
@@ -281,6 +283,41 @@ int Main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
+  // Observability overhead A/B: the same caller-batched replay with the
+  // layer runtime-disabled vs enabled-but-unsampled (sampling off is the
+  // production default). Interleaved best-of-3 so thermal / scheduler
+  // drift hits both arms alike; the gate below requires the enabled arm
+  // to keep >= 99% of the disabled arm's QPS.
+  double obs_disabled_qps = 0.0;
+  double obs_enabled_qps = 0.0;
+  obs::TraceRecorder::Global().SetSampleEvery(0);
+  for (int rep = 0; rep < 3; ++rep) {
+    obs::SetRuntimeEnabled(false);
+    obs_disabled_qps = std::max(
+        obs_disabled_qps, RunCallerBatched(corpus, queries, flags.k,
+                                           flags.request_size, /*clients=*/1)
+                              .qps);
+    obs::SetRuntimeEnabled(true);
+    obs_enabled_qps = std::max(
+        obs_enabled_qps, RunCallerBatched(corpus, queries, flags.k,
+                                          flags.request_size, /*clients=*/1)
+                             .qps);
+  }
+  const double obs_overhead_ratio =
+      obs_disabled_qps > 0.0 ? obs_enabled_qps / obs_disabled_qps : 1.0;
+  std::printf("\nobservability overhead (enabled-unsampled vs disabled): "
+              "%.1f vs %.1f QPS (ratio %.4f)\n",
+              obs_enabled_qps, obs_disabled_qps, obs_overhead_ratio);
+
+  // Untimed instrumented pass: one pipeline run with every request
+  // sampled fills the stage.*_ns histograms for the JSON breakdown.
+  {
+    obs::TraceRecorder::Global().SetSampleEvery(1);
+    RunPipeline(corpus, queries, flags.k, /*replicas=*/hw >= 4 ? 2 : 1,
+                /*max_batch=*/64, /*timeout_us=*/500, flags.clients);
+    obs::TraceRecorder::Global().SetSampleEvery(0);
+  }
+
   if (!flags.json.empty()) {
     std::FILE* f = std::fopen(flags.json.c_str(), "w");
     if (f == nullptr) {
@@ -290,6 +327,12 @@ int Main(int argc, char** argv) {
                    flags.json.c_str());
     } else {
       std::fprintf(f, "{\n  \"bench\": \"async_serve\",\n");
+      WriteJsonRunMeta(f);
+      WriteJsonStageBreakdown(f);
+      std::fprintf(f,
+                   "  \"obs_overhead\": {\"disabled_qps\": %.1f, "
+                   "\"enabled_qps\": %.1f, \"ratio\": %.4f},\n",
+                   obs_disabled_qps, obs_enabled_qps, obs_overhead_ratio);
       std::fprintf(f,
                    "  \"n\": %d, \"bits\": %d, \"k\": %d, \"requests\": %d, "
                    "\"request_size\": %d, \"clients\": %d, \"hw\": %d,\n",
@@ -332,6 +375,16 @@ int Main(int argc, char** argv) {
   if (!gate_armed) {
     std::printf("[acceptance gate not armed at this size]\n");
     return 0;
+  }
+  // Observability gate: enabled-but-unsampled must cost <= 1% QPS on the
+  // hot sync path. Armed with the main gate — the same "too small to
+  // measure" caveat applies, and below ~50k rows per-run noise exceeds
+  // the 1% band being tested.
+  if (obs_overhead_ratio < 0.99) {
+    std::printf("FAIL: observability layer costs %.1f%% QPS when enabled "
+                "but unsampled (budget: 1%%)\n",
+                (1.0 - obs_overhead_ratio) * 100.0);
+    return 1;
   }
   if (speedup < 1.5) {
     std::printf("FAIL: replicated pipeline below the 1.5x QPS acceptance "

@@ -202,6 +202,11 @@ int Main(int argc, char** argv) {
                    flags.json.c_str());
     } else {
       std::fprintf(f, "{\n  \"bench\": \"hamming_kernels\",\n");
+      WriteJsonRunMeta(f);
+      // Kernel bench: no serving pipeline runs here, so the stage
+      // breakdown is empty unless a prior in-process pass traced one —
+      // emitted anyway to keep the BENCH_*.json schema uniform.
+      WriteJsonStageBreakdown(f);
       std::fprintf(f, "  \"n\": %d, \"bits\": %d, \"queries\": %d, \"k\": %d,\n",
                    flags.n, flags.bits, flags.queries, flags.k);
       std::fprintf(f, "  \"kernel_tier\": \"%s\",\n", simd_name);

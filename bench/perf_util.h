@@ -7,10 +7,20 @@
 // don't need.
 
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <thread>
 
 #include "common/rng.h"
+#include "index/hamming_kernels.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
+
+// Injected by CMake (git rev-parse --short HEAD); "unknown" outside a
+// git checkout or when building perf_util.h standalone.
+#ifndef UHSCM_GIT_SHA
+#define UHSCM_GIT_SHA "unknown"
+#endif
 
 namespace uhscm::bench {
 
@@ -29,6 +39,51 @@ inline std::string Fmt(double v, const char* format = "%.1f") {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), format, v);
   return buffer;
+}
+
+/// Writes the `"meta": {...},` line every BENCH_*.json carries: the
+/// commit the binary was built from, the dispatched kernel tier, the
+/// host's hardware thread count, and a UTC timestamp — enough to compare
+/// two result files without the shell history that produced them.
+inline void WriteJsonRunMeta(std::FILE* f) {
+  char timestamp[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ",
+                  &tm_utc);
+  }
+  std::fprintf(f,
+               "  \"meta\": {\"git_sha\": \"%s\", \"kernel_tier\": \"%s\", "
+               "\"hw_threads\": %u, \"timestamp_utc\": \"%s\"},\n",
+               UHSCM_GIT_SHA,
+               index::KernelTierName(index::ActiveKernelTier()),
+               std::thread::hardware_concurrency(), timestamp);
+}
+
+/// Writes the `"stage_breakdown": {...},` object: per-stage latency
+/// summaries (count / p50 / p99 / mean, in ms) pulled from the global
+/// registry's `stage.*_ns` histograms. Stages are populated by traced
+/// (sampled) requests — benches run one untimed sampled pass to fill
+/// them; an empty object means no span was recorded (sampling off or
+/// the observability layer compiled out).
+inline void WriteJsonStageBreakdown(std::FILE* f) {
+  const auto stages =
+      obs::MetricsRegistry::Global().SnapshotHistograms("stage.");
+  std::fprintf(f, "  \"stage_breakdown\": {");
+  constexpr double kNsPerMs = 1e6;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const auto& [name, snap] = stages[i];
+    std::fprintf(f,
+                 "%s\n    \"%s\": {\"count\": %llu, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"mean_ms\": %.4f}",
+                 i == 0 ? "" : ",", name.c_str(),
+                 static_cast<unsigned long long>(snap.total),
+                 snap.ValueAtPercentile(50.0) / kNsPerMs,
+                 snap.ValueAtPercentile(99.0) / kNsPerMs,
+                 snap.mean() / kNsPerMs);
+  }
+  std::fprintf(f, stages.empty() ? "},\n" : "\n  },\n");
 }
 
 }  // namespace uhscm::bench

@@ -23,6 +23,7 @@
 #include "common/table_writer.h"
 #include "index/linear_scan.h"
 #include "index/packed_codes.h"
+#include "obs/trace.h"
 #include "perf_util.h"
 #include "serve/query_engine.h"
 #include "serve/serve_stats.h"
@@ -179,6 +180,30 @@ int Main(int argc, char** argv) {
   table.Print(std::cout);
   if (flags.csv) std::cout << "\n" << table.ToCsv();
 
+  // Untimed instrumented pass: replay with every request sampled so the
+  // stage.*_ns histograms carry a per-stage breakdown for the JSON
+  // record. Runs after every timed row — sampling costs span recording,
+  // which must not pollute the measurements above.
+  {
+    serve::ServingSnapshotOptions options;
+    options.index.num_shards = 4;
+    options.engine.num_threads = hw;
+    options.engine.cache_capacity = 0;
+    auto engine = serve::MakeQueryEngine(
+        index::PackedCodes::FromRawWords(corpus.size(), corpus.bits(),
+                                         corpus.words()),
+        options);
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    recorder.SetSampleEvery(1);
+    for (const index::PackedCodes& batch :
+         serve::SliceBatches(queries, 32)) {
+      obs::TraceContext ctx;
+      ctx.trace_id = recorder.MaybeStartTrace();
+      engine->Search(batch, flags.k, ctx);
+    }
+    recorder.SetSampleEvery(0);
+  }
+
   if (!flags.json.empty()) {
     std::FILE* f = std::fopen(flags.json.c_str(), "w");
     if (f == nullptr) {
@@ -186,6 +211,8 @@ int Main(int argc, char** argv) {
                    flags.json.c_str());
     } else {
       std::fprintf(f, "{\n  \"bench\": \"serve_throughput\",\n");
+      WriteJsonRunMeta(f);
+      WriteJsonStageBreakdown(f);
       std::fprintf(f,
                    "  \"n\": %d, \"bits\": %d, \"k\": %d, \"queries\": %d,\n",
                    flags.n, flags.bits, flags.k, flags.queries);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/kernel_counters.h"
+
 namespace uhscm::index {
 namespace {
 
@@ -44,6 +46,10 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
   for (auto& heap : results) heap.reserve(static_cast<size_t>(k));
   std::vector<int32_t> dist(static_cast<size_t>(block));
 
+  // Function-local work counters: plain integer bumps inside the scan
+  // loops, one atomic flush to the registry when the batch is done.
+  obs::KernelCounters counters;
+
   for (int begin = 0; begin < n; begin += block) {
     const int count = std::min(block, n - begin);
     const uint64_t* block_codes = db.code(begin);
@@ -57,14 +63,19 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
                                     ? heap.front().distance
                                     : kNoThreshold;
       kernel(queries[q], block_codes, count, words, threshold, dist.data());
+      counters.rows_scanned += count;
       if (threshold != kNoThreshold) {
+        counters.early_abandon_calls += 1;
         // Warm heap: no insertion happened yet for this block, so the
         // heap front still equals `threshold`. A vectorizable min
         // reduction proves most blocks contain no qualifying code and
         // skips the per-code branch loop entirely.
         int32_t best = dist[0];
         for (int i = 1; i < count; ++i) best = std::min(best, dist[i]);
-        if (best >= threshold) continue;
+        if (best >= threshold) {
+          counters.blocks_skipped += 1;
+          continue;
+        }
       }
       for (int i = 0; i < count; ++i) {
         if (dead != nullptr && dead->Test(begin + i)) continue;
@@ -83,6 +94,7 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
     }
   }
 
+  counters.Flush();
   for (auto& heap : results) std::sort_heap(heap.begin(), heap.end(), cmp);
   return results;
 }

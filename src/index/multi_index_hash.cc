@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "obs/kernel_counters.h"
 
 namespace uhscm::index {
 
@@ -112,6 +113,11 @@ std::vector<Neighbor> MultiIndexHashTable::WithinRadius(const uint64_t* query,
     }
     EnumerateNeighbors(qsub, width, sub_radius, 0, s, &candidates);
   }
+  // Probed counts raw table hits (pre-dedup — the bucket traffic the
+  // probe pattern generated); verified counts exact distance checks on
+  // the surviving unique candidates.
+  obs::KernelCounters counters;
+  counters.mih_candidates_probed += static_cast<int64_t>(candidates.size());
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
@@ -120,9 +126,11 @@ std::vector<Neighbor> MultiIndexHashTable::WithinRadius(const uint64_t* query,
   std::vector<Neighbor> out;
   for (int id : candidates) {
     if (dead_rows && tombstones_.Test(id)) continue;
+    counters.mih_candidates_verified += 1;
     const int d = database_.DistanceTo(id, query);
     if (d <= r) out.push_back({id, d});
   }
+  counters.Flush();
   return out;
 }
 

@@ -1,0 +1,41 @@
+#include "obs/kernel_counters.h"
+
+namespace uhscm::obs {
+
+void KernelCounters::Flush() {
+  if constexpr (!kObsCompiledIn) {
+    *this = KernelCounters{};
+    return;
+  }
+  if (!RuntimeEnabled()) {
+    *this = KernelCounters{};
+    return;
+  }
+  // Pointers resolve once per process; the registry guarantees they stay
+  // valid, so every later flush is five relaxed atomic adds.
+  struct Slots {
+    Counter* rows;
+    Counter* blocks;
+    Counter* abandon;
+    Counter* probed;
+    Counter* verified;
+  };
+  static const Slots slots = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return Slots{reg.GetCounter("scan.rows_scanned"),
+                 reg.GetCounter("scan.blocks_skipped"),
+                 reg.GetCounter("scan.early_abandon_calls"),
+                 reg.GetCounter("mih.candidates_probed"),
+                 reg.GetCounter("mih.candidates_verified")};
+  }();
+  if (rows_scanned != 0) slots.rows->Add(rows_scanned);
+  if (blocks_skipped != 0) slots.blocks->Add(blocks_skipped);
+  if (early_abandon_calls != 0) slots.abandon->Add(early_abandon_calls);
+  if (mih_candidates_probed != 0) slots.probed->Add(mih_candidates_probed);
+  if (mih_candidates_verified != 0) {
+    slots.verified->Add(mih_candidates_verified);
+  }
+  *this = KernelCounters{};
+}
+
+}  // namespace uhscm::obs

@@ -78,6 +78,19 @@ void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
   pipeline_stats_.RecordFlush(static_cast<int>(batch.size()), by_timeout);
   const auto flush_time = std::chrono::steady_clock::now();
 
+  // Close each sampled request's "admit" span: admission to flush is the
+  // time spent waiting in the queue for a batch to form.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  for (const PendingRequest& request : batch) {
+    if (request.trace) {
+      recorder.RecordSpan(request.trace.trace_id, recorder.NewSpanId(),
+                          request.trace.parent_span, "admit",
+                          recorder.ToMicros(request.admit_time),
+                          recorder.ToMicros(flush_time),
+                          {{"k", request.k}});
+    }
+  }
+
   // The engine API carries one k per Search call, so a mixed-k flush
   // dispatches one packed batch per distinct k (request order preserved
   // within each group; under homogeneous traffic this is one group).
@@ -87,41 +100,77 @@ void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
   }
 
   for (auto& [k, members] : groups) {
+    // The group's spans (batch assembly, route, the engine's search)
+    // hang under the first sampled request in the group — one traced
+    // exemplar per batch keeps the trace a connected tree without
+    // recording the shared stages once per member.
+    obs::TraceContext group_ctx;
+    for (size_t i : members) {
+      if (batch[i].trace) {
+        group_ctx = batch[i].trace;
+        break;
+      }
+    }
+
     auto group = std::make_shared<std::vector<PendingRequest>>();
     group->reserve(members.size());
     auto queue_waits = std::make_shared<std::vector<double>>();
     queue_waits->reserve(members.size());
     std::vector<uint64_t> words;
     words.reserve(members.size() * static_cast<size_t>(words_per_code_));
-    for (size_t i : members) {
-      words.insert(words.end(), batch[i].words.begin(),
-                   batch[i].words.end());
-      queue_waits->push_back(std::chrono::duration<double>(
-                                 flush_time - batch[i].admit_time)
-                                 .count());
-      group->push_back(std::move(batch[i]));
-    }
-    index::PackedCodes queries = index::PackedCodes::FromRawWords(
-        static_cast<int>(group->size()), bits_, std::move(words));
-
-    // End-to-end backpressure: don't let batches pile up in the engines'
-    // dispatch queues. Blocking here fills the admission queue, which in
-    // turn blocks Submit — overload surfaces at the front door, and the
-    // router always sees genuine (bounded) per-replica load.
+    index::PackedCodes queries;
     {
-      std::unique_lock<std::mutex> lock(inflight_mu_);
-      inflight_cv_.wait(lock, [this] {
-        return inflight_batches_.load(std::memory_order_relaxed) <
-               max_inflight_batches_;
-      });
-      inflight_batches_.fetch_add(1, std::memory_order_relaxed);
+      obs::ScopedSpan batch_span(&recorder, group_ctx, "batch");
+      batch_span.AddAttr("size", static_cast<int64_t>(members.size()));
+      batch_span.AddAttr("k", k);
+      for (size_t i : members) {
+        words.insert(words.end(), batch[i].words.begin(),
+                     batch[i].words.end());
+        queue_waits->push_back(std::chrono::duration<double>(
+                                   flush_time - batch[i].admit_time)
+                                   .count());
+        group->push_back(std::move(batch[i]));
+      }
+      queries = index::PackedCodes::FromRawWords(
+          static_cast<int>(group->size()), bits_, std::move(words));
     }
-    QueryEngine* engine = router_->Pick();
+
+    QueryEngine* engine = nullptr;
+    {
+      obs::ScopedSpan route_span(&recorder, group_ctx, "route");
+      // End-to-end backpressure: don't let batches pile up in the
+      // engines' dispatch queues. Blocking here fills the admission
+      // queue, which in turn blocks Submit — overload surfaces at the
+      // front door, and the router always sees genuine (bounded)
+      // per-replica load. The wait is part of the route span: time spent
+      // here is time spent finding a replica with capacity.
+      {
+        std::unique_lock<std::mutex> lock(inflight_mu_);
+        inflight_cv_.wait(lock, [this] {
+          return inflight_batches_.load(std::memory_order_relaxed) <
+                 max_inflight_batches_;
+        });
+        inflight_batches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      engine = router_->Pick();
+      route_span.AddAttr("inflight", engine->inflight());
+    }
     engine->SubmitBatch(
-        std::move(queries), k,
+        std::move(queries), k, group_ctx,
         [this, group, queue_waits](
             Status status, std::vector<std::vector<index::Neighbor>> results) {
           const auto now = std::chrono::steady_clock::now();
+          // Close each sampled member's root "request" span — admission
+          // to response, the latency its client actually observed.
+          obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+          for (const PendingRequest& request : *group) {
+            if (request.trace) {
+              recorder.RecordSpan(request.trace.trace_id,
+                                  request.trace.parent_span, 0, "request",
+                                  recorder.ToMicros(request.admit_time),
+                                  recorder.ToMicros(now), {{"k", request.k}});
+            }
+          }
           if (!status.ok()) {
             // The replica died under this batch (killed mid-stream):
             // every member's future resolves with the failure status —

@@ -15,7 +15,6 @@ QueryEngine::QueryEngine(std::unique_ptr<ShardedIndex> index,
     : index_(std::move(index)),
       pool_(std::make_unique<ThreadPool>(options.num_threads)),
       cache_(options.cache_capacity),
-      stats_(options.max_latency_samples),
       miss_block_(std::max(1, options.miss_block)),
       compact_dead_fraction_(options.compact_dead_fraction) {
   UHSCM_CHECK(index_ != nullptr, "QueryEngine: null index");
@@ -28,7 +27,7 @@ void QueryEngine::CompleteTask(DispatchTask task, bool killed) {
   if (killed) {
     task.done(Status::Unavailable("engine killed before the batch ran"), {});
   } else {
-    task.done(Status::OK(), Search(task.queries, task.k));
+    task.done(Status::OK(), Search(task.queries, task.k, task.trace));
   }
   // Decrement only after the callback returns — on *every* completion
   // path, including the killed one: a batch that resolves Unavailable
@@ -41,10 +40,10 @@ void QueryEngine::CompleteTask(DispatchTask task, bool killed) {
 }
 
 void QueryEngine::SubmitBatch(index::PackedCodes queries, int k,
-                              BatchCallback done) {
+                              obs::TraceContext trace, BatchCallback done) {
   const int n = queries.size();
   inflight_.fetch_add(n, std::memory_order_relaxed);
-  DispatchTask task{std::move(queries), k, std::move(done)};
+  DispatchTask task{std::move(queries), k, trace, std::move(done)};
   bool reject = false;
   {
     std::unique_lock<std::mutex> lock(dispatch_mu_);
@@ -129,7 +128,8 @@ void QueryEngine::Drain() { Shutdown(/*kill=*/false); }
 void QueryEngine::Kill() { Shutdown(/*kill=*/true); }
 
 std::vector<std::vector<Neighbor>> QueryEngine::Search(
-    const index::PackedCodes& queries, int k) {
+    const index::PackedCodes& queries, int k,
+    const obs::TraceContext& trace) {
   const int n = queries.size();
   if (n == 0) return {};
   UHSCM_CHECK(queries.bits() == index_->bits(),
@@ -139,6 +139,11 @@ std::vector<std::vector<Neighbor>> QueryEngine::Search(
     stats_.RecordBatch(n, 0, 0.0);
     return std::vector<std::vector<Neighbor>>(static_cast<size_t>(n));
   }
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  obs::ScopedSpan search_span(&recorder, trace, "search");
+  search_span.AddAttr("queries", n);
+  search_span.AddAttr("k", k);
 
   Stopwatch watch;
   std::vector<std::vector<Neighbor>> results(static_cast<size_t>(n));
@@ -153,11 +158,16 @@ std::vector<std::vector<Neighbor>> QueryEngine::Search(
   // Phase 1: serve what the cache already knows.
   std::vector<int> misses;
   misses.reserve(static_cast<size_t>(n));
-  for (int q = 0; q < n; ++q) {
-    CacheKey key{{queries.code(q), queries.code(q) + words}, k, epoch};
-    if (!cache_.Lookup(key, &results[static_cast<size_t>(q)])) {
-      misses.push_back(q);
+  {
+    obs::ScopedSpan lookup_span(&recorder, search_span.context(),
+                                "cache-lookup");
+    for (int q = 0; q < n; ++q) {
+      CacheKey key{{queries.code(q), queries.code(q) + words}, k, epoch};
+      if (!cache_.Lookup(key, &results[static_cast<size_t>(q)])) {
+        misses.push_back(q);
+      }
     }
+    lookup_span.AddAttr("hits", n - static_cast<int64_t>(misses.size()));
   }
   const int hits = n - static_cast<int>(misses.size());
 
@@ -172,36 +182,50 @@ std::vector<std::vector<Neighbor>> QueryEngine::Search(
   const int num_blocks = (num_misses + qblock - 1) / qblock;
   std::vector<std::vector<Neighbor>> partials(
       misses.size() * static_cast<size_t>(num_shards));
-  pool_->ParallelFor(num_blocks * num_shards, [&](int unit) {
-    const int blk = unit / num_shards;
-    const int s = unit % num_shards;
-    const int mb = blk * qblock;
-    const int me = std::min(mb + qblock, num_misses);
-    std::vector<const uint64_t*> qptrs(static_cast<size_t>(me - mb));
-    for (int m = mb; m < me; ++m) {
-      qptrs[static_cast<size_t>(m - mb)] =
-          queries.code(misses[static_cast<size_t>(m)]);
-    }
-    std::vector<std::vector<Neighbor>> block_results =
-        index_->ShardTopKBatch(s, qptrs.data(), me - mb, k);
-    for (int m = mb; m < me; ++m) {
-      partials[static_cast<size_t>(m) * num_shards + s] =
-          std::move(block_results[static_cast<size_t>(m - mb)]);
-    }
-  });
+  {
+    obs::ScopedSpan scan_span(&recorder, search_span.context(), "scan");
+    scan_span.AddAttr("misses", num_misses);
+    scan_span.AddAttr("shards", num_shards);
+    pool_->ParallelFor(num_blocks * num_shards, [&](int unit) {
+      const int blk = unit / num_shards;
+      const int s = unit % num_shards;
+      const int mb = blk * qblock;
+      const int me = std::min(mb + qblock, num_misses);
+      obs::ScopedSpan unit_span(&recorder, scan_span.context(), "shard-scan");
+      unit_span.AddAttr("shard", s);
+      unit_span.AddAttr("queries", me - mb);
+      std::vector<const uint64_t*> qptrs(static_cast<size_t>(me - mb));
+      for (int m = mb; m < me; ++m) {
+        qptrs[static_cast<size_t>(m - mb)] =
+            queries.code(misses[static_cast<size_t>(m)]);
+      }
+      std::vector<std::vector<Neighbor>> block_results =
+          index_->ShardTopKBatch(s, qptrs.data(), me - mb, k);
+      for (int m = mb; m < me; ++m) {
+        partials[static_cast<size_t>(m) * num_shards + s] =
+            std::move(block_results[static_cast<size_t>(m - mb)]);
+      }
+    });
+  }
 
-  // Phase 3: merge each miss's shard lists and publish to the cache.
-  pool_->ParallelFor(static_cast<int>(misses.size()), [&](int m) {
-    std::vector<std::vector<Neighbor>> per_shard(
-        std::make_move_iterator(partials.begin() +
-                                static_cast<size_t>(m) * num_shards),
-        std::make_move_iterator(partials.begin() +
-                                static_cast<size_t>(m + 1) * num_shards));
-    const int q = misses[static_cast<size_t>(m)];
-    results[static_cast<size_t>(q)] = ShardedIndex::MergeTopK(per_shard, k);
-    CacheKey key{{queries.code(q), queries.code(q) + words}, k, epoch};
-    cache_.Insert(key, results[static_cast<size_t>(q)]);
-  });
+  // Phase 3: merge each miss's shard lists and publish to the cache
+  // (the merge span covers the cache fill — they share the parallel
+  // pass so miss results are written back without a second walk).
+  {
+    obs::ScopedSpan merge_span(&recorder, search_span.context(), "merge");
+    merge_span.AddAttr("cache_inserts", num_misses);
+    pool_->ParallelFor(static_cast<int>(misses.size()), [&](int m) {
+      std::vector<std::vector<Neighbor>> per_shard(
+          std::make_move_iterator(partials.begin() +
+                                  static_cast<size_t>(m) * num_shards),
+          std::make_move_iterator(partials.begin() +
+                                  static_cast<size_t>(m + 1) * num_shards));
+      const int q = misses[static_cast<size_t>(m)];
+      results[static_cast<size_t>(q)] = ShardedIndex::MergeTopK(per_shard, k);
+      CacheKey key{{queries.code(q), queries.code(q) + words}, k, epoch};
+      cache_.Insert(key, results[static_cast<size_t>(q)]);
+    });
+  }
 
   stats_.RecordBatch(n, hits, watch.ElapsedSeconds());
   return results;

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "index/packed_codes.h"
+#include "obs/trace.h"
 #include "serve/result_cache.h"
 #include "serve/serve_stats.h"
 #include "serve/sharded_index.h"
@@ -27,8 +28,6 @@ struct QueryEngineOptions {
   int num_threads = 0;
   /// Result-cache entries (0 disables caching).
   size_t cache_capacity = 4096;
-  /// Latency samples retained for percentile reporting.
-  size_t max_latency_samples = 1 << 16;
   /// Uncached queries scored together per (block, shard) work unit. Each
   /// unit runs the shard's cache-blocked batch scan, so larger blocks
   /// amortize corpus memory traffic further but leave fewer units to
@@ -70,7 +69,16 @@ class QueryEngine {
   /// Top-k neighbors for each of `queries` (packed, same bit width as the
   /// corpus). Returns one ascending (distance, id) list per query.
   std::vector<std::vector<index::Neighbor>> Search(
-      const index::PackedCodes& queries, int k);
+      const index::PackedCodes& queries, int k) {
+    return Search(queries, k, obs::TraceContext{});
+  }
+
+  /// Traced form: when `trace` carries a sampled trace id, the search
+  /// records cache-lookup / per-shard scan / merge spans under it.
+  /// Identical results either way; an unsampled context costs nothing.
+  std::vector<std::vector<index::Neighbor>> Search(
+      const index::PackedCodes& queries, int k,
+      const obs::TraceContext& trace);
 
   /// Single-query convenience wrapper over the batched path.
   std::vector<index::Neighbor> SearchOne(const uint64_t* query, int k);
@@ -98,7 +106,15 @@ class QueryEngine {
   /// Drain() the submission runs inline on the caller (still completed,
   /// never dropped).
   ///@{
-  void SubmitBatch(index::PackedCodes queries, int k, BatchCallback done);
+  void SubmitBatch(index::PackedCodes queries, int k, BatchCallback done) {
+    SubmitBatch(std::move(queries), k, obs::TraceContext{}, std::move(done));
+  }
+
+  /// Traced form — the batch's trace context rides along to the
+  /// dispatch thread, so the eventual Search hangs its spans under the
+  /// batch that carried it.
+  void SubmitBatch(index::PackedCodes queries, int k, obs::TraceContext trace,
+                   BatchCallback done);
 
   /// Future-returning convenience wrapper over the callback form. A
   /// batch that fails (killed engine) surfaces as a std::runtime_error
@@ -189,6 +205,7 @@ class QueryEngine {
   struct DispatchTask {
     index::PackedCodes queries;
     int k = 0;
+    obs::TraceContext trace;
     BatchCallback done;
   };
 

@@ -19,6 +19,13 @@ PendingRequest MakeRequest(const uint64_t* words, int num_words, int k) {
   request.words.assign(words, words + std::max(0, num_words));
   request.k = k;
   request.admit_time = std::chrono::steady_clock::now();
+  // Sampling decision happens here, at the pipeline's front door: a
+  // sampled request gets a trace id plus its root "request" span id,
+  // which downstream stages parent their spans under. The batcher
+  // records the root span when the response resolves.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  request.trace.trace_id = recorder.MaybeStartTrace();
+  if (request.trace) request.trace.parent_span = recorder.NewSpanId();
   return request;
 }
 

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "index/neighbor.h"
+#include "obs/trace.h"
 
 namespace uhscm::serve {
 
@@ -25,11 +26,15 @@ struct SearchResponse {
 
 /// One admitted query waiting to be batched: its packed words, the
 /// requested k, the admission timestamp (for time-in-queue accounting),
-/// and the promise the client's future is attached to.
+/// the trace context the sampler assigned at admission (trace_id 0 for
+/// the unsampled majority; parent_span is the root "request" span the
+/// batcher completes when the response resolves), and the promise the
+/// client's future is attached to.
 struct PendingRequest {
   std::vector<uint64_t> words;
   int k = 0;
   std::chrono::steady_clock::time_point admit_time;
+  obs::TraceContext trace;
   std::promise<SearchResponse> promise;
 };
 

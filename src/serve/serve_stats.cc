@@ -5,31 +5,46 @@
 
 namespace uhscm::serve {
 
-ServeStats::ServeStats(size_t max_latency_samples)
-    : max_samples_(std::max<size_t>(1, max_latency_samples)) {}
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+/// Clamps a seconds value into a non-negative nanosecond count.
+int64_t SecondsToNanos(double seconds) {
+  if (seconds <= 0.0) return 0;
+  return static_cast<int64_t>(seconds * 1e9);
+}
+
+/// Derives the latency_*_ms summary fields from a nanosecond histogram.
+void FillLatencyFields(const obs::HistogramSnapshot& hist,
+                       ServeStatsSnapshot* snap) {
+  if (hist.empty()) return;
+  snap->latency_mean_ms = hist.mean() / kNsPerMs;
+  snap->latency_p50_ms =
+      static_cast<double>(hist.ValueAtPercentile(50.0)) / kNsPerMs;
+  snap->latency_p99_ms =
+      static_cast<double>(hist.ValueAtPercentile(99.0)) / kNsPerMs;
+}
+
+}  // namespace
+
+ServeStats::ServeStats() = default;
 
 void ServeStats::RecordBatch(int num_queries, int hits,
                              double elapsed_seconds) {
   if (num_queries <= 0) return;
-  const double per_query_ms = elapsed_seconds * 1e3;
+  // Every query in the batch observes the batch's completion latency;
+  // RecordN folds all of them into the histogram in O(1).
+  latency_ns_.RecordN(SecondsToNanos(elapsed_seconds), num_queries);
   std::lock_guard<std::mutex> lock(mu_);
   queries_ += num_queries;
   batches_ += 1;
   cache_hits_ += hits;
   cache_misses_ += num_queries - hits;
   busy_seconds_ += elapsed_seconds;
-  for (int i = 0; i < num_queries; ++i) {
-    if (latencies_ms_.size() < max_samples_) {
-      latencies_ms_.push_back(per_query_ms);
-    } else {
-      latencies_ms_[next_slot_] = per_query_ms;
-      next_slot_ = (next_slot_ + 1) % max_samples_;
-    }
-  }
 }
 
 ServeStatsSnapshot ServeStats::Snapshot() const {
-  std::vector<double> samples;
   ServeStatsSnapshot snap;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -38,22 +53,17 @@ ServeStatsSnapshot ServeStats::Snapshot() const {
     snap.cache_hits = cache_hits_;
     snap.cache_misses = cache_misses_;
     snap.busy_seconds = busy_seconds_;
-    samples = latencies_ms_;
+    snap.wall_seconds = wall_.ElapsedSeconds();
   }
-  if (!samples.empty()) {
-    double sum = 0.0;
-    for (double s : samples) sum += s;
-    snap.latency_mean_ms = sum / static_cast<double>(samples.size());
-    snap.latency_p99_ms = Percentile(samples, 99.0);
-    snap.latency_p50_ms = Percentile(std::move(samples), 50.0);
-  }
+  snap.latency_hist = latency_ns_.Snapshot();
+  FillLatencyFields(snap.latency_hist, &snap);
   return snap;
 }
 
 void ServeStats::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  latencies_ms_.clear();
-  next_slot_ = 0;
+  latency_ns_.Reset();
+  wall_.Restart();
   queries_ = 0;
   batches_ = 0;
   cache_hits_ = 0;
@@ -88,21 +98,7 @@ std::string BatchSizeBucketLabel(int bucket) {
   return "<=" + std::to_string(1 << bucket);
 }
 
-PipelineStats::PipelineStats(size_t max_latency_samples)
-    : max_samples_(std::max<size_t>(1, max_latency_samples)) {}
-
-namespace {
-/// Bounded ring-buffer append shared by the two sample windows.
-void PushSample(std::vector<double>* samples, size_t* next_slot,
-                size_t max_samples, double value) {
-  if (samples->size() < max_samples) {
-    samples->push_back(value);
-  } else {
-    (*samples)[*next_slot] = value;
-    *next_slot = (*next_slot + 1) % max_samples;
-  }
-}
-}  // namespace
+PipelineStats::PipelineStats() = default;
 
 void PipelineStats::RecordFlush(int batch_size, bool by_timeout) {
   if (batch_size <= 0) return;
@@ -113,12 +109,10 @@ void PipelineStats::RecordFlush(int batch_size, bool by_timeout) {
 
 void PipelineStats::RecordRequestDone(double queue_seconds,
                                       double total_seconds) {
+  queue_wait_ns_.Record(SecondsToNanos(queue_seconds));
+  total_latency_ns_.Record(SecondsToNanos(total_seconds));
   std::lock_guard<std::mutex> lock(mu_);
   requests_done_ += 1;
-  PushSample(&queue_wait_ms_, &next_queue_slot_, max_samples_,
-             queue_seconds * 1e3);
-  PushSample(&total_latency_ms_, &next_total_slot_, max_samples_,
-             total_seconds * 1e3);
 }
 
 void PipelineStats::RecordRejected(int count) {
@@ -128,7 +122,6 @@ void PipelineStats::RecordRejected(int count) {
 }
 
 void PipelineStats::FillSnapshot(ServeStatsSnapshot* snap) const {
-  std::vector<double> queue_waits, totals;
   {
     std::lock_guard<std::mutex> lock(mu_);
     snap->queries = requests_done_;
@@ -137,35 +130,34 @@ void PipelineStats::FillSnapshot(ServeStatsSnapshot* snap) const {
     snap->batches_flushed_by_timeout = flushes_by_timeout_;
     snap->rejected_requests = rejected_;
     snap->batch_size_hist = batch_size_hist_;
-    snap->busy_seconds = wall_.ElapsedSeconds();
-    queue_waits = queue_wait_ms_;
-    totals = total_latency_ms_;
+    snap->wall_seconds = wall_.ElapsedSeconds();
+    // The pipeline overlaps its callers by design; "busy" time equals
+    // elapsed time for throughput purposes.
+    snap->busy_seconds = snap->wall_seconds;
   }
-  if (!totals.empty()) {
-    double sum = 0.0;
-    for (double s : totals) sum += s;
-    snap->latency_mean_ms = sum / static_cast<double>(totals.size());
-    snap->latency_p99_ms = Percentile(totals, 99.0);
-    snap->latency_p50_ms = Percentile(std::move(totals), 50.0);
-  }
-  if (!queue_waits.empty()) {
-    snap->time_in_queue_p99_ms = Percentile(queue_waits, 99.0);
-    snap->time_in_queue_p50_ms = Percentile(std::move(queue_waits), 50.0);
+  snap->latency_hist = total_latency_ns_.Snapshot();
+  FillLatencyFields(snap->latency_hist, snap);
+  snap->queue_wait_hist = queue_wait_ns_.Snapshot();
+  if (!snap->queue_wait_hist.empty()) {
+    snap->time_in_queue_p50_ms =
+        static_cast<double>(snap->queue_wait_hist.ValueAtPercentile(50.0)) /
+        kNsPerMs;
+    snap->time_in_queue_p99_ms =
+        static_cast<double>(snap->queue_wait_hist.ValueAtPercentile(99.0)) /
+        kNsPerMs;
   }
 }
 
 void PipelineStats::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
+  queue_wait_ns_.Reset();
+  total_latency_ns_.Reset();
   wall_.Restart();
   requests_done_ = 0;
   rejected_ = 0;
   flushes_by_size_ = 0;
   flushes_by_timeout_ = 0;
   batch_size_hist_.fill(0);
-  next_queue_slot_ = 0;
-  queue_wait_ms_.clear();
-  next_total_slot_ = 0;
-  total_latency_ms_.clear();
 }
 
 ServeStatsSnapshot AggregateServeStats(
@@ -184,12 +176,69 @@ ServeStatsSnapshot AggregateServeStats(
     agg.compact_rows_reclaimed += snap.compact_rows_reclaimed;
     agg.compaction_ms += snap.compaction_ms;
     agg.busy_seconds += snap.busy_seconds;
+    agg.wall_seconds = std::max(agg.wall_seconds, snap.wall_seconds);
     agg.epoch = std::max(agg.epoch, snap.epoch);
-    agg.latency_p50_ms = std::max(agg.latency_p50_ms, snap.latency_p50_ms);
-    agg.latency_p99_ms = std::max(agg.latency_p99_ms, snap.latency_p99_ms);
-    agg.latency_mean_ms = std::max(agg.latency_mean_ms, snap.latency_mean_ms);
+    agg.queue_depth += snap.queue_depth;
+    agg.batches_flushed_by_size += snap.batches_flushed_by_size;
+    agg.batches_flushed_by_timeout += snap.batches_flushed_by_timeout;
+    agg.rejected_requests += snap.rejected_requests;
+    for (int b = 0; b < kBatchSizeBuckets; ++b) {
+      agg.batch_size_hist[static_cast<size_t>(b)] +=
+          snap.batch_size_hist[static_cast<size_t>(b)];
+    }
+    agg.latency_hist.Merge(snap.latency_hist);
+    agg.queue_wait_hist.Merge(snap.queue_wait_hist);
+  }
+  if (!agg.latency_hist.empty()) {
+    FillLatencyFields(agg.latency_hist, &agg);
+  } else {
+    // No bucket data (hand-built snapshots): fall back to the
+    // conservative worst-replica bound — exact pooled percentiles
+    // cannot be recovered from per-replica summaries.
+    for (const ServeStatsSnapshot& snap : per_replica) {
+      agg.latency_p50_ms = std::max(agg.latency_p50_ms, snap.latency_p50_ms);
+      agg.latency_p99_ms = std::max(agg.latency_p99_ms, snap.latency_p99_ms);
+      agg.latency_mean_ms =
+          std::max(agg.latency_mean_ms, snap.latency_mean_ms);
+    }
+  }
+  if (!agg.queue_wait_hist.empty()) {
+    agg.time_in_queue_p50_ms =
+        static_cast<double>(agg.queue_wait_hist.ValueAtPercentile(50.0)) /
+        1e6;
+    agg.time_in_queue_p99_ms =
+        static_cast<double>(agg.queue_wait_hist.ValueAtPercentile(99.0)) /
+        1e6;
+  } else {
+    for (const ServeStatsSnapshot& snap : per_replica) {
+      agg.time_in_queue_p50_ms =
+          std::max(agg.time_in_queue_p50_ms, snap.time_in_queue_p50_ms);
+      agg.time_in_queue_p99_ms =
+          std::max(agg.time_in_queue_p99_ms, snap.time_in_queue_p99_ms);
+    }
   }
   return agg;
+}
+
+void FillRegistry(const ServeStatsSnapshot& snap, obs::MetricsRegistry* reg) {
+  reg->GetGauge("serve.queries")->Set(snap.queries);
+  reg->GetGauge("serve.batches")->Set(snap.batches);
+  reg->GetGauge("serve.replicas")->Set(snap.replicas);
+  reg->GetGauge("serve.epoch")->Set(static_cast<int64_t>(snap.epoch));
+  reg->GetGauge("cache.hits")->Set(snap.cache_hits);
+  reg->GetGauge("cache.misses")->Set(snap.cache_misses);
+  reg->GetGauge("cache.evictions")->Set(snap.cache_evictions);
+  reg->GetGauge("update.appends")->Set(snap.appends);
+  reg->GetGauge("update.removes")->Set(snap.removes);
+  reg->GetGauge("compact.compactions")->Set(snap.compactions);
+  reg->GetGauge("compact.rows_reclaimed")->Set(snap.compact_rows_reclaimed);
+  reg->GetGauge("compact.total_ms")
+      ->Set(static_cast<int64_t>(snap.compaction_ms));
+  reg->GetGauge("pipeline.queue_depth")->Set(snap.queue_depth);
+  reg->GetGauge("pipeline.flushes_by_size")->Set(snap.batches_flushed_by_size);
+  reg->GetGauge("pipeline.flushes_by_timeout")
+      ->Set(snap.batches_flushed_by_timeout);
+  reg->GetGauge("pipeline.rejected_requests")->Set(snap.rejected_requests);
 }
 
 }  // namespace uhscm::serve

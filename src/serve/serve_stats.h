@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace uhscm::serve {
 
@@ -38,13 +39,23 @@ struct ServeStatsSnapshot {
   int64_t compact_rows_reclaimed = 0;
   double compaction_ms = 0.0;
   uint64_t epoch = 0;
-  /// Wall-clock seconds spent inside Search calls (summed per batch, so
-  /// concurrent callers accumulate their own time).
+  /// Seconds spent inside Search calls, summed per batch. Concurrent
+  /// callers each contribute their own wall time, so this measures
+  /// engine *work*, not elapsed time — it can exceed wall_seconds.
   double busy_seconds = 0.0;
+  /// Wall-clock seconds since the stats object was constructed or
+  /// Reset() — the correct denominator for throughput.
+  double wall_seconds = 0.0;
 
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
+
+  /// Per-query completion-latency distribution in nanoseconds. The
+  /// latency_*_ms fields above are derived from it; it rides along so
+  /// AggregateServeStats can merge buckets across replicas and compute
+  /// pooled percentiles instead of taking the worst replica.
+  obs::HistogramSnapshot latency_hist;
 
   // --- async pipeline counters (all zero when serving synchronously;
   // filled in by Batcher::stats()) ---
@@ -62,6 +73,9 @@ struct ServeStatsSnapshot {
   /// Admission-to-flush wait percentiles.
   double time_in_queue_p50_ms = 0.0;
   double time_in_queue_p99_ms = 0.0;
+  /// Admission-to-flush wait distribution in nanoseconds (mergeable,
+  /// like latency_hist).
+  obs::HistogramSnapshot queue_wait_hist;
   /// Replica count this snapshot aggregates over (0 = single engine).
   int replicas = 0;
 
@@ -69,10 +83,23 @@ struct ServeStatsSnapshot {
     const int64_t total = cache_hits + cache_misses;
     return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
   }
-  /// Throughput over the time the engine was actually searching.
+  /// Throughput over wall-clock time — queries per elapsed second. This
+  /// is what "QPS" means under concurrent callers; busy_seconds would
+  /// double-count their overlapping wall time and deflate it.
   double qps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(queries) / wall_seconds
+                              : 0.0;
+  }
+  /// Queries per engine-busy second: per-query service cost, the old
+  /// qps() semantics. Equals qps() for a single sequential caller.
+  double busy_qps() const {
     return busy_seconds > 0.0 ? static_cast<double>(queries) / busy_seconds
                               : 0.0;
+  }
+  /// Fraction of wall time spent searching. Exceeds 1 when callers
+  /// overlap (it counts per-caller busy time against shared wall time).
+  double utilization() const {
+    return wall_seconds > 0.0 ? busy_seconds / wall_seconds : 0.0;
   }
 };
 
@@ -80,29 +107,28 @@ struct ServeStatsSnapshot {
 ///
 /// Every Search batch reports its wall time once; each query in the batch
 /// observes the batch's completion latency (what a caller of the batched
-/// API experiences). Latency samples are capped to bound memory on
-/// long-lived servers; counters are exact.
+/// API experiences). Latencies accumulate in an O(1)-record log-linear
+/// histogram (~3% relative resolution, fixed memory) — Snapshot() walks
+/// buckets, it never sorts samples.
 class ServeStats {
  public:
-  /// \param max_latency_samples cap on retained per-query samples (the
-  ///        percentile window); older samples are dropped oldest-first.
-  explicit ServeStats(size_t max_latency_samples = 1 << 16);
+  ServeStats();
 
   /// Records one completed batch: n queries answered in elapsed_seconds,
   /// of which `hits` came from the result cache.
   void RecordBatch(int num_queries, int hits, double elapsed_seconds);
 
-  /// Computes a snapshot (percentiles sort a copy of the sample window).
+  /// Computes a snapshot. Percentiles come from histogram buckets
+  /// (no sort, no retained samples).
   ServeStatsSnapshot Snapshot() const;
 
-  /// Zeroes all counters and samples.
+  /// Zeroes all counters and restarts the wall clock.
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  size_t max_samples_;
-  size_t next_slot_ = 0;  // ring-buffer cursor once the window is full
-  std::vector<double> latencies_ms_;
+  mutable std::mutex mu_;  // scalar counters only; the histogram is lock-free
+  Stopwatch wall_;
+  obs::Histogram latency_ns_;
   int64_t queries_ = 0;
   int64_t batches_ = 0;
   int64_t cache_hits_ = 0;
@@ -111,7 +137,8 @@ class ServeStats {
 };
 
 /// Percentile (p in [0,100]) of a sample vector; 0 when empty. Sorts a
-/// copy — callers on the hot path should snapshot sparingly.
+/// copy — kept for benches and tests that pool raw samples; the serving
+/// path itself uses histogram buckets.
 double Percentile(std::vector<double> samples, double p);
 
 /// Histogram bucket for a flushed batch of `size` queries.
@@ -126,12 +153,12 @@ std::string BatchSizeBucketLabel(int bucket);
 /// client experiences, queue wait included).
 ///
 /// FillSnapshot writes the pipeline fields of a ServeStatsSnapshot plus
-/// the latency/throughput fields from its own end-to-end samples;
-/// busy_seconds is the wall time since construction or Reset(), so
-/// qps() reports true pipeline throughput, not summed latencies.
+/// the latency/throughput fields from its own end-to-end histograms;
+/// wall_seconds is the time since construction or Reset(), so qps()
+/// reports true pipeline throughput.
 class PipelineStats {
  public:
-  explicit PipelineStats(size_t max_latency_samples = 1 << 16);
+  PipelineStats();
 
   /// Records one flushed batch and why it flushed.
   void RecordFlush(int batch_size, bool by_timeout);
@@ -150,29 +177,34 @@ class PipelineStats {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  size_t max_samples_;
-  Stopwatch wall_;  // restarted by Reset(); powers the snapshot's qps()
+  mutable std::mutex mu_;  // scalar counters; histograms are lock-free
+  Stopwatch wall_;
+  obs::Histogram queue_wait_ns_;
+  obs::Histogram total_latency_ns_;
   int64_t requests_done_ = 0;
   int64_t rejected_ = 0;
   int64_t flushes_by_size_ = 0;
   int64_t flushes_by_timeout_ = 0;
   std::array<int64_t, kBatchSizeBuckets> batch_size_hist_{};
-  size_t next_queue_slot_ = 0;
-  std::vector<double> queue_wait_ms_;
-  size_t next_total_slot_ = 0;
-  std::vector<double> total_latency_ms_;
 };
 
 /// Sums per-replica engine snapshots into one corpus-wide view: counters
-/// add, busy_seconds add (so qps() stays "queries per engine-busy
-/// second"), epoch takes the max (replicas are update-coherent, so they
-/// agree outside an in-flight fan-out), and latency percentiles take the
-/// worst replica — a conservative bound, since exact percentiles cannot
-/// be recovered from per-replica summaries. `replicas` is set to the
-/// input count.
+/// add; busy_seconds add (total engine work) while wall_seconds takes
+/// the max (replicas run concurrently over the same elapsed time);
+/// epoch takes the max (replicas are update-coherent, so they agree
+/// outside an in-flight fan-out). Latency percentiles are computed from
+/// the *merged* latency histograms — bucket counts add exactly, so the
+/// result matches pooled-sample percentiles within bucket resolution.
+/// Snapshots without histogram data (hand-built, or from older captures)
+/// fall back to the conservative worst-replica percentile bound.
+/// `replicas` is set to the input count.
 ServeStatsSnapshot AggregateServeStats(
     const std::vector<ServeStatsSnapshot>& per_replica);
+
+/// Publishes a snapshot's counters into a registry as gauges
+/// (`serve.*`, `cache.*`, `update.*`, `compact.*`, `pipeline.*`) so the
+/// printed stats dump and --metrics-json export come from one source.
+void FillRegistry(const ServeStatsSnapshot& snap, obs::MetricsRegistry* reg);
 
 }  // namespace uhscm::serve
 

@@ -10,9 +10,11 @@
 //     as by-size, stragglers flush by timeout).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -799,6 +801,56 @@ TEST(ServeStatsTest, BatchSizeBucketsAndLabels) {
   EXPECT_EQ(BatchSizeBucket(1 << 12), kBatchSizeBuckets - 1);
   EXPECT_EQ(BatchSizeBucketLabel(0), "1");
   EXPECT_EQ(BatchSizeBucketLabel(2), "<=4");
+}
+
+TEST(ServeStatsTest, BatchSizeBucketBoundaries) {
+  // Every power-of-two boundary: 2^b is the largest size in bucket b,
+  // and 2^b + 1 spills into the next bucket (clamped at the last).
+  for (int b = 1; b < kBatchSizeBuckets; ++b) {
+    EXPECT_EQ(BatchSizeBucket(1 << b), std::min(b, kBatchSizeBuckets - 1))
+        << "size=2^" << b;
+    EXPECT_EQ(BatchSizeBucket((1 << b) + 1),
+              std::min(b + 1, kBatchSizeBuckets - 1))
+        << "size=2^" << b << "+1";
+  }
+  // Degenerate and overflow sizes clamp instead of indexing out of range.
+  EXPECT_EQ(BatchSizeBucket(0), 0);
+  EXPECT_EQ(BatchSizeBucket(-5), 0);
+  EXPECT_EQ(BatchSizeBucket(std::numeric_limits<int>::max() / 2),
+            kBatchSizeBuckets - 1);
+  // Labels at the edges: bucket 1 is exactly "2", the final bucket is
+  // open-ended, and out-of-range bucket indices reuse the edge labels.
+  EXPECT_EQ(BatchSizeBucketLabel(1), "2");
+  EXPECT_EQ(BatchSizeBucketLabel(kBatchSizeBuckets - 1),
+            ">" + std::to_string(1 << (kBatchSizeBuckets - 2)));
+  EXPECT_EQ(BatchSizeBucketLabel(-1), "1");
+  EXPECT_EQ(BatchSizeBucketLabel(kBatchSizeBuckets + 5),
+            BatchSizeBucketLabel(kBatchSizeBuckets - 1));
+}
+
+TEST(ServeStatsTest, AggregateServeStatsEmptyAndSingle) {
+  // Empty input: a well-formed all-zero snapshot, not a crash or NaN.
+  const ServeStatsSnapshot none = AggregateServeStats({});
+  EXPECT_EQ(none.replicas, 0);
+  EXPECT_EQ(none.queries, 0);
+  EXPECT_DOUBLE_EQ(none.qps(), 0.0);
+  EXPECT_DOUBLE_EQ(none.latency_p99_ms, 0.0);
+  EXPECT_TRUE(none.latency_hist.empty());
+
+  // Single replica: aggregation is the identity (histogram included).
+  ServeStats stats;
+  stats.RecordBatch(4, 1, 0.010);
+  stats.RecordBatch(2, 0, 0.030);
+  const ServeStatsSnapshot snap = stats.Snapshot();
+  const ServeStatsSnapshot agg = AggregateServeStats({snap});
+  EXPECT_EQ(agg.replicas, 1);
+  EXPECT_EQ(agg.queries, snap.queries);
+  EXPECT_EQ(agg.cache_hits, snap.cache_hits);
+  EXPECT_DOUBLE_EQ(agg.busy_seconds, snap.busy_seconds);
+  EXPECT_DOUBLE_EQ(agg.wall_seconds, snap.wall_seconds);
+  EXPECT_DOUBLE_EQ(agg.latency_p50_ms, snap.latency_p50_ms);
+  EXPECT_DOUBLE_EQ(agg.latency_p99_ms, snap.latency_p99_ms);
+  EXPECT_EQ(agg.latency_hist.total, snap.latency_hist.total);
 }
 
 TEST(ServeStatsTest, PipelineStatsFillAndAggregate) {

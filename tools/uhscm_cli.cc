@@ -53,18 +53,24 @@
 // reproducible from (dataset, seed, scale) alone — no data files needed.
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <future>
 #include <iostream>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
 #include "common/table_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "core/trainer.h"
 #include "data/concept_vocab.h"
 #include "data/synthetic.h"
@@ -106,6 +112,14 @@ struct Flags {
   std::string save_snapshot;
   double compact_threshold = 0.0;  // 0 = auto-compaction off
   bool compact = false;
+  // Observability (serve): metrics JSON dump path (periodic + on-exit),
+  // Chrome trace output, 1-in-N request sampling, periodic one-line
+  // stats report, and the slow-query log threshold.
+  std::string metrics_json;
+  std::string trace_out;
+  int trace_sample = 0;  // 0 = tracing off; N traces 1 in N requests
+  int64_t report_interval_ms = 0;  // 0 = no periodic report
+  double slow_query_ms = 0.0;      // 0 = no slow-query log
 };
 
 int Usage() {
@@ -117,7 +131,10 @@ int Usage() {
                "[--batch-max=B] [--batch-timeout-us=T] [--route=rr|least] "
                "[--backend=scan|mih] [--append=PATH] "
                "[--delete-ids=1,5,10-20] [--compact] "
-               "[--compact-threshold=F] [--save-snapshot=PATH]\n");
+               "[--compact-threshold=F] [--save-snapshot=PATH] "
+               "[--metrics-json=PATH] [--trace-out=PATH] "
+               "[--trace-sample=1/N] [--report-interval-ms=N] "
+               "[--slow-query-ms=F]\n");
   return 2;
 }
 
@@ -231,6 +248,23 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       }
     } else if (arg == "--compact") {
       flags->compact = true;
+    } else if (StartsWith(arg, "--metrics-json=")) {
+      flags->metrics_json = arg.substr(15);
+    } else if (StartsWith(arg, "--trace-out=")) {
+      flags->trace_out = arg.substr(12);
+    } else if (StartsWith(arg, "--trace-sample=")) {
+      // Accepts "1/N" (the documented form) or bare "N".
+      const char* value = arg.c_str() + 15;
+      if (value[0] == '1' && value[1] == '/') value += 2;
+      flags->trace_sample = std::atoi(value);
+      if (flags->trace_sample < 0) {
+        std::fprintf(stderr, "--trace-sample must be 1/N with N >= 1\n");
+        return false;
+      }
+    } else if (StartsWith(arg, "--report-interval-ms=")) {
+      flags->report_interval_ms = std::atoll(arg.c_str() + 21);
+    } else if (StartsWith(arg, "--slow-query-ms=")) {
+      flags->slow_query_ms = std::atof(arg.c_str() + 16);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -511,6 +545,56 @@ int CmdServe(const Flags& flags) {
   batcher_options.timeout_us = flags.batch_timeout_us;
   serve::Batcher batcher(&router, batcher_options);
 
+  // Tracing: arm the sampler before any request is admitted. Asking for
+  // a trace file without a rate means "trace everything".
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  if (flags.trace_sample > 0 || !flags.trace_out.empty()) {
+    recorder.SetSampleEvery(
+        flags.trace_sample > 0 ? static_cast<uint32_t>(flags.trace_sample)
+                               : 1);
+  }
+
+  // Publishes a snapshot's counters into the registry and, when
+  // --metrics-json is set, writes the registry there — the same payload
+  // the unified dump prints at exit.
+  auto export_metrics = [&](const serve::ServeStatsSnapshot& snap) {
+    serve::FillRegistry(snap, &registry);
+    if (flags.metrics_json.empty()) return;
+    if (std::FILE* f = std::fopen(flags.metrics_json.c_str(), "w")) {
+      const std::string json = registry.DumpJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "serve: cannot write --metrics-json=%s\n",
+                   flags.metrics_json.c_str());
+    }
+  };
+
+  // Periodic one-line stats report (plus a metrics-json refresh) on a
+  // timer thread; stopped before drain.
+  std::mutex report_mu;
+  std::condition_variable report_cv;
+  bool report_stop = false;
+  std::thread reporter;
+  if (flags.report_interval_ms > 0) {
+    reporter = std::thread([&] {
+      std::unique_lock<std::mutex> lock(report_mu);
+      while (!report_cv.wait_for(
+          lock, std::chrono::milliseconds(flags.report_interval_ms),
+          [&] { return report_stop; })) {
+        const serve::ServeStatsSnapshot s = batcher.stats();
+        std::printf(
+            "[serve] qps=%.1f p50=%.3fms p99=%.3fms hit=%.2f depth=%lld "
+            "epoch=%llu\n",
+            s.qps(), s.latency_p50_ms, s.latency_p99_ms, s.hit_rate(),
+            static_cast<long long>(s.queue_depth),
+            static_cast<unsigned long long>(s.epoch));
+        export_metrics(s);
+      }
+    });
+  }
+
   const serve::QueryEngine& engine0 = *replicas.replica(0);
   std::printf(
       "serving %d live / %d total codes @ %d bits: %d replicas x %d shards "
@@ -620,28 +704,35 @@ int CmdServe(const Flags& flags) {
         engine0.index().size(), engine0.index().total_size());
     updated = updated || stats.rows_reclaimed > 0;
   }
-  // Report compaction work done by the admin ops (manual --compact and
-  // any auto-compaction the deletes triggered) before the post-update
-  // pass resets the per-pass counters.
-  if (const serve::ServeStatsSnapshot agg = batcher.stats();
-      agg.compactions > 0) {
-    std::printf("compactions: %lld shard(s), %lld row(s) reclaimed, "
-                "%.2f ms total (all replicas)\n",
-                static_cast<long long>(agg.compactions),
-                static_cast<long long>(agg.compact_rows_reclaimed),
-                agg.compaction_ms);
-  }
+  // Capture the admin ops' mutation/compaction counters before the
+  // post-update pass resets them; the unified dump below folds them back
+  // in so the run's compaction work is reported exactly once.
+  const serve::ServeStatsSnapshot admin_snap = batcher.stats();
   if (updated && !replay_pass("post-update")) return 1;
   table.Print(std::cout);
 
-  std::printf("queue depth now: %lld | batch size histogram:",
-              static_cast<long long>(batcher.stats().queue_depth));
+  // One unified registry dump replaces the old hand-formatted
+  // compaction / cache / pipeline blocks: the printed counters and the
+  // --metrics-json export now come from the same registry, so they
+  // cannot drift apart. (The admin-op counters were reset by the
+  // post-update pass; take the max so they survive into the dump.)
+  serve::ServeStatsSnapshot final_snap = batcher.stats();
+  final_snap.appends = std::max(final_snap.appends, admin_snap.appends);
+  final_snap.removes = std::max(final_snap.removes, admin_snap.removes);
+  final_snap.compactions =
+      std::max(final_snap.compactions, admin_snap.compactions);
+  final_snap.compact_rows_reclaimed = std::max(
+      final_snap.compact_rows_reclaimed, admin_snap.compact_rows_reclaimed);
+  final_snap.compaction_ms =
+      std::max(final_snap.compaction_ms, admin_snap.compaction_ms);
   for (int b = 0; b < serve::kBatchSizeBuckets; ++b) {
-    if (hist_total[static_cast<size_t>(b)] == 0) continue;
-    std::printf(" %s:%lld", serve::BatchSizeBucketLabel(b).c_str(),
-                static_cast<long long>(hist_total[static_cast<size_t>(b)]));
+    registry
+        .GetGauge("pipeline.batch_size_" +
+                  serve::BatchSizeBucketLabel(b))
+        ->Set(hist_total[static_cast<size_t>(b)]);
   }
-  std::printf("\n");
+  export_metrics(final_snap);
+  std::printf("--- metrics ---\n%s", registry.DumpText().c_str());
   if (replicas.num_replicas() > 1) {
     // routed_batches counts the whole run; the engine columns cover the
     // final pass (per-pass resets scope the main table above).
@@ -676,10 +767,36 @@ int CmdServe(const Flags& flags) {
                 engine0.index().size(), engine0.index().total_size(),
                 flags.save_snapshot.c_str());
   }
-  // Orderly exit: reject new work, resolve anything still queued, wait
-  // for in-flight batches — then the replicas (and their pools) tear
-  // down with nothing in flight.
+  // Orderly exit: stop the reporter, reject new work, resolve anything
+  // still queued, wait for in-flight batches — then the replicas (and
+  // their pools) tear down with nothing in flight.
+  if (reporter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(report_mu);
+      report_stop = true;
+    }
+    report_cv.notify_all();
+    reporter.join();
+  }
   batcher.Drain();
+
+  // Trace export + slow-query log after the drain so every span of the
+  // run (including in-flight batches at shutdown) is in the ring.
+  if (!flags.trace_out.empty()) {
+    if (Status st = recorder.WriteChromeTrace(flags.trace_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu trace span(s) -> %s\n", recorder.size(),
+                flags.trace_out.c_str());
+  }
+  if (flags.slow_query_ms > 0.0) {
+    const std::string log = recorder.SlowQueryLog(flags.slow_query_ms, 10);
+    std::printf("--- slow queries (>= %.3f ms) ---\n%s",
+                flags.slow_query_ms, log.empty() ? "(none)\n" : log.c_str());
+  }
+  // Final metrics refresh so the on-exit JSON includes shutdown counts.
+  export_metrics(final_snap);
   return 0;
 }
 
