@@ -23,6 +23,12 @@ enum class StatusCode {
   /// would succeed. Returned by the serve pipeline for submissions that
   /// arrive after (or survive until) a drain.
   kUnavailable,
+  /// The request's deadline passed before it could be served. The work
+  /// was never dispatched (or its result discarded) — retrying with a
+  /// fresh deadline may succeed, but retrying *this* request is futile
+  /// by definition. Returned by the serve pipeline's batcher for
+  /// requests that expire while queued.
+  kDeadlineExceeded,
 };
 
 /// \brief Lightweight success/error value returned by fallible operations.
@@ -60,6 +66,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

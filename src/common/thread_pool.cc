@@ -77,8 +77,12 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
     {
       std::lock_guard<std::mutex> lock(done_mu);
       ++done;
+      // Notify under the lock: the waiter owns done_cv on its stack and
+      // may destroy it the moment it observes done == jobs, so the
+      // signal must complete before this thread releases done_mu (the
+      // waiter cannot return from wait() until it reacquires it).
+      done_cv.notify_one();
     }
-    done_cv.notify_one();
   };
 
   const int jobs = std::min(chunks, nthreads);

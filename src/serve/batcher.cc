@@ -1,12 +1,10 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
-#include <chrono>
-#include <map>
-#include <memory>
 #include <utility>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace uhscm::serve {
 
@@ -18,7 +16,56 @@ std::future<SearchResponse> ReadyResponse(Status status) {
   return promise.get_future();
 }
 
+/// Closes each sampled request's root "request" span — admission to
+/// response, the latency its client actually observed.
+void CloseRequestSpans(const std::vector<PendingRequest>& requests,
+                       std::chrono::steady_clock::time_point now) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  for (const PendingRequest& request : requests) {
+    if (request.trace) {
+      recorder.RecordSpan(request.trace.trace_id, request.trace.parent_span, 0,
+                          "request", recorder.ToMicros(request.admit_time),
+                          recorder.ToMicros(now), {{"k", request.k}});
+    }
+  }
+}
+
 }  // namespace
+
+/// One dispatched per-k group. `queries`, `k`, `trace`, `requests`, and
+/// `queue_waits` are written once by the flush thread before the first
+/// dispatch and read-only afterwards; the resolution state below `mu` is
+/// what the primary callback, retry re-dispatches, the hedge timer, and
+/// the hedge callback race over.
+struct Batcher::GroupState {
+  index::PackedCodes queries;
+  int k = 0;
+  obs::TraceContext trace;
+  std::vector<PendingRequest> requests;
+  std::vector<double> queue_waits;
+  /// Earliest member deadline — retries must finish before it.
+  std::chrono::steady_clock::time_point min_deadline =
+      std::chrono::steady_clock::time_point::max();
+  bool has_deadline = false;
+
+  std::mutex mu;
+  /// A completion won (promises set) or the final failure was recorded.
+  bool resolved = false;  // under mu
+  /// Dispatch attempts (primary + hedge) whose callback hasn't returned.
+  int outstanding = 0;  // under mu
+  /// Primary dispatch attempts made so far.
+  int attempts = 0;  // under mu
+  /// Hedge already issued (or the hedge slot consumed) — at most one.
+  bool hedged = false;  // under mu
+  /// Cleared when routing found every replica dead: retrying cannot
+  /// help until a respawn lands, so the group fails immediately.
+  bool retryable = true;  // under mu
+  /// The replica the latest primary attempt landed on — the hedge
+  /// excludes it.
+  int last_replica = -1;  // under mu
+  /// The group's inflight slot was released (exactly once).
+  bool settled = false;  // under mu
+};
 
 Batcher::Batcher(Router* router, const BatcherOptions& options)
     : router_(router),
@@ -34,16 +81,26 @@ Batcher::Batcher(Router* router, const BatcherOptions& options)
                  ? options.queue_capacity
                  : static_cast<size_t>(std::max(1, options.max_batch)) * 8 *
                        static_cast<size_t>(
-                           router->replicas()->num_replicas())) {
+                           router->replicas()->num_replicas())),
+      jitter_rng_(options.jitter_seed) {
   options_.max_batch = std::max(1, options_.max_batch);
   options_.timeout_us = std::max<int64_t>(1, options_.timeout_us);
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.retry_backoff_us = std::max<int64_t>(0, options_.retry_backoff_us);
+  options_.hedge_budget = std::clamp(options_.hedge_budget, 0.0, 1.0);
+  options_.hedge_delay_us = std::max<int64_t>(0, options_.hedge_delay_us);
   flush_thread_ = std::thread([this] { FlushLoop(); });
+  if (options_.hedge_budget > 0.0 &&
+      router_->replicas()->num_replicas() > 1) {
+    hedge_thread_ = std::thread([this] { HedgeLoop(); });
+  }
 }
 
 Batcher::~Batcher() { Drain(); }
 
-std::future<SearchResponse> Batcher::Submit(const uint64_t* words,
-                                            int num_words, int k) {
+std::future<SearchResponse> Batcher::Submit(
+    const uint64_t* words, int num_words, int k,
+    std::chrono::steady_clock::time_point deadline) {
   if (num_words != words_per_code_) {
     return ReadyResponse(Status::InvalidArgument(
         "Batcher::Submit: query word count does not match the corpus code "
@@ -52,12 +109,13 @@ std::future<SearchResponse> Batcher::Submit(const uint64_t* words,
   // A drained batcher's queue is closed, so the queue rejects (and
   // counts) the submission — no separate pre-check, which would race
   // with a concurrent Drain and miss the rejection counter.
-  return queue_.Submit(words, num_words, k);
+  return queue_.Submit(words, num_words, k, deadline);
 }
 
-std::future<SearchResponse> Batcher::Submit(const index::PackedCodes& queries,
-                                            int q, int k) {
-  return Submit(queries.code(q), queries.words_per_code(), k);
+std::future<SearchResponse> Batcher::Submit(
+    const index::PackedCodes& queries, int q, int k,
+    std::chrono::steady_clock::time_point deadline) {
+  return Submit(queries.code(q), queries.words_per_code(), k, deadline);
 }
 
 void Batcher::FlushLoop() {
@@ -91,14 +149,48 @@ void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
     }
   }
 
+  // Deadline enforcement at the dispatch boundary: a request whose
+  // deadline already passed resolves kDeadlineExceeded here instead of
+  // occupying replica time its client has stopped waiting for.
+  std::vector<PendingRequest> live;
+  std::vector<PendingRequest> expired;
+  live.reserve(batch.size());
+  for (PendingRequest& request : batch) {
+    if (request.has_deadline() && flush_time >= request.deadline) {
+      if (request.trace) {
+        recorder.RecordSpan(request.trace.trace_id, request.trace.parent_span,
+                            0, "request", recorder.ToMicros(request.admit_time),
+                            recorder.ToMicros(flush_time),
+                            {{"k", request.k}});
+      }
+      expired.push_back(std::move(request));
+      continue;
+    }
+    live.push_back(std::move(request));
+  }
+  if (!expired.empty()) {
+    // Count before resolving: a client woken by the promise must see its
+    // expiry already reflected in stats().
+    pipeline_stats_.RecordDeadlineExceeded(static_cast<int>(expired.size()));
+    for (PendingRequest& request : expired) {
+      request.promise.set_value(SearchResponse{
+          Status::DeadlineExceeded(
+              "deadline passed while the request waited to be batched"),
+          {}});
+    }
+  }
+  if (live.empty()) return;
+
   // The engine API carries one k per Search call, so a mixed-k flush
   // dispatches one packed batch per distinct k (request order preserved
   // within each group; under homogeneous traffic this is one group).
   std::map<int, std::vector<size_t>> groups;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    groups[batch[i].k].push_back(i);
+  for (size_t i = 0; i < live.size(); ++i) {
+    groups[live[i].k].push_back(i);
   }
 
+  const bool hedging = options_.hedge_budget > 0.0 &&
+                       router_->replicas()->num_replicas() > 1;
   for (auto& [k, members] : groups) {
     // The group's spans (batch assembly, route, the engine's search)
     // hang under the first sampled request in the group — one traced
@@ -106,36 +198,40 @@ void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
     // recording the shared stages once per member.
     obs::TraceContext group_ctx;
     for (size_t i : members) {
-      if (batch[i].trace) {
-        group_ctx = batch[i].trace;
+      if (live[i].trace) {
+        group_ctx = live[i].trace;
         break;
       }
     }
 
-    auto group = std::make_shared<std::vector<PendingRequest>>();
-    group->reserve(members.size());
-    auto queue_waits = std::make_shared<std::vector<double>>();
-    queue_waits->reserve(members.size());
+    auto state = std::make_shared<GroupState>();
+    state->k = k;
+    state->trace = group_ctx;
+    state->requests.reserve(members.size());
+    state->queue_waits.reserve(members.size());
     std::vector<uint64_t> words;
     words.reserve(members.size() * static_cast<size_t>(words_per_code_));
-    index::PackedCodes queries;
     {
       obs::ScopedSpan batch_span(&recorder, group_ctx, "batch");
       batch_span.AddAttr("size", static_cast<int64_t>(members.size()));
       batch_span.AddAttr("k", k);
       for (size_t i : members) {
-        words.insert(words.end(), batch[i].words.begin(),
-                     batch[i].words.end());
-        queue_waits->push_back(std::chrono::duration<double>(
-                                   flush_time - batch[i].admit_time)
-                                   .count());
-        group->push_back(std::move(batch[i]));
+        words.insert(words.end(), live[i].words.begin(),
+                     live[i].words.end());
+        state->queue_waits.push_back(std::chrono::duration<double>(
+                                         flush_time - live[i].admit_time)
+                                         .count());
+        if (live[i].has_deadline()) {
+          state->has_deadline = true;
+          state->min_deadline = std::min(state->min_deadline,
+                                         live[i].deadline);
+        }
+        state->requests.push_back(std::move(live[i]));
       }
-      queries = index::PackedCodes::FromRawWords(
-          static_cast<int>(group->size()), bits_, std::move(words));
+      state->queries = index::PackedCodes::FromRawWords(
+          static_cast<int>(state->requests.size()), bits_, std::move(words));
     }
 
-    QueryEngine* engine = nullptr;
     {
       obs::ScopedSpan route_span(&recorder, group_ctx, "route");
       // End-to-end backpressure: don't let batches pile up in the
@@ -143,62 +239,261 @@ void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
       // queue, which in turn blocks Submit — overload surfaces at the
       // front door, and the router always sees genuine (bounded)
       // per-replica load. The wait is part of the route span: time spent
-      // here is time spent finding a replica with capacity.
-      {
-        std::unique_lock<std::mutex> lock(inflight_mu_);
-        inflight_cv_.wait(lock, [this] {
-          return inflight_batches_.load(std::memory_order_relaxed) <
-                 max_inflight_batches_;
-        });
-        inflight_batches_.fetch_add(1, std::memory_order_relaxed);
-      }
-      engine = router_->Pick();
-      route_span.AddAttr("inflight", engine->inflight());
+      // here is time spent finding a replica with capacity. The slot is
+      // held until the group *settles* (wins, finally fails, and every
+      // retry/hedge callback has returned), so retries and hedges ride
+      // the original slot instead of multiplying inflight work.
+      std::unique_lock<std::mutex> lock(inflight_mu_);
+      inflight_cv_.wait(lock, [this] {
+        return inflight_batches_.load(std::memory_order_relaxed) <
+               max_inflight_batches_;
+      });
+      inflight_batches_.fetch_add(1, std::memory_order_relaxed);
     }
-    engine->SubmitBatch(
-        std::move(queries), k, group_ctx,
-        [this, group, queue_waits](
-            Status status, std::vector<std::vector<index::Neighbor>> results) {
-          const auto now = std::chrono::steady_clock::now();
-          // Close each sampled member's root "request" span — admission
-          // to response, the latency its client actually observed.
-          obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
-          for (const PendingRequest& request : *group) {
-            if (request.trace) {
-              recorder.RecordSpan(request.trace.trace_id,
-                                  request.trace.parent_span, 0, "request",
-                                  recorder.ToMicros(request.admit_time),
-                                  recorder.ToMicros(now), {{"k", request.k}});
-            }
-          }
-          if (!status.ok()) {
-            // The replica died under this batch (killed mid-stream):
-            // every member's future resolves with the failure status —
-            // never dropped — and the rejection is counted. The
-            // engine-side in-flight decrement happens after this
-            // callback returns, so the batcher's and the router's
-            // accounting both return to zero.
-            for (PendingRequest& request : *group) {
-              request.promise.set_value(SearchResponse{status, {}});
-            }
-            pipeline_stats_.RecordRejected(static_cast<int>(group->size()));
-          } else {
-            for (size_t i = 0; i < group->size(); ++i) {
-              PendingRequest& request = (*group)[i];
-              pipeline_stats_.RecordRequestDone(
-                  (*queue_waits)[i],
-                  std::chrono::duration<double>(now - request.admit_time)
-                      .count());
-              request.promise.set_value(
-                  SearchResponse{Status::OK(), std::move(results[i])});
-            }
-          }
-          {
-            std::lock_guard<std::mutex> lock(inflight_mu_);
-            inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
-          }
-          inflight_cv_.notify_all();
-        });
+    groups_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    state->attempts = 1;
+    state->outstanding = 1;
+    DispatchGroup(state, /*is_hedge=*/false);
+    if (hedging) ScheduleHedge(state);
+  }
+}
+
+void Batcher::DispatchGroup(const std::shared_ptr<GroupState>& group,
+                            bool is_hedge) {
+  const int r = router_->Route();
+  if (r < 0) {
+    // Every replica is dead: nothing a retry could route to until a
+    // respawn lands, so the group fails immediately (the ISSUE's
+    // all-dead fast-fail) instead of burning backoff on a lost cause.
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      group->retryable = false;
+    }
+    OnGroupCompletion(
+        group, is_hedge,
+        Status::Unavailable("no live replica — every replica is dead"), {});
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    group->last_replica = r;
+  }
+  QueryEngine* engine = router_->replicas()->replica(r);
+  std::shared_ptr<GroupState> self = group;
+  engine->SubmitBatch(
+      index::PackedCodes(group->queries), group->k, group->trace,
+      [this, self, is_hedge](
+          Status status, std::vector<std::vector<index::Neighbor>> results) {
+        OnGroupCompletion(self, is_hedge, std::move(status),
+                          std::move(results));
+      });
+}
+
+void Batcher::OnGroupCompletion(
+    const std::shared_ptr<GroupState>& group, bool is_hedge, Status status,
+    std::vector<std::vector<index::Neighbor>> results) {
+  enum class Action { kNone, kWin, kFail, kRetry };
+  Action action = Action::kNone;
+  bool settle = false;
+  std::chrono::microseconds backoff{0};
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    group->outstanding -= 1;
+    if (status.ok()) {
+      // First successful completion wins; a later one (the hedge's
+      // loser — byte-identical results anyway) is discarded here.
+      if (!group->resolved) {
+        group->resolved = true;
+        action = Action::kWin;
+      }
+    } else if (!group->resolved && group->outstanding == 0) {
+      // The last in-flight attempt failed. Retry on a surviving replica
+      // unless attempts are exhausted, routing already proved every
+      // replica dead, or the backoff would overrun the group's earliest
+      // deadline — a retry that cannot finish in time only wastes a
+      // replica.
+      bool can_retry =
+          group->retryable && group->attempts < options_.max_attempts;
+      if (can_retry) {
+        backoff = RetryBackoff(group->attempts);
+        if (group->has_deadline &&
+            std::chrono::steady_clock::now() + backoff >=
+                group->min_deadline) {
+          can_retry = false;
+        }
+      }
+      if (can_retry) {
+        group->attempts += 1;
+        group->outstanding += 1;
+        action = Action::kRetry;
+      } else {
+        group->resolved = true;
+        action = Action::kFail;
+      }
+    }
+    // The group settles — releases its inflight slot, exactly once —
+    // when it is resolved and the last outstanding callback has
+    // returned.
+    settle = group->resolved && group->outstanding == 0 && !group->settled;
+    if (settle) group->settled = true;
+  }
+
+  // Counters are recorded *before* the promises resolve: a client woken
+  // by its future must already see its outcome reflected in stats().
+  if (action == Action::kWin) {
+    const auto now = std::chrono::steady_clock::now();
+    CloseRequestSpans(group->requests, now);
+    if (is_hedge) pipeline_stats_.RecordHedgeWin();
+    for (size_t i = 0; i < group->requests.size(); ++i) {
+      PendingRequest& request = group->requests[i];
+      pipeline_stats_.RecordRequestDone(
+          group->queue_waits[i],
+          std::chrono::duration<double>(now - request.admit_time).count());
+      request.promise.set_value(
+          SearchResponse{Status::OK(), std::move(results[i])});
+    }
+  } else if (action == Action::kFail) {
+    // Every member's future resolves with the failure status — never
+    // dropped — and the rejection is counted.
+    CloseRequestSpans(group->requests, std::chrono::steady_clock::now());
+    pipeline_stats_.RecordRejected(static_cast<int>(group->requests.size()));
+    for (PendingRequest& request : group->requests) {
+      request.promise.set_value(SearchResponse{status, {}});
+    }
+  } else if (action == Action::kRetry) {
+    pipeline_stats_.RecordRetry();
+    // The backoff runs on whichever thread delivered the failure (the
+    // flush thread for an inline dead-engine rejection, the dead
+    // engine's dispatch thread for a mid-stream kill) — bounded by
+    // max_attempts doublings of a sub-millisecond base, so it cannot
+    // stall shutdown.
+    if (backoff.count() > 0) std::this_thread::sleep_for(backoff);
+    DispatchGroup(group, /*is_hedge=*/false);
+  }
+
+  if (settle) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
+    // Notify under the lock: Drain destroys this cv as soon as it sees
+    // zero in flight, so the signal must complete before the waiter can
+    // reacquire inflight_mu_ and return.
+    inflight_cv_.notify_all();
+  }
+}
+
+std::chrono::microseconds Batcher::RetryBackoff(int attempt) {
+  const double base =
+      static_cast<double>(options_.retry_backoff_us) *
+      static_cast<double>(int64_t{1} << std::min(std::max(attempt - 1, 0), 10));
+  double jitter;
+  {
+    std::lock_guard<std::mutex> lock(jitter_mu_);
+    jitter = jitter_rng_.Uniform(0.5, 1.5);
+  }
+  return std::chrono::microseconds(
+      static_cast<int64_t>(std::max(0.0, base * jitter)));
+}
+
+std::chrono::nanoseconds Batcher::HedgeDelay() {
+  if (options_.hedge_delay_us > 0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::microseconds(options_.hedge_delay_us));
+  }
+  // Auto mode: hedge when the batch has been in flight longer than the
+  // 99th-percentile search — the live histogram the traced requests
+  // feed. Until it has data (tracing off, or cold start), fall back to
+  // the replicas' completion-latency p99, then to a fixed 1ms.
+  const obs::HistogramSnapshot stage =
+      obs::MetricsRegistry::Global().GetHistogram("stage.search_ns")
+          ->Snapshot();
+  if (!stage.empty()) {
+    return std::chrono::nanoseconds(stage.ValueAtPercentile(99.0));
+  }
+  const ServeStatsSnapshot agg = router_->replicas()->AggregatedStats();
+  if (!agg.latency_hist.empty()) {
+    return std::chrono::nanoseconds(agg.latency_hist.ValueAtPercentile(99.0));
+  }
+  return std::chrono::milliseconds(1);
+}
+
+void Batcher::ScheduleHedge(const std::shared_ptr<GroupState>& group) {
+  const auto when = std::chrono::steady_clock::now() + HedgeDelay();
+  {
+    std::lock_guard<std::mutex> lock(hedge_mu_);
+    if (hedge_stop_) return;
+    hedge_queue_.emplace(when, std::weak_ptr<GroupState>(group));
+  }
+  hedge_cv_.notify_all();
+}
+
+void Batcher::FireHedge(const std::shared_ptr<GroupState>& group) {
+  ReplicaSet* replicas = router_->replicas();
+  QueryEngine* engine = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(group->mu);
+    if (group->resolved || group->hedged || group->outstanding == 0) return;
+    // The budget bounds *issued* hedges against dispatched groups, so
+    // fast traffic (whose timers expire unresolved-never) consumes none
+    // of it and a straggler burst cannot duplicate more than the
+    // configured fraction of the stream.
+    const auto dispatched = static_cast<double>(
+        groups_dispatched_.load(std::memory_order_relaxed));
+    const auto issued = static_cast<double>(
+        hedges_issued_.load(std::memory_order_relaxed));
+    if (issued + 1.0 > options_.hedge_budget * dispatched) return;
+    // The hedge must land somewhere else: a live replica other than the
+    // one the primary attempt is stuck on, least-loaded among them.
+    int pick = -1;
+    int64_t best = 0;
+    for (int r = 0; r < replicas->num_replicas(); ++r) {
+      if (r == group->last_replica) continue;
+      if (replicas->replica(r)->killed()) continue;
+      const int64_t load = replicas->Inflight(r);
+      if (pick < 0 || load < best) {
+        best = load;
+        pick = r;
+      }
+    }
+    if (pick < 0) return;
+    group->hedged = true;
+    group->outstanding += 1;
+    engine = replicas->replica(pick);
+  }
+  hedges_issued_.fetch_add(1, std::memory_order_relaxed);
+  pipeline_stats_.RecordHedge();
+  std::shared_ptr<GroupState> self = group;
+  engine->SubmitBatch(
+      index::PackedCodes(group->queries), group->k, group->trace,
+      [this, self](Status status,
+                   std::vector<std::vector<index::Neighbor>> results) {
+        OnGroupCompletion(self, /*is_hedge=*/true, std::move(status),
+                          std::move(results));
+      });
+}
+
+void Batcher::HedgeLoop() {
+  std::unique_lock<std::mutex> lock(hedge_mu_);
+  while (!hedge_stop_) {
+    if (hedge_queue_.empty()) {
+      hedge_cv_.wait(lock,
+                     [this] { return hedge_stop_ || !hedge_queue_.empty(); });
+      continue;
+    }
+    const auto when = hedge_queue_.begin()->first;
+    if (hedge_cv_.wait_until(lock, when, [this] { return hedge_stop_; })) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    while (!hedge_queue_.empty() && hedge_queue_.begin()->first <= now) {
+      std::weak_ptr<GroupState> weak = std::move(hedge_queue_.begin()->second);
+      hedge_queue_.erase(hedge_queue_.begin());
+      lock.unlock();
+      // A group that already resolved (or settled and died) expires
+      // here without firing — that is the hedge's cancellation path.
+      if (std::shared_ptr<GroupState> group = weak.lock()) FireHedge(group);
+      lock.lock();
+      if (hedge_stop_) return;
+    }
   }
 }
 
@@ -208,13 +503,22 @@ void Batcher::Drain() {
   // Order matters: close first (rejects new work and wakes the flush
   // thread), join the flush thread (its in-hand partial batch is
   // dispatched with real results), then fail whatever never made it out
-  // of the queue, and finally wait for every dispatched batch to call
-  // back so no engine callback can touch this batcher after Drain.
+  // of the queue, drop not-yet-fired hedges (the timer thread joins so
+  // no new submission can start), and finally wait for every dispatched
+  // group — retries and in-flight hedges included — to settle so no
+  // engine callback can touch this batcher after Drain.
   queue_.Close();
   if (flush_thread_.joinable()) flush_thread_.join();
   const int failed = queue_.FailPending(
       Status::Unavailable("pipeline drained before the request was served"));
   pipeline_stats_.RecordRejected(failed);
+  {
+    std::lock_guard<std::mutex> lock(hedge_mu_);
+    hedge_stop_ = true;
+    hedge_queue_.clear();
+  }
+  hedge_cv_.notify_all();
+  if (hedge_thread_.joinable()) hedge_thread_.join();
   {
     std::unique_lock<std::mutex> lock(inflight_mu_);
     inflight_cv_.wait(lock, [this] {

@@ -2,13 +2,17 @@
 #define UHSCM_SERVE_BATCHER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "serve/request_queue.h"
 #include "serve/router.h"
 #include "serve/serve_stats.h"
@@ -36,6 +40,36 @@ struct BatcherOptions {
   /// Submit pushes back on clients — memory stays bounded at any
   /// overload.
   int max_inflight_batches = 0;
+
+  /// Total dispatch attempts per batch (1 = no retries). A batch whose
+  /// replica completes it with Unavailable — a kill landed mid-stream,
+  /// or the engine was already dead when the router's view went stale —
+  /// is re-routed to a surviving replica after a jittered exponential
+  /// backoff, up to this many attempts. Replicas are byte-identical, so
+  /// a retried batch returns exactly what the first attempt would have.
+  int max_attempts = 3;
+  /// Base backoff before attempt 2; doubles per attempt, ±50% jitter
+  /// (seeded — see jitter_seed). Kept small: the failure mode is a dead
+  /// replica, not an overloaded one, so there is nothing to wait out.
+  int64_t retry_backoff_us = 100;
+
+  /// Hedging: fraction of dispatched batches allowed a duplicate
+  /// dispatch (0 = off, clamped to [0,1]). A batch still in flight when
+  /// the hedge delay elapses is re-submitted to a *different* live
+  /// replica; the first completion wins, the loser's results are
+  /// discarded. Caps tail latency when one replica stalls, at a bounded
+  /// duplicate-work cost.
+  double hedge_budget = 0.0;
+  /// When to hedge, microseconds after dispatch. 0 = auto: the live p99
+  /// of the engines' stage.search_ns histogram (falls back to the
+  /// replicas' completion-latency p99, then 1ms, while those are still
+  /// empty) — "slower than the 99th percentile search" is the signal
+  /// that this batch landed on a straggler.
+  int64_t hedge_delay_us = 0;
+
+  /// Seed for the retry-jitter draws, so a test's retry schedule is
+  /// reproducible.
+  uint64_t jitter_seed = 2023;
 };
 
 /// \brief The adaptive-batching stage of the async pipeline: one flush
@@ -54,14 +88,27 @@ struct BatcherOptions {
 /// calling QueryEngine::Search yourself: same corpus, same epoch, same
 /// (distance, id) lists.
 ///
+/// **Failure semantics.** A request may carry an absolute deadline; at
+/// flush time overdue requests resolve kDeadlineExceeded without
+/// touching a replica. A dispatched batch that comes back Unavailable
+/// (its replica was killed) is retried on a surviving replica with
+/// jittered exponential backoff — bounded attempts, never past the
+/// batch's earliest deadline. When *every* replica is dead the batch
+/// fails immediately with Unavailable (no retries — there is nothing to
+/// route to until a respawn lands). With a hedge budget set, a batch
+/// still unresolved after the hedge delay is duplicated onto a second
+/// replica, first completion wins. Every path resolves every future
+/// exactly once; retries and hedges never double-complete a promise.
+///
 /// Shutdown: Drain() (also run by the destructor) closes the queue so
 /// new Submits are rejected with an Unavailable status, lets the flush
 /// thread finish its in-hand batch, completes every request still queued
-/// with a shutdown Status, and waits for all dispatched batches to call
-/// back — every future ever handed out resolves; nothing is dropped.
-/// Drain returns before the engines themselves are torn down (their own
-/// Drain joins dispatch threads and pools), which is the destruction
-/// ordering that makes pipeline exit race-free.
+/// with a shutdown Status, drops not-yet-fired hedges, and waits for all
+/// dispatched batches (including in-flight hedges) to call back — every
+/// future ever handed out resolves; nothing is dropped. Drain returns
+/// before the engines themselves are torn down (their own Drain joins
+/// dispatch threads and pools), which is the destruction ordering that
+/// makes pipeline exit race-free.
 class Batcher {
  public:
   /// The router (and its replica set) must outlive the batcher.
@@ -74,19 +121,26 @@ class Batcher {
   /// Admits one query (num_words must equal the corpus words-per-code;
   /// mismatches resolve immediately with InvalidArgument). Blocks while
   /// the admission queue is full — backpressure, not queue growth.
-  std::future<SearchResponse> Submit(const uint64_t* words, int num_words,
-                                     int k);
+  /// `deadline` (absolute; time_point::max() = none) is enforced at
+  /// flush and retry time: an overdue request resolves
+  /// kDeadlineExceeded instead of occupying a replica.
+  std::future<SearchResponse> Submit(
+      const uint64_t* words, int num_words, int k,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
 
   /// Convenience: submit query `q` of a packed block.
-  std::future<SearchResponse> Submit(const index::PackedCodes& queries, int q,
-                                     int k);
+  std::future<SearchResponse> Submit(
+      const index::PackedCodes& queries, int q, int k,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
 
   /// Rejects new work, flushes pending requests with a shutdown Status,
   /// and joins cleanly. Idempotent.
   void Drain();
 
   /// Pipeline counters + current queue depth, merged with the replica
-  /// set's aggregated engine counters (cache, updates, epoch).
+  /// set's aggregated engine counters (cache, updates, epoch, health).
   ServeStatsSnapshot stats() const;
 
   /// Zeroes the pipeline counters and every replica's engine stats.
@@ -96,9 +150,38 @@ class Batcher {
   const BatcherOptions& options() const { return options_; }
 
  private:
+  /// One dispatched per-k group: the packed batch plus the resolution
+  /// state machine that retries, hedging, and completion race over.
+  /// Shared by the flush thread, engine callbacks, and the hedge timer;
+  /// defined in the .cc.
+  struct GroupState;
+
   void FlushLoop();
-  /// Packs one collected batch, routes it, and dispatches per-k groups.
+  /// Packs one collected batch, expires overdue requests, and
+  /// dispatches per-k groups (plus their hedges).
   void FlushBatch(std::vector<PendingRequest> batch, bool by_timeout);
+  /// Routes and submits one attempt of the group (the caller has
+  /// already counted it in group->outstanding). With every replica dead,
+  /// fails the group immediately.
+  void DispatchGroup(const std::shared_ptr<GroupState>& group, bool is_hedge);
+  /// The single resolution point: first OK completion wins, an
+  /// Unavailable completion retries or finally fails, and the group
+  /// settles (releases its inflight slot) when the last outstanding
+  /// attempt has called back.
+  void OnGroupCompletion(const std::shared_ptr<GroupState>& group,
+                         bool is_hedge, Status status,
+                         std::vector<std::vector<index::Neighbor>> results);
+  /// Queues the group on the hedge timer (weak — a resolved group just
+  /// expires).
+  void ScheduleHedge(const std::shared_ptr<GroupState>& group);
+  /// Issues the hedge attempt if the group is still unresolved, a
+  /// distinct live replica exists, and the budget allows.
+  void FireHedge(const std::shared_ptr<GroupState>& group);
+  void HedgeLoop();
+  /// Resolves the configured (or auto, p99-derived) hedge delay.
+  std::chrono::nanoseconds HedgeDelay();
+  /// Jittered exponential backoff before retry attempt `attempt`+1.
+  std::chrono::microseconds RetryBackoff(int attempt);
 
   Router* router_;
   BatcherOptions options_;
@@ -110,11 +193,30 @@ class Batcher {
   std::thread flush_thread_;
   std::atomic<bool> drained_{false};
   std::mutex drain_mu_;  // serializes Drain callers
-  /// Batches dispatched to engines whose callbacks haven't returned.
-  /// Drain waits on this so no callback can outlive the batcher.
+  /// Per-k groups dispatched to engines that haven't settled (final
+  /// callback not yet returned, hedges included). Drain waits on this so
+  /// no callback can outlive the batcher.
   std::atomic<int64_t> inflight_batches_{0};
   std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
+
+  /// Hedge budget accounting: groups dispatched vs hedges issued, the
+  /// ratio the budget bounds.
+  std::atomic<int64_t> groups_dispatched_{0};
+  std::atomic<int64_t> hedges_issued_{0};
+
+  /// The hedge timer: a deadline-ordered queue of still-inflight groups,
+  /// served by one thread (started only when hedge_budget > 0).
+  std::mutex hedge_mu_;
+  std::condition_variable hedge_cv_;
+  std::multimap<std::chrono::steady_clock::time_point,
+                std::weak_ptr<GroupState>>
+      hedge_queue_;
+  bool hedge_stop_ = false;  // under hedge_mu_
+  std::thread hedge_thread_;
+
+  std::mutex jitter_mu_;
+  Rng jitter_rng_;
 };
 
 }  // namespace uhscm::serve

@@ -1,0 +1,80 @@
+#include "serve/fault.h"
+
+namespace uhscm::serve {
+
+namespace {
+constexpr uint64_t kDefaultSeed = 0x9E3779B97F4A7C15ULL;
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Rng(seed);
+}
+
+void FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point] = ArmedPoint{spec, 0, 0};
+  armed_points_.store(static_cast<int64_t>(points_.size()),
+                      std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+  armed_points_.store(static_cast<int64_t>(points_.size()),
+                      std::memory_order_relaxed);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  rng_ = Rng(kDefaultSeed);
+  armed_points_.store(0, std::memory_order_relaxed);
+}
+
+const FaultSpec* FaultInjector::Evaluate(const char* point, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Instance-scoped spec ("point#tag") wins over the bare point name,
+  // so a test can make replica 1 the straggler while the others run
+  // clean.
+  ArmedPoint* armed = nullptr;
+  if (tag >= 0) {
+    auto it = points_.find(std::string(point) + "#" + std::to_string(tag));
+    if (it != points_.end()) armed = &it->second;
+  }
+  if (armed == nullptr) {
+    auto it = points_.find(point);
+    if (it != points_.end()) armed = &it->second;
+  }
+  if (armed == nullptr) return nullptr;
+  armed->hits += 1;
+  if (armed->hits <= armed->spec.skip_hits) return nullptr;
+  if (armed->spec.max_fires >= 0 && armed->fires >= armed->spec.max_fires) {
+    return nullptr;
+  }
+  if (armed->spec.probability < 1.0 &&
+      !rng_.Bernoulli(armed->spec.probability)) {
+    return nullptr;
+  }
+  armed->fires += 1;
+  return &armed->spec;
+}
+
+int64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it != points_.end() ? it->second.hits : 0;
+}
+
+int64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it != points_.end() ? it->second.fires : 0;
+}
+
+}  // namespace uhscm::serve

@@ -1,10 +1,12 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "serve/fault.h"
 
 namespace uhscm::serve {
 
@@ -27,6 +29,15 @@ void QueryEngine::CompleteTask(DispatchTask task, bool killed) {
   if (killed) {
     task.done(Status::Unavailable("engine killed before the batch ran"), {});
   } else {
+    // Straggler injection: an armed replica.slow_batch delay sleeps the
+    // dispatch thread before the search, so the slowness is visible
+    // exactly where a genuinely slow replica's would be — in this
+    // batch's completion latency and the engine's in-flight count.
+    const int64_t delay_ns = FaultInjector::Global().DelayNs(
+        kFaultSlowBatch, fault_tag_.load(std::memory_order_relaxed));
+    if (delay_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+    }
     task.done(Status::OK(), Search(task.queries, task.k, task.trace));
   }
   // Decrement only after the callback returns — on *every* completion
@@ -41,6 +52,14 @@ void QueryEngine::CompleteTask(DispatchTask task, bool killed) {
 
 void QueryEngine::SubmitBatch(index::PackedCodes queries, int k,
                               obs::TraceContext trace, BatchCallback done) {
+  // Deterministic replica death: an armed replica.kill point (skip_hits
+  // = K-1 → die on batch K) kills this engine before the batch is
+  // enqueued, so the submission — and everything queued behind it —
+  // resolves Unavailable exactly like a replica dying under load.
+  if (FaultInjector::Global().ShouldFail(
+          kFaultReplicaKill, fault_tag_.load(std::memory_order_relaxed))) {
+    Kill();
+  }
   const int n = queries.size();
   inflight_.fetch_add(n, std::memory_order_relaxed);
   DispatchTask task{std::move(queries), k, trace, std::move(done)};

@@ -154,6 +154,15 @@ class QueryEngine {
   bool killed() const { return killed_flag_.load(std::memory_order_acquire); }
   ///@}
 
+  /// Instance tag consulted by the fault injector: an armed
+  /// `replica.kill#2` or `replica.slow_batch#2` fires only on the
+  /// engine tagged 2 (ReplicaSet tags each replica with its slot
+  /// index). -1 (the default) matches only unscoped points.
+  void set_fault_tag(int tag) {
+    fault_tag_.store(tag, std::memory_order_relaxed);
+  }
+  int fault_tag() const { return fault_tag_.load(std::memory_order_relaxed); }
+
   /// Appends a batch of codes to the corpus (routed to the least-full
   /// shard) and bumps the epoch. Returns the assigned global ids.
   std::vector<int> Append(const index::PackedCodes& codes);
@@ -265,6 +274,7 @@ class QueryEngine {
   /// first is still joining the dispatch thread and draining the pool.
   std::mutex drain_mu_;
   std::atomic<int64_t> inflight_{0};
+  std::atomic<int> fault_tag_{-1};
 };
 
 /// Slices a query stream into `batch`-sized PackedCodes (the final batch

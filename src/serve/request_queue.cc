@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "serve/fault.h"
+
 namespace uhscm::serve {
 
 namespace {
@@ -11,6 +13,13 @@ std::future<SearchResponse> RejectedFuture() {
   std::promise<SearchResponse> promise;
   promise.set_value(SearchResponse{
       Status::Unavailable("request queue closed — pipeline draining"), {}});
+  return promise.get_future();
+}
+
+std::future<SearchResponse> InjectedRejection() {
+  std::promise<SearchResponse> promise;
+  promise.set_value(SearchResponse{
+      Status::Unavailable("fault injection: admission rejected"), {}});
   return promise.get_future();
 }
 
@@ -34,9 +43,19 @@ PendingRequest MakeRequest(const uint64_t* words, int num_words, int k) {
 RequestQueue::RequestQueue(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)) {}
 
-std::future<SearchResponse> RequestQueue::Submit(const uint64_t* words,
-                                                 int num_words, int k) {
+std::future<SearchResponse> RequestQueue::Submit(
+    const uint64_t* words, int num_words, int k,
+    std::chrono::steady_clock::time_point deadline) {
+  // Injected load-shedding at the front door: the queue.admit point
+  // rejects the submission before it can occupy queue capacity,
+  // counted like any other rejection.
+  if (FaultInjector::Global().ShouldFail(kFaultQueueAdmit)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    return InjectedRejection();
+  }
   PendingRequest request = MakeRequest(words, num_words, k);
+  request.deadline = deadline;
   std::future<SearchResponse> future = request.promise.get_future();
   {
     std::unique_lock<std::mutex> lock(mu_);
@@ -54,6 +73,12 @@ std::future<SearchResponse> RequestQueue::Submit(const uint64_t* words,
 
 bool RequestQueue::TrySubmit(const uint64_t* words, int num_words, int k,
                              std::future<SearchResponse>* out) {
+  if (FaultInjector::Global().ShouldFail(kFaultQueueAdmit)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    *out = InjectedRejection();
+    return true;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {

@@ -34,8 +34,19 @@ struct PendingRequest {
   std::vector<uint64_t> words;
   int k = 0;
   std::chrono::steady_clock::time_point admit_time;
+  /// Absolute deadline; time_point::max() means none. The batcher
+  /// checks it at flush time — an overdue request resolves
+  /// kDeadlineExceeded instead of being dispatched — and again before
+  /// any retry, so a request never burns replica time it can no longer
+  /// use.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
   obs::TraceContext trace;
   std::promise<SearchResponse> promise;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
 /// \brief Bounded MPMC admission queue: the front door of the async
@@ -61,9 +72,12 @@ class RequestQueue {
   /// Admits one query (num_words packed words, copied) and returns the
   /// future its batch will complete. Blocks while the queue is full;
   /// after Close() returns an already-completed future carrying an
-  /// Unavailable status.
-  std::future<SearchResponse> Submit(const uint64_t* words, int num_words,
-                                     int k);
+  /// Unavailable status. `deadline` (absolute; time_point::max() = none)
+  /// rides along for the batcher to enforce.
+  std::future<SearchResponse> Submit(
+      const uint64_t* words, int num_words, int k,
+      std::chrono::steady_clock::time_point deadline =
+          std::chrono::steady_clock::time_point::max());
 
   /// Non-blocking Submit: returns false (and leaves *out untouched) when
   /// the queue is full. A closed queue still "succeeds" with a rejected

@@ -39,39 +39,37 @@ Router::Router(ReplicaSet* replicas, RoutePolicy policy)
 
 int Router::Route() {
   const int n = replicas_->num_replicas();
-  int pick = 0;
-  if (n > 1) {
-    // Dead replicas are skipped by both policies: a killed engine
-    // rejects everything instantly, so its in-flight count sits at
-    // zero — without the liveness check, least-loaded would steer
-    // nearly all traffic onto the corpse while healthy replicas idle.
-    // When every replica is dead any pick fails fast, so fall back to
-    // the raw rotation.
-    if (policy_ == RoutePolicy::kRoundRobin) {
-      for (int attempt = 0; attempt < n; ++attempt) {
-        pick = static_cast<int>(next_.fetch_add(1, std::memory_order_relaxed) %
-                                static_cast<uint64_t>(n));
-        if (!replicas_->replica(pick)->killed()) break;
+  // Dead replicas are skipped by both policies: a killed engine rejects
+  // everything instantly, so its in-flight count sits at zero — without
+  // the liveness check, least-loaded would steer nearly all traffic
+  // onto the corpse while healthy replicas idle. With every replica
+  // dead there is nowhere to route: return -1 so the caller fails the
+  // batch immediately instead of queuing work behind a corpse.
+  int pick = -1;
+  if (policy_ == RoutePolicy::kRoundRobin) {
+    for (int attempt = 0; attempt < n; ++attempt) {
+      const int candidate = static_cast<int>(
+          next_.fetch_add(1, std::memory_order_relaxed) %
+          static_cast<uint64_t>(n));
+      if (!replicas_->replica(candidate)->killed()) {
+        pick = candidate;
+        break;
       }
-    } else {
-      int64_t best = 0;
-      int live_pick = -1;
-      for (int r = 0; r < n; ++r) {
-        if (replicas_->replica(r)->killed()) continue;
-        const int64_t load = replicas_->Inflight(r);
-        if (live_pick < 0 || load < best) {
-          best = load;
-          live_pick = r;
-        }
+    }
+  } else {
+    int64_t best = 0;
+    for (int r = 0; r < n; ++r) {
+      if (replicas_->replica(r)->killed()) continue;
+      const int64_t load = replicas_->Inflight(r);
+      if (pick < 0 || load < best) {
+        best = load;
+        pick = r;
       }
-      pick = live_pick >= 0
-                 ? live_pick
-                 : static_cast<int>(
-                       next_.fetch_add(1, std::memory_order_relaxed) %
-                       static_cast<uint64_t>(n));
     }
   }
-  routed_[static_cast<size_t>(pick)].fetch_add(1, std::memory_order_relaxed);
+  if (pick >= 0) {
+    routed_[static_cast<size_t>(pick)].fetch_add(1, std::memory_order_relaxed);
+  }
   return pick;
 }
 

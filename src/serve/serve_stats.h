@@ -79,6 +79,25 @@ struct ServeStatsSnapshot {
   /// Replica count this snapshot aggregates over (0 = single engine).
   int replicas = 0;
 
+  // --- fault-tolerance counters (filled in by Batcher::stats() /
+  // ReplicaSet::AggregatedStats(); all zero on the happy path) ---
+  /// Batch re-dispatches after an Unavailable completion (a killed or
+  /// draining replica). One batch can retry more than once.
+  int64_t retries = 0;
+  /// Hedge batches issued (duplicate dispatch of a still-inflight
+  /// batch), and how many of those hedges resolved their batch first.
+  int64_t hedges = 0;
+  int64_t hedge_wins = 0;
+  /// Requests resolved kDeadlineExceeded before reaching a replica.
+  int64_t deadline_exceeded = 0;
+  /// Replica lifecycle: current health census plus respawn outcomes
+  /// since the set was built.
+  int replicas_healthy = 0;
+  int replicas_degraded = 0;
+  int replicas_dead = 0;
+  int64_t respawns = 0;
+  int64_t respawn_failures = 0;
+
   double hit_rate() const {
     const int64_t total = cache_hits + cache_misses;
     return total > 0 ? static_cast<double>(cache_hits) / total : 0.0;
@@ -170,6 +189,16 @@ class PipelineStats {
   /// Records submissions rejected with a shutdown Status.
   void RecordRejected(int count);
 
+  /// Records one batch re-dispatch after an Unavailable completion.
+  void RecordRetry();
+
+  /// Records one hedge batch issued / one batch whose hedge won.
+  void RecordHedge();
+  void RecordHedgeWin();
+
+  /// Records `count` requests expired with kDeadlineExceeded.
+  void RecordDeadlineExceeded(int count);
+
   /// Fills the pipeline + latency + queries/batches fields of *snap
   /// (leaves cache/update fields alone — those belong to the engines).
   void FillSnapshot(ServeStatsSnapshot* snap) const;
@@ -185,6 +214,10 @@ class PipelineStats {
   int64_t rejected_ = 0;
   int64_t flushes_by_size_ = 0;
   int64_t flushes_by_timeout_ = 0;
+  int64_t retries_ = 0;
+  int64_t hedges_ = 0;
+  int64_t hedge_wins_ = 0;
+  int64_t deadline_exceeded_ = 0;
   std::array<int64_t, kBatchSizeBuckets> batch_size_hist_{};
 };
 

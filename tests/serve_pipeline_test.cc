@@ -434,12 +434,14 @@ TEST(RouterTest, KilledReplicaIsSkippedByBothPolicies) {
   Router least(&replicas, RoutePolicy::kLeastLoaded);
   for (int i = 0; i < 12; ++i) EXPECT_NE(least.Route(), 1);
 
-  // Every replica dead: Route() still answers (any pick fails fast).
+  // Every replica dead: Route() reports it (-1 / nullptr) so the caller
+  // fails the batch immediately instead of submitting to a corpse.
   replicas.replica(0)->Kill();
   replicas.replica(2)->Kill();
-  const int pick = least.Route();
-  EXPECT_GE(pick, 0);
-  EXPECT_LT(pick, 3);
+  EXPECT_EQ(least.Route(), -1);
+  EXPECT_EQ(least.Pick(), nullptr);
+  EXPECT_EQ(rr.Route(), -1);
+  EXPECT_EQ(rr.Pick(), nullptr);
 }
 
 TEST(RouterTest, ParsePolicyNames) {
