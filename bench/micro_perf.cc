@@ -99,6 +99,49 @@ BENCHMARK(BM_BatchDistances)
     ->Args({100000, 1024, 1})
     ->Args({100000, 1024, 0});
 
+void BM_BatchDistancesMin(benchmark::State& state) {
+  // Fused distance+block-min kernel vs the unfused pair (plain kernel
+  // followed by a separate min pass over the distance buffer) — the A/B
+  // behind BatchScanOptions::fused_min. Same dispatched tier both ways.
+  const int n = static_cast<int>(state.range(0));
+  const int bits = static_cast<int>(state.range(1));
+  const bool fused = state.range(2) != 0;
+  Rng rng(23);
+  index::PackedCodes corpus =
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng));
+  index::PackedCodes query =
+      index::PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  const int words = corpus.words_per_code();
+  const index::BatchDistanceMinFn fused_fn = index::GetBatchDistanceMinFn();
+  const index::BatchDistanceFn plain_fn = index::GetBatchDistanceFn();
+  std::vector<int32_t> dist(static_cast<size_t>(n));
+  int32_t sink = 0;
+  for (auto _ : state) {
+    if (fused) {
+      sink += fused_fn(query.code(0), corpus.code(0), n, words,
+                       index::kNoThreshold, dist.data());
+    } else {
+      plain_fn(query.code(0), corpus.code(0), n, words, index::kNoThreshold,
+               dist.data());
+      int32_t best = dist[0];
+      for (int i = 1; i < n; ++i) best = std::min(best, dist[i]);
+      sink += best;
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * int64_t{n} * words * 8);
+  state.SetLabel(std::string(fused ? "fused/" : "unfused/") +
+                 index::KernelTierName(index::ActiveKernelTier()));
+}
+BENCHMARK(BM_BatchDistancesMin)
+    ->Args({100000, 64, 0})
+    ->Args({100000, 64, 1})
+    ->Args({100000, 128, 0})
+    ->Args({100000, 128, 1})
+    ->Args({100000, 1024, 0})
+    ->Args({100000, 1024, 1});
+
 void BM_BatchTopK(benchmark::State& state) {
   // The full batched serving scan: query-blocked x code-blocked with
   // early abandon, dispatched kernel.
@@ -148,6 +191,34 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_PackedGemm(benchmark::State& state) {
+  // Packed-panel GEMM micro-kernel vs the pre-packing cache-blocked loop
+  // at trainer shapes (m = batch, k = feature dim, n = code width — the
+  // projection products that dominate a training step).
+  const int m = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  const int n = static_cast<int>(state.range(2));
+  const bool packed = state.range(3) != 0;
+  Rng rng(7);
+  linalg::Matrix a = linalg::Matrix::RandomNormal(m, k, &rng);
+  linalg::Matrix b = linalg::Matrix::RandomNormal(k, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packed ? linalg::MatMul(a, b)
+                                    : linalg::MatMulBlocked(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{m} * k * n);
+  state.SetLabel(packed ? (linalg::PackedGemmAvailable() ? "packed/avx2"
+                                                         : "packed/portable")
+                        : "blocked");
+}
+BENCHMARK(BM_PackedGemm)
+    ->Args({128, 3072, 512, 0})
+    ->Args({128, 3072, 512, 1})
+    ->Args({256, 256, 256, 0})
+    ->Args({256, 256, 256, 1})
+    ->Args({512, 512, 512, 0})
+    ->Args({512, 512, 512, 1});
 
 void BM_VlpScoring(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -17,6 +17,16 @@ int PickCodeBlock(int words_per_code, int requested) {
   return std::max(256, kTargetBlockBytes / bytes_per_code);
 }
 
+/// Sub-chunk width for the fused path's hierarchical skip: when a block's
+/// fused minimum proves it *does* contain a qualifying code, the
+/// distances are walked in chunks of this many codes, and a chunk whose
+/// (auto-vectorized) minimum is >= the frozen threshold is skipped
+/// without the per-code displacement branch. Safety is the block-skip
+/// argument one level down: the live heap front only shrinks below the
+/// frozen threshold, so nothing in a >= frozen-threshold chunk could
+/// ever displace an entry.
+constexpr int kMinChunk = 128;
+
 }  // namespace
 
 std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
@@ -39,6 +49,9 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
   const BatchDistanceFn kernel = options.force_tier
                                      ? GetBatchDistanceFn(options.tier)
                                      : GetBatchDistanceFn();
+  const BatchDistanceMinFn fused_kernel =
+      options.force_tier ? GetBatchDistanceMinFn(options.tier)
+                         : GetBatchDistanceMinFn();
 
   auto cmp = [](const Neighbor& a, const Neighbor& b) {
     return NeighborLess(a, b);
@@ -62,34 +75,66 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
       const int32_t threshold = static_cast<int>(heap.size()) == k
                                     ? heap.front().distance
                                     : kNoThreshold;
-      kernel(queries[q], block_codes, count, words, threshold, dist.data());
-      counters.rows_scanned += count;
-      if (threshold != kNoThreshold) {
-        counters.early_abandon_calls += 1;
-        // Warm heap: no insertion happened yet for this block, so the
-        // heap front still equals `threshold`. A vectorizable min
-        // reduction proves most blocks contain no qualifying code and
-        // skips the per-code branch loop entirely.
-        int32_t best = dist[0];
-        for (int i = 1; i < count; ++i) best = std::min(best, dist[i]);
-        if (best >= threshold) {
-          counters.blocks_skipped += 1;
-          continue;
+      // Warm heap: no insertion happened yet for this block, so the heap
+      // front still equals `threshold`, and a block whose minimum
+      // distance is >= it contains no qualifying code — skip the
+      // per-code branch loop entirely. The fused kernel returns that
+      // minimum from the registers the distances were computed in; the
+      // unfused path re-reads the distance buffer it just wrote.
+      if (options.fused_min) {
+        const int32_t best = fused_kernel(queries[q], block_codes, count,
+                                          words, threshold, dist.data());
+        counters.rows_scanned += count;
+        if (threshold != kNoThreshold) {
+          counters.early_abandon_calls += 1;
+          if (best >= threshold) {
+            counters.blocks_skipped += 1;
+            continue;
+          }
+        }
+      } else {
+        kernel(queries[q], block_codes, count, words, threshold, dist.data());
+        counters.rows_scanned += count;
+        if (threshold != kNoThreshold) {
+          counters.early_abandon_calls += 1;
+          int32_t best = dist[0];
+          for (int i = 1; i < count; ++i) best = std::min(best, dist[i]);
+          if (best >= threshold) {
+            counters.blocks_skipped += 1;
+            continue;
+          }
         }
       }
-      for (int i = 0; i < count; ++i) {
-        if (dead != nullptr && dead->Test(begin + i)) continue;
-        const int d = dist[i];
-        if (static_cast<int>(heap.size()) < k) {
-          heap.push_back({begin + i, d});
-          std::push_heap(heap.begin(), heap.end(), cmp);
-        } else if (d < heap.front().distance) {
-          // Strict < matches the per-query scan: ids only ascend, so a
-          // distance tie never displaces the current worst.
-          std::pop_heap(heap.begin(), heap.end(), cmp);
-          heap.back() = {begin + i, d};
-          std::push_heap(heap.begin(), heap.end(), cmp);
+      auto insert_range = [&](int lo, int hi) {
+        for (int i = lo; i < hi; ++i) {
+          if (dead != nullptr && dead->Test(begin + i)) continue;
+          const int d = dist[i];
+          if (static_cast<int>(heap.size()) < k) {
+            heap.push_back({begin + i, d});
+            std::push_heap(heap.begin(), heap.end(), cmp);
+          } else if (d < heap.front().distance) {
+            // Strict < matches the per-query scan: ids only ascend, so a
+            // distance tie never displaces the current worst.
+            std::pop_heap(heap.begin(), heap.end(), cmp);
+            heap.back() = {begin + i, d};
+            std::push_heap(heap.begin(), heap.end(), cmp);
+          }
         }
+      };
+      if (options.fused_min && threshold != kNoThreshold) {
+        // The block holds at least one qualifying code, but typically only
+        // a handful: chunk-level min reductions (SIMD-friendly, L1-resident
+        // reads) locate the hot chunks and only those pay the per-code
+        // displacement branch.
+        for (int c0 = 0; c0 < count; c0 += kMinChunk) {
+          const int c1 = std::min(c0 + kMinChunk, count);
+          int32_t cmin = dist[c0];
+          for (int i = c0 + 1; i < c1; ++i) cmin = std::min(cmin, dist[i]);
+          if (cmin >= threshold) continue;
+          insert_range(c0, c1);
+        }
+      } else {
+        insert_range(0, count);
       }
     }
   }

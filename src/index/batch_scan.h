@@ -16,11 +16,18 @@ struct BatchScanOptions {
   /// codes (~64 KiB) resident in L1/L2 while every query in the batch is
   /// scored against it.
   int code_block = 0;
-  /// Kernel tier override for benches and the forced-scalar CI run; the
+  /// Kernel tier override for benches and the forced-tier CI runs; the
   /// default uses the process-wide dispatch decision (ActiveKernelTier).
-  /// Unavailable tiers silently fall back to scalar.
+  /// Unavailable tiers fall back to the best available tier below them.
   bool force_tier = false;
   KernelTier tier = KernelTier::kScalar;
+  /// Use the fused distance+block-min kernel (BatchDistanceMinFn): the
+  /// per-block minimum that drives the block-skip decision is computed in
+  /// registers while the distances are written, instead of by a second
+  /// pass over the distance buffer. Results are byte-identical either way
+  /// (the kernels report the same distances); `false` keeps the unfused
+  /// two-pass path for A/B benches.
+  bool fused_min = true;
   /// Deletion bitmap over `db` rows (null = all rows live). Tombstoned
   /// rows are still scored by the kernel (the block stays contiguous) but
   /// can never enter a heap, so results match a scan over the survivors.

@@ -1,9 +1,11 @@
 #include "index/hamming_kernels.h"
 
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
-#if defined(UHSCM_HAVE_AVX2_KERNELS)
+#if defined(UHSCM_HAVE_AVX2_KERNELS) || defined(UHSCM_HAVE_AVX512_KERNELS)
 #include <immintrin.h>
 #endif
 
@@ -30,16 +32,15 @@ inline int Popcount64(uint64_t x) {
 /// cost more than the popcounts they save.
 constexpr int kPruneMinWords = 16;
 
-bool ForceScalarEnv() {
-  const char* v = std::getenv("UHSCM_FORCE_SCALAR");
-  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
-}
+inline int32_t MinInt32(int32_t a, int32_t b) { return a < b ? a : b; }
 
-}  // namespace
-
-void BatchDistancesScalar(const uint64_t* query, const uint64_t* codes, int n,
-                          int words, int32_t threshold, int32_t* out) {
+/// Scalar reference. The kTrackMin=false instantiation compiles the min
+/// bookkeeping out entirely so the plain kernel keeps its old shape.
+template <bool kTrackMin>
+int32_t BatchScalarImpl(const uint64_t* query, const uint64_t* codes, int n,
+                        int words, int32_t threshold, int32_t* out) {
   const bool prune = threshold != kNoThreshold && words >= kPruneMinWords;
+  int32_t best = INT32_MAX;
   for (int i = 0; i < n; ++i) {
     const uint64_t* code = codes + static_cast<size_t>(i) * words;
     // Four accumulators keep the popcnt ports busy (same trick as
@@ -63,7 +64,27 @@ void BatchDistancesScalar(const uint64_t* query, const uint64_t* codes, int n,
       for (; w < words; ++w) d0 += Popcount64(query[w] ^ code[w]);
     }
     out[i] = d0 + d1 + d2 + d3;
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
   }
+  return best;
+}
+
+bool ForceScalarEnv() {
+  const char* v = std::getenv("UHSCM_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+void BatchDistancesScalar(const uint64_t* query, const uint64_t* codes, int n,
+                          int words, int32_t threshold, int32_t* out) {
+  BatchScalarImpl<false>(query, codes, n, words, threshold, out);
+}
+
+int32_t BatchDistancesMinScalar(const uint64_t* query, const uint64_t* codes,
+                                int n, int words, int32_t threshold,
+                                int32_t* out) {
+  return BatchScalarImpl<true>(query, codes, n, words, threshold, out);
 }
 
 #if defined(UHSCM_HAVE_AVX2_KERNELS)
@@ -113,10 +134,12 @@ UHSCM_AVX2_FN inline __m256i LoadXor(const uint64_t* code,
 }
 
 /// 64-bit codes: four codes per 256-bit load, one lane each.
-UHSCM_AVX2_FN void BatchWords1(uint64_t q0, const uint64_t* codes, int n,
-                               int32_t* out) {
+template <bool kTrackMin>
+UHSCM_AVX2_FN int32_t BatchWords1(uint64_t q0, const uint64_t* codes, int n,
+                                  int32_t* out) {
   const __m256i q = _mm256_set1_epi64x(static_cast<long long>(q0));
   alignas(32) uint64_t tmp[4];
+  int32_t best = INT32_MAX;
   int i = 0;
   for (; i + 4 <= n; i += 4) {
     const __m256i v =
@@ -127,18 +150,28 @@ UHSCM_AVX2_FN void BatchWords1(uint64_t q0, const uint64_t* codes, int n,
     out[i + 1] = static_cast<int32_t>(tmp[1]);
     out[i + 2] = static_cast<int32_t>(tmp[2]);
     out[i + 3] = static_cast<int32_t>(tmp[3]);
+    if constexpr (kTrackMin) {
+      best = MinInt32(best, MinInt32(MinInt32(out[i], out[i + 1]),
+                                     MinInt32(out[i + 2], out[i + 3])));
+    }
   }
-  for (; i < n; ++i) out[i] = Popcount64(q0 ^ codes[i]);
+  for (; i < n; ++i) {
+    out[i] = Popcount64(q0 ^ codes[i]);
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
+  }
+  return best;
 }
 
 /// 128-bit codes: two codes per 256-bit load, two lanes each; two loads
 /// per iteration for instruction-level parallelism.
-UHSCM_AVX2_FN void BatchWords2(const uint64_t* query, const uint64_t* codes,
-                               int n, int32_t* out) {
+template <bool kTrackMin>
+UHSCM_AVX2_FN int32_t BatchWords2(const uint64_t* query, const uint64_t* codes,
+                                  int n, int32_t* out) {
   const __m256i q = _mm256_setr_epi64x(
       static_cast<long long>(query[0]), static_cast<long long>(query[1]),
       static_cast<long long>(query[0]), static_cast<long long>(query[1]));
   alignas(32) uint64_t t0[4], t1[4];
+  int32_t best = INT32_MAX;
   int i = 0;
   for (; i + 4 <= n; i += 4) {
     const uint64_t* p = codes + 2 * static_cast<size_t>(i);
@@ -154,10 +187,16 @@ UHSCM_AVX2_FN void BatchWords2(const uint64_t* query, const uint64_t* codes,
     out[i + 1] = static_cast<int32_t>(t0[2] + t0[3]);
     out[i + 2] = static_cast<int32_t>(t1[0] + t1[1]);
     out[i + 3] = static_cast<int32_t>(t1[2] + t1[3]);
+    if constexpr (kTrackMin) {
+      best = MinInt32(best, MinInt32(MinInt32(out[i], out[i + 1]),
+                                     MinInt32(out[i + 2], out[i + 3])));
+    }
   }
   for (; i < n; ++i) {
     out[i] = ScalarPair(query, codes + 2 * static_cast<size_t>(i), 2);
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
   }
+  return best;
 }
 
 /// Any width >= 3 words: per-code vector accumulation. Codes of >= 32
@@ -166,12 +205,14 @@ UHSCM_AVX2_FN void BatchWords2(const uint64_t* query, const uint64_t* codes,
 /// (words % 4) is scalar. With a finite `threshold`, the running lane
 /// accumulator provides a monotone lower bound used to abandon codes
 /// that can no longer beat the threshold.
-UHSCM_AVX2_FN void BatchGeneric(const uint64_t* query, const uint64_t* codes,
-                                int n, int words, int32_t threshold,
-                                int32_t* out) {
+template <bool kTrackMin>
+UHSCM_AVX2_FN int32_t BatchGeneric(const uint64_t* query,
+                                   const uint64_t* codes, int n, int words,
+                                   int32_t threshold, int32_t* out) {
   const int vecs = words / 4;
   const int tail_start = vecs * 4;
   const bool prune = threshold != kNoThreshold && words >= kPruneMinWords;
+  int32_t best = INT32_MAX;
   for (int i = 0; i < n; ++i) {
     const uint64_t* code = codes + static_cast<size_t>(i) * words;
     uint64_t sum = 0;
@@ -230,26 +271,308 @@ UHSCM_AVX2_FN void BatchGeneric(const uint64_t* query, const uint64_t* codes,
       }
     }
     out[i] = static_cast<int32_t>(sum);
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
   }
+  return best;
+}
+
+template <bool kTrackMin>
+int32_t BatchAvx2Impl(const uint64_t* query, const uint64_t* codes, int n,
+                      int words, int32_t threshold, int32_t* out) {
+  // Narrow codes are exact regardless of threshold — computing them fully
+  // is cheaper than any pruning bookkeeping (the contract allows exact
+  // values at or above the threshold).
+  if (words == 1) return BatchWords1<kTrackMin>(query[0], codes, n, out);
+  if (words == 2) return BatchWords2<kTrackMin>(query, codes, n, out);
+  return BatchGeneric<kTrackMin>(query, codes, n, words, threshold, out);
 }
 
 }  // namespace
 
 void BatchDistancesAvx2(const uint64_t* query, const uint64_t* codes, int n,
                         int words, int32_t threshold, int32_t* out) {
-  // Narrow codes are exact regardless of threshold — computing them fully
-  // is cheaper than any pruning bookkeeping (the contract allows exact
-  // values at or above the threshold).
-  if (words == 1) {
-    BatchWords1(query[0], codes, n, out);
-  } else if (words == 2) {
-    BatchWords2(query, codes, n, out);
-  } else {
-    BatchGeneric(query, codes, n, words, threshold, out);
-  }
+  BatchAvx2Impl<false>(query, codes, n, words, threshold, out);
+}
+
+int32_t BatchDistancesMinAvx2(const uint64_t* query, const uint64_t* codes,
+                              int n, int words, int32_t threshold,
+                              int32_t* out) {
+  return BatchAvx2Impl<true>(query, codes, n, words, threshold, out);
 }
 
 #endif  // UHSCM_HAVE_AVX2_KERNELS
+
+#if defined(UHSCM_HAVE_AVX512_KERNELS)
+
+#define UHSCM_AVX512_FN __attribute__((target("avx512f,avx512bw,avx512vl")))
+#define UHSCM_AVX512VP_FN \
+  __attribute__((target("avx512f,avx512bw,avx512vl,avx512vpopcntdq")))
+
+namespace {
+
+// ------------------------- VPOPCNTDQ sub-tier (Ice Lake+, Zen 4+) -------
+
+/// XOR of the v-th 512-bit chunk (8 words) of a code and query row.
+UHSCM_AVX512_FN inline __m512i LoadXor512(const uint64_t* code,
+                                          const uint64_t* query, int v) {
+  const __m512i c = _mm512_loadu_si512(code + 8 * static_cast<size_t>(v));
+  const __m512i q = _mm512_loadu_si512(query + 8 * static_cast<size_t>(v));
+  return _mm512_xor_si512(c, q);
+}
+
+/// 64-bit codes: eight codes per 512-bit load, one native popcount each;
+/// the 64->32 narrowing store writes all eight outputs at once.
+template <bool kTrackMin>
+UHSCM_AVX512VP_FN int32_t BatchWords1Vp(uint64_t q0, const uint64_t* codes,
+                                        int n, int32_t* out) {
+  const __m512i q = _mm512_set1_epi64(static_cast<long long>(q0));
+  __m512i minacc = _mm512_set1_epi64(INT32_MAX);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(codes + i);
+    const __m512i p = _mm512_popcnt_epi64(_mm512_xor_si512(v, q));
+    if constexpr (kTrackMin) minacc = _mm512_min_epi64(minacc, p);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm512_cvtepi64_epi32(p));
+  }
+  int32_t best = INT32_MAX;
+  if constexpr (kTrackMin) {
+    best = static_cast<int32_t>(_mm512_reduce_min_epi64(minacc));
+  }
+  for (; i < n; ++i) {
+    out[i] = Popcount64(q0 ^ codes[i]);
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
+  }
+  return best;
+}
+
+/// 128-bit codes: four codes per 512-bit load; adjacent 64-bit lane
+/// pairs sum into the even lanes, which a lane gather extracts.
+template <bool kTrackMin>
+UHSCM_AVX512VP_FN int32_t BatchWords2Vp(const uint64_t* query,
+                                        const uint64_t* codes, int n,
+                                        int32_t* out) {
+  const __m512i q = _mm512_broadcast_i32x4(_mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(query)));
+  // Selects lanes {0,2,4,6} (the per-code pair sums) of one vector.
+  const __m512i even = _mm512_setr_epi64(0, 2, 4, 6, 0, 2, 4, 6);
+  __m512i minacc = _mm512_set1_epi64(INT32_MAX);
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint64_t* p = codes + 2 * static_cast<size_t>(i);
+    const __m512i v = _mm512_loadu_si512(p);
+    const __m512i cnt = _mm512_popcnt_epi64(_mm512_xor_si512(v, q));
+    // lane j += lane j+1: after the shift, even lanes hold code sums.
+    const __m512i shifted = _mm512_alignr_epi64(_mm512_setzero_si512(), cnt, 1);
+    const __m512i sums = _mm512_add_epi64(cnt, shifted);
+    const __m512i packed = _mm512_permutexvar_epi64(even, sums);
+    if constexpr (kTrackMin) minacc = _mm512_min_epi64(minacc, packed);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(_mm512_cvtepi64_epi32(packed)));
+  }
+  int32_t best = INT32_MAX;
+  if constexpr (kTrackMin) {
+    best = static_cast<int32_t>(_mm512_reduce_min_epi64(minacc));
+  }
+  for (; i < n; ++i) {
+    out[i] = ScalarPair(query, codes + 2 * static_cast<size_t>(i), 2);
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
+  }
+  return best;
+}
+
+/// Any width >= 3 words, native popcount: two 512-bit accumulators (16
+/// words per iteration) keep the VPOPCNTQ port busy; the 8-word tail of
+/// the vectorized region uses one vector, the final < 8 words are
+/// scalar. Pruning checks the running lane sums every 16 words, like the
+/// scalar kernel.
+template <bool kTrackMin>
+UHSCM_AVX512VP_FN int32_t BatchGenericVp(const uint64_t* query,
+                                         const uint64_t* codes, int n,
+                                         int words, int32_t threshold,
+                                         int32_t* out) {
+  const int vecs = words / 8;
+  const int tail_start = vecs * 8;
+  const bool prune = threshold != kNoThreshold && words >= kPruneMinWords;
+  int32_t best = INT32_MAX;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* code = codes + static_cast<size_t>(i) * words;
+    uint64_t sum = 0;
+    int v = 0;
+    __m512i acc0 = _mm512_setzero_si512();
+    __m512i acc1 = _mm512_setzero_si512();
+    bool abandoned = false;
+    for (; v + 2 <= vecs; v += 2) {
+      acc0 = _mm512_add_epi64(acc0,
+                              _mm512_popcnt_epi64(LoadXor512(code, query, v)));
+      acc1 = _mm512_add_epi64(
+          acc1, _mm512_popcnt_epi64(LoadXor512(code, query, v + 1)));
+      if (prune &&
+          static_cast<uint64_t>(_mm512_reduce_add_epi64(acc0)) +
+                  static_cast<uint64_t>(_mm512_reduce_add_epi64(acc1)) >=
+              static_cast<uint64_t>(threshold)) {
+        sum = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc0)) +
+              static_cast<uint64_t>(_mm512_reduce_add_epi64(acc1));
+        abandoned = true;
+        break;
+      }
+    }
+    if (!abandoned) {
+      if (v < vecs) {
+        acc0 = _mm512_add_epi64(
+            acc0, _mm512_popcnt_epi64(LoadXor512(code, query, v)));
+      }
+      sum = static_cast<uint64_t>(_mm512_reduce_add_epi64(acc0)) +
+            static_cast<uint64_t>(_mm512_reduce_add_epi64(acc1));
+      for (int w = tail_start; w < words; ++w) {
+        sum += Popcount64(query[w] ^ code[w]);
+      }
+    }
+    out[i] = static_cast<int32_t>(sum);
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
+  }
+  return best;
+}
+
+// --------------------- AVX-512BW sub-tier (no VPOPCNTDQ; Skylake-X) -----
+
+/// Per-64-bit-lane popcount of a 512-bit vector via the same pshufb
+/// nibble LUT as the AVX2 tier, twice as wide.
+UHSCM_AVX512_FN inline __m512i PopcountLanes64Bw(__m512i v) {
+  const __m512i lut = _mm512_broadcast_i32x4(_mm_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i low = _mm512_set1_epi8(0x0f);
+  const __m512i lo = _mm512_and_si512(v, low);
+  const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low);
+  const __m512i cnt = _mm512_add_epi8(_mm512_shuffle_epi8(lut, lo),
+                                      _mm512_shuffle_epi8(lut, hi));
+  return _mm512_sad_epu8(cnt, _mm512_setzero_si512());
+}
+
+/// Carry-save adder, 512-bit: (h, l) = a + b + c in bit-sliced form.
+UHSCM_AVX512_FN inline void Csa512(__m512i* h, __m512i* l, __m512i a,
+                                   __m512i b, __m512i c) {
+  const __m512i u = _mm512_xor_si512(a, b);
+  *h = _mm512_or_si512(_mm512_and_si512(a, b), _mm512_and_si512(u, c));
+  *l = _mm512_xor_si512(u, c);
+}
+
+/// Width >= 8 words without native popcount: LUT popcounts over 512-bit
+/// chunks, under a Harley–Seal carry-save tree once >= 8 chunks (64
+/// words) are in play — one full LUT popcount per eight vectors.
+template <bool kTrackMin>
+UHSCM_AVX512_FN int32_t BatchGenericBw(const uint64_t* query,
+                                       const uint64_t* codes, int n, int words,
+                                       int32_t threshold, int32_t* out) {
+  const int vecs = words / 8;
+  const int tail_start = vecs * 8;
+  const bool prune = threshold != kNoThreshold && words >= kPruneMinWords;
+  int32_t best = INT32_MAX;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t* code = codes + static_cast<size_t>(i) * words;
+    uint64_t sum = 0;
+    int v = 0;
+    __m512i acc = _mm512_setzero_si512();
+    bool abandoned = false;
+    if (vecs >= 8) {
+      __m512i ones = _mm512_setzero_si512();
+      __m512i twos = _mm512_setzero_si512();
+      __m512i fours = _mm512_setzero_si512();
+      for (; v + 8 <= vecs; v += 8) {
+        __m512i twos_a, twos_b, fours_a, fours_b, eights;
+        Csa512(&twos_a, &ones, ones, LoadXor512(code, query, v),
+               LoadXor512(code, query, v + 1));
+        Csa512(&twos_b, &ones, ones, LoadXor512(code, query, v + 2),
+               LoadXor512(code, query, v + 3));
+        Csa512(&fours_a, &twos, twos, twos_a, twos_b);
+        Csa512(&twos_a, &ones, ones, LoadXor512(code, query, v + 4),
+               LoadXor512(code, query, v + 5));
+        Csa512(&twos_b, &ones, ones, LoadXor512(code, query, v + 6),
+               LoadXor512(code, query, v + 7));
+        Csa512(&fours_b, &twos, twos, twos_a, twos_b);
+        Csa512(&eights, &fours, fours, fours_a, fours_b);
+        acc = _mm512_add_epi64(acc, PopcountLanes64Bw(eights));
+        // 8 * acc ignores the ones/twos/fours residue, so it is a valid
+        // lower bound of the distance counted so far.
+        if (prune &&
+            8 * static_cast<uint64_t>(_mm512_reduce_add_epi64(acc)) >=
+                static_cast<uint64_t>(threshold)) {
+          sum = 8 * static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+          abandoned = true;
+          break;
+        }
+      }
+      if (!abandoned) {
+        sum =
+            8 * static_cast<uint64_t>(_mm512_reduce_add_epi64(acc)) +
+            4 * static_cast<uint64_t>(
+                    _mm512_reduce_add_epi64(PopcountLanes64Bw(fours))) +
+            2 * static_cast<uint64_t>(
+                    _mm512_reduce_add_epi64(PopcountLanes64Bw(twos))) +
+            static_cast<uint64_t>(
+                _mm512_reduce_add_epi64(PopcountLanes64Bw(ones)));
+        acc = _mm512_setzero_si512();
+      }
+    }
+    if (!abandoned) {
+      for (; v < vecs; ++v) {
+        acc = _mm512_add_epi64(acc, PopcountLanes64Bw(LoadXor512(code, query, v)));
+        if (prune && (v & 1) == 1 &&
+            sum + static_cast<uint64_t>(_mm512_reduce_add_epi64(acc)) >=
+                static_cast<uint64_t>(threshold)) {
+          abandoned = true;
+          break;
+        }
+      }
+      sum += static_cast<uint64_t>(_mm512_reduce_add_epi64(acc));
+      if (!abandoned) {
+        for (int w = tail_start; w < words; ++w) {
+          sum += Popcount64(query[w] ^ code[w]);
+        }
+      }
+    }
+    out[i] = static_cast<int32_t>(sum);
+    if constexpr (kTrackMin) best = MinInt32(best, out[i]);
+  }
+  return best;
+}
+
+bool Avx512VpopcntSupported() {
+  return __builtin_cpu_supports("avx512vpopcntdq");
+}
+
+template <bool kTrackMin>
+int32_t BatchAvx512Impl(const uint64_t* query, const uint64_t* codes, int n,
+                        int words, int32_t threshold, int32_t* out) {
+  static const bool vpopcnt = Avx512VpopcntSupported();
+  if (vpopcnt) {
+    if (words == 1) return BatchWords1Vp<kTrackMin>(query[0], codes, n, out);
+    if (words == 2) return BatchWords2Vp<kTrackMin>(query, codes, n, out);
+    return BatchGenericVp<kTrackMin>(query, codes, n, words, threshold, out);
+  }
+  // BW-only hosts: the 512-bit LUT path only beats AVX2 once a code
+  // spans whole 512-bit chunks; narrower codes stay on the AVX2 layouts
+  // (any AVX-512 CPU runs them).
+  if (words >= 8) {
+    return BatchGenericBw<kTrackMin>(query, codes, n, words, threshold, out);
+  }
+  return BatchAvx2Impl<kTrackMin>(query, codes, n, words, threshold, out);
+}
+
+}  // namespace
+
+void BatchDistancesAvx512(const uint64_t* query, const uint64_t* codes, int n,
+                          int words, int32_t threshold, int32_t* out) {
+  BatchAvx512Impl<false>(query, codes, n, words, threshold, out);
+}
+
+int32_t BatchDistancesMinAvx512(const uint64_t* query, const uint64_t* codes,
+                                int n, int words, int32_t threshold,
+                                int32_t* out) {
+  return BatchAvx512Impl<true>(query, codes, n, words, threshold, out);
+}
+
+#endif  // UHSCM_HAVE_AVX512_KERNELS
 
 bool Avx2Available() {
 #if defined(UHSCM_HAVE_AVX2_KERNELS)
@@ -259,10 +582,106 @@ bool Avx2Available() {
 #endif
 }
 
+bool Avx512Available() {
+#if defined(UHSCM_HAVE_AVX512_KERNELS)
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
+bool Avx512VpopcntAvailable() {
+#if defined(UHSCM_HAVE_AVX512_KERNELS)
+  return Avx512Available() && __builtin_cpu_supports("avx512vpopcntdq");
+#else
+  return false;
+#endif
+}
+
+bool ParseKernelTier(const char* name, KernelTier* tier) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *tier = KernelTier::kScalar;
+    return true;
+  }
+  if (std::strcmp(name, "avx2") == 0) {
+    *tier = KernelTier::kAvx2;
+    return true;
+  }
+  if (std::strcmp(name, "avx512") == 0) {
+    *tier = KernelTier::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+bool KernelTierAvailable(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return true;
+    case KernelTier::kAvx2:
+      return Avx2Available();
+    case KernelTier::kAvx512:
+      return Avx512Available();
+  }
+  return false;
+}
+
+namespace {
+
+KernelTier BestAvailableTier() {
+  if (Avx512Available()) return KernelTier::kAvx512;
+  if (Avx2Available()) return KernelTier::kAvx2;
+  return KernelTier::kScalar;
+}
+
+/// Resolves the override chain (see ActiveKernelTier in the header).
+/// Returns true and sets *tier when some override names a valid tier;
+/// `source` receives which knob did, for the fallback notice.
+bool ForcedTier(KernelTier* tier, const char** source) {
+  if (const char* v = std::getenv("UHSCM_FORCE_TIER");
+      v != nullptr && v[0] != '\0') {
+    if (ParseKernelTier(v, tier)) {
+      *source = "UHSCM_FORCE_TIER";
+      return true;
+    }
+    std::fprintf(stderr,
+                 "uhscm: UHSCM_FORCE_TIER=%s not recognized "
+                 "(scalar|avx2|avx512); using automatic dispatch\n",
+                 v);
+  }
+  if (ForceScalarEnv()) {
+    *tier = KernelTier::kScalar;
+    *source = "UHSCM_FORCE_SCALAR";
+    return true;
+  }
+#if defined(UHSCM_FORCE_TIER_BUILD)
+  if (ParseKernelTier(UHSCM_FORCE_TIER_BUILD, tier)) {
+    *source = "-DUHSCM_FORCE_TIER";
+    return true;
+  }
+#endif
+  return false;
+}
+
+}  // namespace
+
 KernelTier ActiveKernelTier() {
   static const KernelTier tier = [] {
-    if (!ForceScalarEnv() && Avx2Available()) return KernelTier::kAvx2;
-    return KernelTier::kScalar;
+    KernelTier forced;
+    const char* source = nullptr;
+    if (ForcedTier(&forced, &source)) {
+      if (KernelTierAvailable(forced)) return forced;
+      const KernelTier fallback = BestAvailableTier();
+      std::fprintf(stderr,
+                   "uhscm: %s=%s is not runnable on this CPU; "
+                   "falling back to %s\n",
+                   source, KernelTierName(forced), KernelTierName(fallback));
+      return fallback;
+    }
+    return BestAvailableTier();
   }();
   return tier;
 }
@@ -273,13 +692,20 @@ const char* KernelTierName(KernelTier tier) {
       return "scalar";
     case KernelTier::kAvx2:
       return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
 
 BatchDistanceFn GetBatchDistanceFn(KernelTier tier) {
+#if defined(UHSCM_HAVE_AVX512_KERNELS)
+  if (tier == KernelTier::kAvx512 && Avx512Available()) {
+    return &BatchDistancesAvx512;
+  }
+#endif
 #if defined(UHSCM_HAVE_AVX2_KERNELS)
-  if (tier == KernelTier::kAvx2 && Avx2Available()) {
+  if (tier != KernelTier::kScalar && Avx2Available()) {
     return &BatchDistancesAvx2;
   }
 #endif
@@ -287,8 +713,27 @@ BatchDistanceFn GetBatchDistanceFn(KernelTier tier) {
   return &BatchDistancesScalar;
 }
 
+BatchDistanceMinFn GetBatchDistanceMinFn(KernelTier tier) {
+#if defined(UHSCM_HAVE_AVX512_KERNELS)
+  if (tier == KernelTier::kAvx512 && Avx512Available()) {
+    return &BatchDistancesMinAvx512;
+  }
+#endif
+#if defined(UHSCM_HAVE_AVX2_KERNELS)
+  if (tier != KernelTier::kScalar && Avx2Available()) {
+    return &BatchDistancesMinAvx2;
+  }
+#endif
+  (void)tier;
+  return &BatchDistancesMinScalar;
+}
+
 BatchDistanceFn GetBatchDistanceFn() {
   return GetBatchDistanceFn(ActiveKernelTier());
+}
+
+BatchDistanceMinFn GetBatchDistanceMinFn() {
+  return GetBatchDistanceMinFn(ActiveKernelTier());
 }
 
 }  // namespace uhscm::index

@@ -10,14 +10,20 @@ namespace uhscm::index {
 /// The serving and eval hot loops score one packed query against a long
 /// contiguous run of packed codes. These kernels amortize that pattern:
 /// one call computes `n` distances, letting the implementation vectorize
-/// across codes (AVX2 nibble-LUT popcount, Harley–Seal carry-save
-/// accumulation for wide codes) instead of paying per-pair call and loop
-/// overhead. The scalar tier is the semantic reference; every other tier
-/// must be bit-for-bit identical to it (tests/hamming_kernels_test.cc).
+/// across codes (AVX2 nibble-LUT popcount, AVX-512 VPOPCNTDQ or 512-bit
+/// Harley–Seal carry-save accumulation for wide codes) instead of paying
+/// per-pair call and loop overhead. The scalar tier is the semantic
+/// reference; every other tier must be bit-for-bit identical to it
+/// (tests/hamming_kernels_test.cc).
 enum class KernelTier {
   kScalar,  ///< portable unrolled __builtin_popcountll loop
   kAvx2,    ///< 256-bit pshufb nibble-LUT popcount, Harley–Seal for wide codes
+  kAvx512,  ///< 512-bit VPOPCNTDQ, or Harley–Seal over 512-bit LUT popcounts
+            ///< on AVX-512BW-only hosts
 };
+
+/// Number of dispatchable tiers (bench sweeps iterate 0..kNumKernelTiers).
+inline constexpr int kNumKernelTiers = 3;
 
 /// Distances from one query to `n` contiguous packed codes.
 ///
@@ -32,38 +38,94 @@ using BatchDistanceFn = void (*)(const uint64_t* query, const uint64_t* codes,
                                  int n, int words, int32_t threshold,
                                  int32_t* out);
 
+/// Fused-reduction variant: identical output contract to BatchDistanceFn,
+/// plus the minimum of the `n` reported outputs is returned — computed in
+/// registers while the distances are still hot instead of by a second
+/// pass over `out`. Because every reported output lower-bounds its true
+/// distance (exactly equal below `threshold`), the returned value is an
+/// exact lower bound of the true block minimum, and whenever the true
+/// block minimum is < `threshold` the return value equals it exactly
+/// (a code that beats the threshold is never abandoned). The batched scan
+/// uses this to decide block skips without re-reading the distance buffer
+/// it just wrote. Returns INT32_MAX when n == 0.
+using BatchDistanceMinFn = int32_t (*)(const uint64_t* query,
+                                       const uint64_t* codes, int n, int words,
+                                       int32_t threshold, int32_t* out);
+
 /// Threshold value that disables pruning (every distance exact).
 inline constexpr int32_t kNoThreshold = INT32_MAX;
 
-/// Reference scalar kernel (always available, always exact semantics).
+/// Reference scalar kernels (always available, always exact semantics).
 void BatchDistancesScalar(const uint64_t* query, const uint64_t* codes, int n,
                           int words, int32_t threshold, int32_t* out);
+int32_t BatchDistancesMinScalar(const uint64_t* query, const uint64_t* codes,
+                                int n, int words, int32_t threshold,
+                                int32_t* out);
 
 /// True when this build carries the AVX2 tier and the CPU supports it.
 bool Avx2Available();
 
+/// True when this build carries the AVX-512 tier and the CPU supports
+/// AVX-512F/BW/VL (the minimum the 512-bit kernels need). VPOPCNTDQ is
+/// detected separately inside the tier: hosts with it use the native
+/// 64-bit lane popcount, AVX-512BW-only hosts (Skylake-X era) use a
+/// 512-bit nibble-LUT popcount under a Harley–Seal carry-save tree.
+bool Avx512Available();
+
+/// True when the AVX-512 tier would use native VPOPCNTDQ (informational,
+/// for logs and bench labels).
+bool Avx512VpopcntAvailable();
+
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define UHSCM_HAVE_AVX2_KERNELS 1
+#define UHSCM_HAVE_AVX512_KERNELS 1
 /// AVX2 tier. Precondition: Avx2Available().
 void BatchDistancesAvx2(const uint64_t* query, const uint64_t* codes, int n,
                         int words, int32_t threshold, int32_t* out);
+int32_t BatchDistancesMinAvx2(const uint64_t* query, const uint64_t* codes,
+                              int n, int words, int32_t threshold,
+                              int32_t* out);
+/// AVX-512 tier. Precondition: Avx512Available().
+void BatchDistancesAvx512(const uint64_t* query, const uint64_t* codes, int n,
+                          int words, int32_t threshold, int32_t* out);
+int32_t BatchDistancesMinAvx512(const uint64_t* query, const uint64_t* codes,
+                                int n, int words, int32_t threshold,
+                                int32_t* out);
 #endif
 
 /// The tier the dispatcher selected for this process: the best tier the
-/// CPU supports, unless the environment variable UHSCM_FORCE_SCALAR is
-/// set to a non-empty, non-"0" value (CI uses this to exercise the
-/// fallback on AVX2 machines). Decided once, at first use.
+/// CPU supports unless overridden. Override precedence, decided once at
+/// first use:
+///   1. UHSCM_FORCE_TIER=scalar|avx2|avx512 (environment)
+///   2. UHSCM_FORCE_SCALAR=1 (environment; compat alias for =scalar)
+///   3. -DUHSCM_FORCE_TIER=... at cmake configure time (build default)
+/// A forced tier the CPU cannot run falls back to the best available
+/// tier below it, with a one-time stderr notice; an unparseable value is
+/// ignored the same way. CI uses the override to exercise every compiled
+/// tier on capable machines.
 KernelTier ActiveKernelTier();
 
-/// Human-readable tier name ("scalar", "avx2") for logs and benches.
+/// Parses a tier name ("scalar", "avx2", "avx512") as used by
+/// UHSCM_FORCE_TIER. Returns false (and leaves *tier untouched) for any
+/// other string.
+bool ParseKernelTier(const char* name, KernelTier* tier);
+
+/// Human-readable tier name ("scalar", "avx2", "avx512") for logs and
+/// benches.
 const char* KernelTierName(KernelTier tier);
 
-/// The dispatched batch kernel for `ActiveKernelTier()`.
-BatchDistanceFn GetBatchDistanceFn();
+/// True when `tier` is compiled in and runnable on this CPU.
+bool KernelTierAvailable(KernelTier tier);
 
-/// Kernel for an explicit tier (benches compare tiers side by side).
-/// Falls back to scalar when the requested tier is unavailable.
+/// The dispatched batch kernels for `ActiveKernelTier()`.
+BatchDistanceFn GetBatchDistanceFn();
+BatchDistanceMinFn GetBatchDistanceMinFn();
+
+/// Kernels for an explicit tier (benches compare tiers side by side).
+/// An unavailable tier falls back to the best available tier below it
+/// (avx512 -> avx2 -> scalar).
 BatchDistanceFn GetBatchDistanceFn(KernelTier tier);
+BatchDistanceMinFn GetBatchDistanceMinFn(KernelTier tier);
 
 }  // namespace uhscm::index
 

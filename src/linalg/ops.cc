@@ -2,10 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <thread>
+#include <vector>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "index/hamming_kernels.h"
 
 namespace uhscm::linalg {
 
@@ -60,9 +67,235 @@ inline void Axpy1(float* crow, float av, const float* brow, int n) {
   for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
 }
 
+// ------------------------------------------------ packed-panel GEMM
+//
+// GotoBLAS-style structure: the inner dimension is cut into kGemmKC-deep
+// slabs; per slab, B is packed once into contiguous kNR-wide j-panels
+// (so the micro-kernel streams it linearly), and each parallel unit
+// packs its kGemmMC x kGemmKC block of A into kMR-tall i-panels. The
+// micro-kernel then computes a kMR x kNR tile of C held entirely in
+// registers — 12 ymm accumulators on the AVX2+FMA path — with one
+// broadcast per A element and two loads per B step. Edge tiles route
+// through a zero-padded scratch tile so the hot kernel never branches.
+
+constexpr int kMR = 6;        // micro-tile rows (A panel height)
+constexpr int kNR = 16;       // micro-tile cols (B panel width, 2 x ymm)
+constexpr int kGemmKC = 256;  // inner-dimension slab depth
+constexpr int kGemmMC = 96;   // A block rows per parallel unit (kMR * 16)
+
+/// Below this many multiply-adds the packing overhead beats the
+/// micro-kernel win; such products stay on the cache-blocked loop.
+constexpr int64_t kPackedMinFlops = int64_t{1} << 18;
+
+/// c[0..kMR) x [0..kNR) += A-panel * B-panel over kc inner steps.
+/// `ap` is kMR floats per step, `bp` kNR floats per step, `c` row-major
+/// with leading dimension ldc. Full tiles only.
+using MicroKernelFn = void (*)(int kc, const float* ap, const float* bp,
+                               float* c, int ldc);
+
+/// Portable micro-kernel: fixed-extent inner loops over a stack tile the
+/// compiler can keep vectorized with baseline SSE.
+void Micro6x16Scalar(int kc, const float* ap, const float* bp, float* c,
+                     int ldc) {
+  float acc[kMR][kNR];
+  for (int r = 0; r < kMR; ++r) {
+    for (int j = 0; j < kNR; ++j) acc[r][j] = c[r * ldc + j];
+  }
+  for (int p = 0; p < kc; ++p) {
+    const float* b = bp + p * kNR;
+    const float* a = ap + p * kMR;
+    for (int r = 0; r < kMR; ++r) {
+      const float av = a[r];
+      for (int j = 0; j < kNR; ++j) acc[r][j] += av * b[j];
+    }
+  }
+  for (int r = 0; r < kMR; ++r) {
+    for (int j = 0; j < kNR; ++j) c[r * ldc + j] = acc[r][j];
+  }
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define UHSCM_HAVE_GEMM_AVX2 1
+#define UHSCM_GEMM_FN __attribute__((target("avx2,fma")))
+
+/// AVX2+FMA micro-kernel: 6 x 16 C tile in 12 ymm accumulators, two B
+/// vectors reused across six broadcast-FMA rows per inner step.
+UHSCM_GEMM_FN void Micro6x16Avx2(int kc, const float* ap, const float* bp,
+                                 float* c, int ldc) {
+  __m256 c00 = _mm256_loadu_ps(c + 0 * ldc), c01 = _mm256_loadu_ps(c + 0 * ldc + 8);
+  __m256 c10 = _mm256_loadu_ps(c + 1 * ldc), c11 = _mm256_loadu_ps(c + 1 * ldc + 8);
+  __m256 c20 = _mm256_loadu_ps(c + 2 * ldc), c21 = _mm256_loadu_ps(c + 2 * ldc + 8);
+  __m256 c30 = _mm256_loadu_ps(c + 3 * ldc), c31 = _mm256_loadu_ps(c + 3 * ldc + 8);
+  __m256 c40 = _mm256_loadu_ps(c + 4 * ldc), c41 = _mm256_loadu_ps(c + 4 * ldc + 8);
+  __m256 c50 = _mm256_loadu_ps(c + 5 * ldc), c51 = _mm256_loadu_ps(c + 5 * ldc + 8);
+  for (int p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp + p * kNR);
+    const __m256 b1 = _mm256_loadu_ps(bp + p * kNR + 8);
+    const float* a = ap + p * kMR;
+    __m256 av;
+    av = _mm256_broadcast_ss(a + 0);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    av = _mm256_broadcast_ss(a + 1);
+    c10 = _mm256_fmadd_ps(av, b0, c10);
+    c11 = _mm256_fmadd_ps(av, b1, c11);
+    av = _mm256_broadcast_ss(a + 2);
+    c20 = _mm256_fmadd_ps(av, b0, c20);
+    c21 = _mm256_fmadd_ps(av, b1, c21);
+    av = _mm256_broadcast_ss(a + 3);
+    c30 = _mm256_fmadd_ps(av, b0, c30);
+    c31 = _mm256_fmadd_ps(av, b1, c31);
+    av = _mm256_broadcast_ss(a + 4);
+    c40 = _mm256_fmadd_ps(av, b0, c40);
+    c41 = _mm256_fmadd_ps(av, b1, c41);
+    av = _mm256_broadcast_ss(a + 5);
+    c50 = _mm256_fmadd_ps(av, b0, c50);
+    c51 = _mm256_fmadd_ps(av, b1, c51);
+  }
+  _mm256_storeu_ps(c + 0 * ldc, c00);
+  _mm256_storeu_ps(c + 0 * ldc + 8, c01);
+  _mm256_storeu_ps(c + 1 * ldc, c10);
+  _mm256_storeu_ps(c + 1 * ldc + 8, c11);
+  _mm256_storeu_ps(c + 2 * ldc, c20);
+  _mm256_storeu_ps(c + 2 * ldc + 8, c21);
+  _mm256_storeu_ps(c + 3 * ldc, c30);
+  _mm256_storeu_ps(c + 3 * ldc + 8, c31);
+  _mm256_storeu_ps(c + 4 * ldc, c40);
+  _mm256_storeu_ps(c + 4 * ldc + 8, c41);
+  _mm256_storeu_ps(c + 5 * ldc, c50);
+  _mm256_storeu_ps(c + 5 * ldc + 8, c51);
+}
+#endif  // x86_64
+
+MicroKernelFn PickMicroKernel() {
+#if defined(UHSCM_HAVE_GEMM_AVX2)
+  if (PackedGemmAvailable()) return &Micro6x16Avx2;
+#endif
+  return &Micro6x16Scalar;
+}
+
+/// Packs the kc-deep slice of logical A rows [i0, i0+mc) into kMR-tall
+/// i-panels: panel ip holds, per inner step p, the kMR values
+/// A(i0+ip*kMR+r, p0+p), zero-padded past mc. `trans` reads A stored as
+/// (k x m) row-major, i.e. logical A(i, p) = a[p * lda + i].
+void PackAPanels(const float* a, int lda, bool trans, int i0, int mc, int p0,
+                 int kc, float* dst) {
+  const int panels = (mc + kMR - 1) / kMR;
+  for (int ip = 0; ip < panels; ++ip) {
+    float* panel = dst + static_cast<size_t>(ip) * kc * kMR;
+    const int rows = std::min(kMR, mc - ip * kMR);
+    if (trans) {
+      for (int p = 0; p < kc; ++p) {
+        const float* src = a + static_cast<size_t>(p0 + p) * lda + i0 + ip * kMR;
+        float* out = panel + p * kMR;
+        for (int r = 0; r < rows; ++r) out[r] = src[r];
+        for (int r = rows; r < kMR; ++r) out[r] = 0.0f;
+      }
+    } else {
+      for (int r = 0; r < rows; ++r) {
+        const float* src = a + static_cast<size_t>(i0 + ip * kMR + r) * lda + p0;
+        for (int p = 0; p < kc; ++p) panel[p * kMR + r] = src[p];
+      }
+      for (int r = rows; r < kMR; ++r) {
+        for (int p = 0; p < kc; ++p) panel[p * kMR + r] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs the kc-deep slice of all n logical B columns into kNR-wide
+/// j-panels: panel jp holds, per inner step p, the kNR values
+/// B(p0+p, jp*kNR+j), zero-padded past n. `trans` reads B stored as
+/// (n x k) row-major, i.e. logical B(p, j) = b[j * ldb + p].
+void PackBPanels(const float* b, int ldb, bool trans, int p0, int kc, int n,
+                 float* dst) {
+  const int panels = (n + kNR - 1) / kNR;
+  for (int jp = 0; jp < panels; ++jp) {
+    float* panel = dst + static_cast<size_t>(jp) * kc * kNR;
+    const int cols = std::min(kNR, n - jp * kNR);
+    if (trans) {
+      for (int j = 0; j < cols; ++j) {
+        const float* src = b + static_cast<size_t>(jp * kNR + j) * ldb + p0;
+        for (int p = 0; p < kc; ++p) panel[p * kNR + j] = src[p];
+      }
+      for (int j = cols; j < kNR; ++j) {
+        for (int p = 0; p < kc; ++p) panel[p * kNR + j] = 0.0f;
+      }
+    } else {
+      for (int p = 0; p < kc; ++p) {
+        const float* src = b + static_cast<size_t>(p0 + p) * ldb + jp * kNR;
+        float* out = panel + p * kNR;
+        for (int j = 0; j < cols; ++j) out[j] = src[j];
+        for (int j = cols; j < kNR; ++j) out[j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// C(m x n, ldc) += A * B over the packed panels. The A/B transpose
+/// flags select the packing reads; the compute loop is identical for all
+/// three MatMul entry points.
+void PackedGemmInto(int m, int n, int k, const float* a, int lda, bool a_trans,
+                    const float* b, int ldb, bool b_trans, float* c, int ldc) {
+  static const MicroKernelFn micro = PickMicroKernel();
+  const int jpanels = (n + kNR - 1) / kNR;
+  std::vector<float> bpack(static_cast<size_t>(jpanels) * kGemmKC * kNR);
+  for (int p0 = 0; p0 < k; p0 += kGemmKC) {
+    const int kc = std::min(kGemmKC, k - p0);
+    PackBPanels(b, ldb, b_trans, p0, kc, n, bpack.data());
+    const int iblocks = (m + kGemmMC - 1) / kGemmMC;
+    ParallelFor(iblocks, [&](int ib) {
+      const int i0 = ib * kGemmMC;
+      const int mc = std::min(kGemmMC, m - i0);
+      const int ipanels = (mc + kMR - 1) / kMR;
+      std::vector<float> apack(static_cast<size_t>(ipanels) * kc * kMR);
+      PackAPanels(a, lda, a_trans, i0, mc, p0, kc, apack.data());
+      alignas(32) float scratch[kMR * kNR];
+      for (int jp = 0; jp < jpanels; ++jp) {
+        const float* bp = bpack.data() + static_cast<size_t>(jp) * kc * kNR;
+        const int j0 = jp * kNR;
+        const int cols = std::min(kNR, n - j0);
+        for (int ip = 0; ip < ipanels; ++ip) {
+          const float* ap = apack.data() + static_cast<size_t>(ip) * kc * kMR;
+          const int i = i0 + ip * kMR;
+          const int rows = std::min(kMR, m - i);
+          if (rows == kMR && cols == kNR) {
+            micro(kc, ap, bp, c + static_cast<size_t>(i) * ldc + j0, ldc);
+          } else {
+            // Edge tile: accumulate into a zeroed scratch tile, then add
+            // the valid region back — the micro-kernel stays branch-free.
+            std::memset(scratch, 0, sizeof(scratch));
+            micro(kc, ap, bp, scratch, kNR);
+            for (int r = 0; r < rows; ++r) {
+              float* crow = c + static_cast<size_t>(i + r) * ldc + j0;
+              for (int j = 0; j < cols; ++j) crow[j] += scratch[r * kNR + j];
+            }
+          }
+        }
+      }
+    });
+  }
+}
+
 }  // namespace
 
-Matrix MatMul(const Matrix& a, const Matrix& b) {
+bool PackedGemmAvailable() {
+#if defined(UHSCM_HAVE_GEMM_AVX2)
+  static const bool available = [] {
+    if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma")) {
+      return false;
+    }
+    // Honor the kernel-tier override so the forced-scalar CI legs cover
+    // the portable micro-kernel alongside the scalar Hamming tier.
+    return index::ActiveKernelTier() != index::KernelTier::kScalar;
+  }();
+  return available;
+#else
+  return false;
+#endif
+}
+
+Matrix MatMulBlocked(const Matrix& a, const Matrix& b) {
   UHSCM_CHECK(a.cols() == b.rows(), "MatMul: inner dims mismatch");
   Matrix c(a.rows(), b.cols());
   const int m = a.rows();
@@ -93,8 +326,29 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  UHSCM_CHECK(a.cols() == b.rows(), "MatMul: inner dims mismatch");
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  if (int64_t{m} * k * n < kPackedMinFlops) return MatMulBlocked(a, b);
+  Matrix c(m, n);
+  PackedGemmInto(m, n, k, a.data(), k, /*a_trans=*/false, b.data(), n,
+                 /*b_trans=*/false, c.Row(0), n);
+  return c;
+}
+
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   UHSCM_CHECK(a.rows() == b.rows(), "MatMulTransA: dims mismatch");
+  const int pm = a.cols();
+  const int pk = a.rows();
+  const int pn = b.cols();
+  if (int64_t{pm} * pk * pn >= kPackedMinFlops) {
+    Matrix c(pm, pn);
+    PackedGemmInto(pm, pn, pk, a.data(), pm, /*a_trans=*/true, b.data(), pn,
+                   /*b_trans=*/false, c.Row(0), pn);
+    return c;
+  }
   Matrix c(a.cols(), b.cols());
   const int m = a.cols();
   const int k = a.rows();
@@ -128,6 +382,13 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   UHSCM_CHECK(a.cols() == b.cols(), "MatMulTransB: dims mismatch");
+  if (int64_t{a.rows()} * a.cols() * b.rows() >= kPackedMinFlops) {
+    Matrix c(a.rows(), b.rows());
+    PackedGemmInto(a.rows(), b.rows(), a.cols(), a.data(), a.cols(),
+                   /*a_trans=*/false, b.data(), b.cols(), /*b_trans=*/true,
+                   c.Row(0), b.rows());
+    return c;
+  }
   Matrix c(a.rows(), b.rows());
   const int k = a.cols();
   const int nb = b.rows();

@@ -7,14 +7,34 @@
 
 namespace uhscm::linalg {
 
-/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). Parallel over rows.
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). Parallel over row
+/// blocks. Products big enough to amortize packing go through the
+/// packed-panel GEMM micro-kernel (j-panel packing + a 6x16 register
+/// tile, explicitly vectorized with AVX2+FMA where the CPU has it);
+/// small products stay on the cache-blocked loop (MatMulBlocked).
 Matrix MatMul(const Matrix& a, const Matrix& b);
 
-/// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n).
+/// C = A^T * B. Shapes: (k x m)^T * (k x n) -> (m x n). Same packed-panel
+/// dispatch as MatMul (the packing step absorbs the transpose).
 Matrix MatMulTransA(const Matrix& a, const Matrix& b);
 
-/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+/// C = A * B^T. Shapes: (m x k) * (n x k)^T -> (m x n). Same packed-panel
+/// dispatch as MatMul (the packing step absorbs the transpose).
 Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// The pre-packing cache-blocked implementation of MatMul, kept as the
+/// portable fallback for small products and as the baseline the
+/// micro-kernel benches compare against (bench/micro_perf.cc
+/// BM_PackedGemm).
+Matrix MatMulBlocked(const Matrix& a, const Matrix& b);
+
+/// True when the packed-panel GEMM will use the AVX2+FMA micro-kernel on
+/// this host (compiled in, CPU supports it, and kernel dispatch is not
+/// forced to scalar via UHSCM_FORCE_TIER/UHSCM_FORCE_SCALAR — the forced
+/// -scalar CI leg covers the portable micro-kernel the same way it
+/// covers the scalar Hamming tier). When false, packed products run the
+/// portable 6x16 micro-kernel.
+bool PackedGemmAvailable();
 
 /// y = A * x. Precondition: x.size() == A.cols().
 Vector MatVec(const Matrix& a, const Vector& x);

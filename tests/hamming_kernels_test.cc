@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,6 +19,18 @@ namespace {
 
 using linalg::Matrix;
 using uhscm::testing::RandomSignCodes;
+
+/// The tiers this host can actually run — the cross-tier exactness tests
+/// iterate these so an avx512 machine checks all three and an avx2-only
+/// machine still checks two.
+std::vector<KernelTier> AvailableTiers() {
+  std::vector<KernelTier> tiers;
+  for (const KernelTier tier :
+       {KernelTier::kScalar, KernelTier::kAvx2, KernelTier::kAvx512}) {
+    if (KernelTierAvailable(tier)) tiers.push_back(tier);
+  }
+  return tiers;
+}
 
 // ------------------------------------------------------- kernel equality
 
@@ -53,6 +67,50 @@ TEST_P(KernelWidths, AllTiersMatchScalarReferenceExactly) {
                 ref[static_cast<size_t>(i)])
           << KernelTierName(ActiveKernelTier()) << " bits=" << bits
           << " q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST_P(KernelWidths, EveryAvailableTierAndMinVariantMatchesReference) {
+  // The full tier-cross matrix: every tier this host can run — through
+  // both the plain kernel and the fused distance+min kernel — must
+  // reproduce the scalar reference exactly, and the fused kernel's
+  // return value must equal the minimum of the distances it wrote.
+  // Ragged counts (257, then tails of 1 and 3) exercise every kernel's
+  // partial-vector handling.
+  const int bits = GetParam();
+  Rng rng(4100 + bits);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(257, bits, &rng));
+  PackedCodes query = PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  const int words = db.words_per_code();
+
+  for (const int n : {257, 3, 1}) {
+    std::vector<int32_t> ref(static_cast<size_t>(n));
+    BatchDistancesScalar(query.code(0), db.code(0), n, words, kNoThreshold,
+                         ref.data());
+    int32_t ref_min = ref[0];
+    for (int i = 1; i < n; ++i) ref_min = std::min(ref_min, ref[i]);
+
+    for (const KernelTier tier : AvailableTiers()) {
+      std::vector<int32_t> out(static_cast<size_t>(n), -1);
+      GetBatchDistanceFn(tier)(query.code(0), db.code(0), n, words,
+                               kNoThreshold, out.data());
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(out[static_cast<size_t>(i)], ref[static_cast<size_t>(i)])
+            << KernelTierName(tier) << " bits=" << bits << " n=" << n
+            << " i=" << i;
+      }
+
+      std::fill(out.begin(), out.end(), -1);
+      const int32_t got_min = GetBatchDistanceMinFn(tier)(
+          query.code(0), db.code(0), n, words, kNoThreshold, out.data());
+      EXPECT_EQ(got_min, ref_min)
+          << "min " << KernelTierName(tier) << " bits=" << bits << " n=" << n;
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(out[static_cast<size_t>(i)], ref[static_cast<size_t>(i)])
+            << "min " << KernelTierName(tier) << " bits=" << bits
+            << " n=" << n << " i=" << i;
+      }
     }
   }
 }
@@ -97,14 +155,90 @@ TEST(KernelThreshold, PrunedOutputsAreSafeLowerBounds) {
   }
 }
 
+TEST(KernelThreshold, FusedMinIsExactLowerBoundUnderPruning) {
+  // Fused-path contract that the batch scan's block skip rests on: the
+  // returned minimum is min(outputs), pruned outputs lower-bound their
+  // true distances, so the return is a lower bound of the true block
+  // minimum — and when the true minimum beats the threshold, that code
+  // is never abandoned, making the return exactly the true minimum.
+  const int bits = 2048;  // wide code: pruning fires inside every kernel
+  const int n = 300;
+  Rng rng(33);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(n, bits, &rng));
+  PackedCodes query =
+      PackedCodes::FromSignMatrix(RandomSignCodes(1, bits, &rng));
+  const int words = db.words_per_code();
+
+  std::vector<int32_t> exact(static_cast<size_t>(n));
+  BatchDistancesScalar(query.code(0), db.code(0), n, words, kNoThreshold,
+                       exact.data());
+  int32_t true_min = exact[0];
+  for (int i = 1; i < n; ++i) true_min = std::min(true_min, exact[i]);
+
+  // Sweep thresholds on both sides of the true minimum so both "exact"
+  // and "lower bound only" regimes fire.
+  for (const int32_t threshold :
+       {true_min - 8, true_min + 1, true_min + 64, bits / 2}) {
+    for (const KernelTier tier : AvailableTiers()) {
+      std::vector<int32_t> out(static_cast<size_t>(n));
+      const int32_t got = GetBatchDistanceMinFn(tier)(
+          query.code(0), db.code(0), n, words, threshold, out.data());
+      int32_t out_min = out[0];
+      for (int i = 1; i < n; ++i) out_min = std::min(out_min, out[i]);
+      EXPECT_EQ(got, out_min) << KernelTierName(tier) << " t=" << threshold;
+      EXPECT_LE(got, true_min) << KernelTierName(tier) << " t=" << threshold;
+      if (true_min < threshold) {
+        EXPECT_EQ(got, true_min)
+            << "qualifying minimum must be exact, "
+            << KernelTierName(tier) << " t=" << threshold;
+      }
+    }
+  }
+
+  // Empty block: identity of min, so skips behave (INT32_MAX >= any
+  // threshold).
+  for (const KernelTier tier : AvailableTiers()) {
+    int32_t unused = 0;
+    EXPECT_EQ(GetBatchDistanceMinFn(tier)(query.code(0), db.code(0), 0, words,
+                                          bits / 2, &unused),
+              std::numeric_limits<int32_t>::max());
+  }
+}
+
 TEST(KernelDispatch, TierNamesAndExplicitLookup) {
   EXPECT_STREQ(KernelTierName(KernelTier::kScalar), "scalar");
   EXPECT_STREQ(KernelTierName(KernelTier::kAvx2), "avx2");
+  EXPECT_STREQ(KernelTierName(KernelTier::kAvx512), "avx512");
   EXPECT_EQ(GetBatchDistanceFn(KernelTier::kScalar), &BatchDistancesScalar);
+  EXPECT_EQ(GetBatchDistanceMinFn(KernelTier::kScalar),
+            &BatchDistancesMinScalar);
+  EXPECT_TRUE(KernelTierAvailable(KernelTier::kScalar));
+  // Graded fallback: asking for a tier the host lacks returns the next
+  // tier down, never a crash and never a scalar jump past an available
+  // middle tier.
   if (!Avx2Available()) {
     EXPECT_EQ(GetBatchDistanceFn(KernelTier::kAvx2), &BatchDistancesScalar);
     EXPECT_EQ(ActiveKernelTier(), KernelTier::kScalar);
   }
+  if (!Avx512Available()) {
+    EXPECT_EQ(GetBatchDistanceFn(KernelTier::kAvx512),
+              GetBatchDistanceFn(KernelTier::kAvx2));
+  }
+}
+
+TEST(KernelDispatch, ParseKernelTier) {
+  KernelTier tier = KernelTier::kAvx2;
+  EXPECT_TRUE(ParseKernelTier("scalar", &tier));
+  EXPECT_EQ(tier, KernelTier::kScalar);
+  EXPECT_TRUE(ParseKernelTier("avx2", &tier));
+  EXPECT_EQ(tier, KernelTier::kAvx2);
+  EXPECT_TRUE(ParseKernelTier("avx512", &tier));
+  EXPECT_EQ(tier, KernelTier::kAvx512);
+  tier = KernelTier::kScalar;
+  EXPECT_FALSE(ParseKernelTier("avx999", &tier));
+  EXPECT_FALSE(ParseKernelTier("", &tier));
+  EXPECT_FALSE(ParseKernelTier(nullptr, &tier));
+  EXPECT_EQ(tier, KernelTier::kScalar) << "failed parse must not write";
 }
 
 // ----------------------------------------------------- batched top-k scan
@@ -187,6 +321,46 @@ TEST(BatchTopKTest, ForcedScalarTierMatchesDispatchedTier) {
     for (size_t i = 0; i < scalar[q].size(); ++i) {
       EXPECT_EQ(scalar[q][i].id, dispatched[q][i].id);
       EXPECT_EQ(scalar[q][i].distance, dispatched[q][i].distance);
+    }
+  }
+}
+
+TEST(BatchTopKTest, FusedAndUnfusedAreByteIdenticalAcrossTiers) {
+  // The fused_min toggle and the tier must never change results — ids,
+  // distances, and tie-break order all match the per-query scan for
+  // every (tier, fused) combination. bits=16 forces heavy ties so the
+  // ordering contract is actually stressed; k=10 keeps the early-abandon
+  // threshold armed for most blocks.
+  Rng rng(91);
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(700, 16, &rng));
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(6, 16, &rng));
+  LinearScanIndex scan(
+      PackedCodes::FromRawWords(db.size(), db.bits(), db.words()));
+
+  for (const KernelTier tier : AvailableTiers()) {
+    for (const bool fused : {false, true}) {
+      BatchScanOptions options;
+      options.force_tier = true;
+      options.tier = tier;
+      options.fused_min = fused;
+      options.code_block = 64;  // several blocks, so skips can trigger
+      const auto got = BatchTopK(db, queries, 10, options);
+      ASSERT_EQ(got.size(), 6u);
+      for (int q = 0; q < queries.size(); ++q) {
+        const auto expect = scan.TopK(queries.code(q), 10);
+        const auto& g = got[static_cast<size_t>(q)];
+        ASSERT_EQ(g.size(), expect.size())
+            << KernelTierName(tier) << " fused=" << fused << " q=" << q;
+        for (size_t i = 0; i < expect.size(); ++i) {
+          EXPECT_EQ(g[i].id, expect[i].id)
+              << KernelTierName(tier) << " fused=" << fused << " q=" << q
+              << " rank=" << i;
+          EXPECT_EQ(g[i].distance, expect[i].distance)
+              << KernelTierName(tier) << " fused=" << fused << " q=" << q
+              << " rank=" << i;
+        }
+      }
     }
   }
 }

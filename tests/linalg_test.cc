@@ -192,6 +192,54 @@ TEST(OpsTest, BlockedMatMulMatchesNaiveTightTolerance) {
   }
 }
 
+class PackedGemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(PackedGemmShapes, PackedMatchesBlockedAndNaive) {
+  // Shapes above the packed-panel dispatch threshold, chosen to cross the
+  // kMR=6 / kNR=16 micro-tile edges, the kGemmKC=256 inner slab, and the
+  // kGemmMC i-block — each with remainders. All three variants must agree
+  // with the naive reference (float reassociation tolerance) regardless
+  // of which micro-kernel (AVX2 or portable) PickMicroKernel chose.
+  const auto [m, k, n] = GetParam();
+  Rng rng(301);
+  Matrix a = Matrix::RandomNormal(m, k, &rng);
+  Matrix b = Matrix::RandomNormal(k, n, &rng);
+  const Matrix naive = NaiveMatMul(a, b);
+  const Matrix packed = MatMul(a, b);
+  const Matrix blocked = MatMulBlocked(a, b);
+  // Rounding drift scales with the inner dimension (the sequential naive
+  // reference drifts the most; the tiled kernels' tree-like accumulation
+  // drifts less), so the bar does too.
+  const float tol = 5e-6f * static_cast<float>(k) + 1e-4f;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(packed(i, j), naive(i, j), tol) << i << "," << j;
+      EXPECT_NEAR(blocked(i, j), naive(i, j), tol) << i << "," << j;
+    }
+  }
+
+  // Transposed entry points at the same (packed-dispatch) sizes: the
+  // packing step absorbs the transpose, so storage order must not matter.
+  Matrix at = a.Transposed();  // k x m
+  const Matrix packed_ta = MatMulTransA(at, b);
+  Matrix bt = b.Transposed();  // n x k
+  const Matrix packed_tb = MatMulTransB(a, bt);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(packed_ta(i, j), naive(i, j), tol) << "TA " << i << "," << j;
+      EXPECT_NEAR(packed_tb(i, j), naive(i, j), tol) << "TB " << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackedGemmShapes,
+    ::testing::Values(std::make_tuple(70, 129, 67),   // all-tile remainders
+                      std::make_tuple(96, 256, 96),   // exact kGemmKC slab
+                      std::make_tuple(97, 300, 31),   // kGemmMC + slab tails
+                      std::make_tuple(6, 3000, 16))); // single tile, deep k
+
 TEST(OpsTest, MatMulZeroHeavyInputsStayExact) {
   // The dense kernels dropped the av == 0 skip; sparse inputs must still
   // produce the same results as the naive reference.

@@ -670,9 +670,19 @@ int CmdServe(const Flags& flags) {
   }
 
   const serve::QueryEngine& engine0 = *replicas.replica(0);
+  // Record the dispatch decision in the registry so every --metrics-json
+  // dump says which kernel tier served the run (0=scalar 1=avx2 2=avx512,
+  // matching KernelTier's enumerators).
+  const index::KernelTier active_tier = index::ActiveKernelTier();
+  obs::MetricsRegistry::Global().GetGauge("kernel.tier")->Set(
+      static_cast<int64_t>(active_tier));
+  const char* tier_detail =
+      active_tier == index::KernelTier::kAvx512
+          ? (index::Avx512VpopcntAvailable() ? "+vpopcntdq" : "+harley-seal")
+          : "";
   std::printf(
       "serving %d live / %d total codes @ %d bits: %d replicas x %d shards "
-      "(%s), %d threads each, %s routing, batch B=%d T=%lldus, %s kernel, "
+      "(%s), %d threads each, %s routing, batch B=%d T=%lldus, %s%s kernel, "
       "epoch %llu\n",
       engine0.index().size(), engine0.index().total_size(),
       engine0.index().bits(), replicas.num_replicas(),
@@ -680,7 +690,7 @@ int CmdServe(const Flags& flags) {
       engine0.num_threads(), serve::RoutePolicyName(route_policy),
       batcher.options().max_batch,
       static_cast<long long>(batcher.options().timeout_us),
-      index::KernelTierName(index::ActiveKernelTier()),
+      index::KernelTierName(active_tier), tier_detail,
       static_cast<unsigned long long>(replicas.epoch()));
 
   TableWriter table({"pass", "queries", "batches", "by_size", "by_timeout",
