@@ -97,23 +97,6 @@ struct Row {
   double speedup = 1.0;
 };
 
-/// Best-of-N wall time. Each timed section here is a handful of
-/// milliseconds, so a single scheduler preemption can double a reading;
-/// the minimum over a few repeats is the standard estimator for "what
-/// the code costs when the machine lets it run".
-template <typename F>
-double TimeBest(int reps, const F& fn) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    Stopwatch watch;
-    fn();
-    best = std::min(best, watch.ElapsedSeconds());
-  }
-  return best;
-}
-
-constexpr int kTimingReps = 5;
-
 std::vector<index::KernelTier> AvailableTiers() {
   std::vector<index::KernelTier> tiers;
   for (const index::KernelTier tier :

@@ -6,12 +6,14 @@
 // which wires up the full paper-bench dataset environment these benches
 // don't need.
 
+#include <algorithm>
 #include <cstdio>
 #include <ctime>
 #include <string>
 #include <thread>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "index/hamming_kernels.h"
 #include "linalg/matrix.h"
 #include "obs/metrics.h"
@@ -33,6 +35,24 @@ inline linalg::Matrix RandomSignCodes(int n, int bits, Rng* rng) {
   }
   return m;
 }
+
+/// Best-of-N wall time. Each timed section in the kernel benches is a
+/// handful of milliseconds, so a single scheduler preemption can double
+/// a reading; the minimum over a few repeats is the standard estimator
+/// for "what the code costs when the machine lets it run".
+template <typename F>
+double TimeBest(int reps, const F& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    best = std::min(best, watch.ElapsedSeconds());
+  }
+  return best;
+}
+
+/// Default repeat count for TimeBest across the benches.
+inline constexpr int kTimingReps = 5;
 
 /// printf-style double formatting for TableWriter cells.
 inline std::string Fmt(double v, const char* format = "%.1f") {

@@ -11,23 +11,13 @@ namespace {
 /// across all queries of the batch.
 constexpr int kTargetBlockBytes = 64 * 1024;
 
-int PickCodeBlock(int words_per_code, int requested) {
+}  // namespace
+
+int PickCodeBlockSize(int words_per_code, int requested) {
   if (requested > 0) return requested;
   const int bytes_per_code = words_per_code * 8;
   return std::max(256, kTargetBlockBytes / bytes_per_code);
 }
-
-/// Sub-chunk width for the fused path's hierarchical skip: when a block's
-/// fused minimum proves it *does* contain a qualifying code, the
-/// distances are walked in chunks of this many codes, and a chunk whose
-/// (auto-vectorized) minimum is >= the frozen threshold is skipped
-/// without the per-code displacement branch. Safety is the block-skip
-/// argument one level down: the live heap front only shrinks below the
-/// frozen threshold, so nothing in a >= frozen-threshold chunk could
-/// ever displace an entry.
-constexpr int kMinChunk = 128;
-
-}  // namespace
 
 std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
                                              const uint64_t* const* queries,
@@ -45,7 +35,7 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
 
   const int n = db.size();
   const int words = db.words_per_code();
-  const int block = PickCodeBlock(words, options.code_block);
+  const int block = PickCodeBlockSize(words, options.code_block);
   const BatchDistanceFn kernel = options.force_tier
                                      ? GetBatchDistanceFn(options.tier)
                                      : GetBatchDistanceFn();
@@ -126,11 +116,9 @@ std::vector<std::vector<Neighbor>> BatchTopK(const PackedCodes& db,
         // a handful: chunk-level min reductions (SIMD-friendly, L1-resident
         // reads) locate the hot chunks and only those pay the per-code
         // displacement branch.
-        for (int c0 = 0; c0 < count; c0 += kMinChunk) {
-          const int c1 = std::min(c0 + kMinChunk, count);
-          int32_t cmin = dist[c0];
-          for (int i = c0 + 1; i < c1; ++i) cmin = std::min(cmin, dist[i]);
-          if (cmin >= threshold) continue;
+        for (int c0 = 0; c0 < count; c0 += kDistChunk) {
+          const int c1 = std::min(c0 + kDistChunk, count);
+          if (ChunkMin(dist.data(), c0, c1) >= threshold) continue;
           insert_range(c0, c1);
         }
       } else {

@@ -365,6 +365,87 @@ TEST(BatchTopKTest, FusedAndUnfusedAreByteIdenticalAcrossTiers) {
   }
 }
 
+TEST(BatchTopKTest, TombstonesWithFusedMinAcrossTiers) {
+  // Tombstones and the fused block-min skip compose: dead rows are still
+  // scored by the kernel (the block stays contiguous) and can therefore
+  // dominate a block's minimum, but must never enter a heap or corrupt
+  // the early-abandon threshold. Wide codes (1024 bits = 16 words) take
+  // the kernels' wide accumulation path, and each query's exact
+  // duplicate is planted in the corpus *dead* — the strongest possible
+  // block minimum that must still be skipped over.
+  Rng rng(93);
+  const int bits = 1024;
+  PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(500, bits, &rng));
+  PackedCodes queries =
+      PackedCodes::FromSignMatrix(RandomSignCodes(4, bits, &rng));
+  TombstoneSet dead;
+  dead.Resize(db.size());
+  for (int i = 0; i < db.size(); i += 7) dead.Set(i);
+  for (int q = 0; q < queries.size(); ++q) {
+    // Plant query q's exact duplicate at a dead slot (distance 0 to the
+    // query — the best match in its block — yet must be filtered).
+    const int slot = 7 * (q + 3);
+    std::vector<uint64_t> words(db.words());
+    std::copy(queries.code(q), queries.code(q) + db.words_per_code(),
+              words.begin() +
+                  static_cast<size_t>(slot) * db.words_per_code());
+    db = PackedCodes::FromRawWords(db.size(), bits, std::move(words));
+  }
+
+  // Per-query oracle: ascending-id scan over live rows with the same
+  // strict-< displacement rule BatchTopK uses.
+  const int k = 12;
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    return NeighborLess(a, b);
+  };
+  std::vector<std::vector<Neighbor>> want(static_cast<size_t>(queries.size()));
+  for (int q = 0; q < queries.size(); ++q) {
+    auto& heap = want[static_cast<size_t>(q)];
+    for (int i = 0; i < db.size(); ++i) {
+      if (dead.Test(i)) continue;
+      const int d =
+          HammingDistance(queries.code(q), db.code(i), db.words_per_code());
+      if (static_cast<int>(heap.size()) < k) {
+        heap.push_back({i, d});
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (d < heap.front().distance) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = {i, d};
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+    std::sort_heap(heap.begin(), heap.end(), cmp);
+  }
+
+  for (const KernelTier tier : AvailableTiers()) {
+    for (const bool fused : {false, true}) {
+      BatchScanOptions options;
+      options.force_tier = true;
+      options.tier = tier;
+      options.fused_min = fused;
+      options.tombstones = &dead;
+      options.code_block = 96;  // several blocks, so min-skips can fire
+      const auto got = BatchTopK(db, queries, k, options);
+      for (int q = 0; q < queries.size(); ++q) {
+        const auto& g = got[static_cast<size_t>(q)];
+        const auto& w = want[static_cast<size_t>(q)];
+        ASSERT_EQ(g.size(), w.size())
+            << KernelTierName(tier) << " fused=" << fused << " q=" << q;
+        for (size_t i = 0; i < w.size(); ++i) {
+          EXPECT_EQ(g[i].id, w[i].id)
+              << KernelTierName(tier) << " fused=" << fused << " q=" << q
+              << " rank=" << i;
+          EXPECT_EQ(g[i].distance, w[i].distance)
+              << KernelTierName(tier) << " fused=" << fused << " q=" << q
+              << " rank=" << i;
+          EXPECT_FALSE(dead.Test(g[i].id))
+              << KernelTierName(tier) << " fused=" << fused << " q=" << q;
+        }
+      }
+    }
+  }
+}
+
 TEST(BatchTopKTest, EdgeCases) {
   Rng rng(90);
   PackedCodes db = PackedCodes::FromSignMatrix(RandomSignCodes(10, 64, &rng));

@@ -16,6 +16,17 @@
 //          [--topk=10] [--queries=5]
 //       Reloads model + codes and prints top-k results for sample
 //       queries with relevance flags.
+//   dedup  --codes=PATH [--k=K] [--radius=R] [--link=radius|best]
+//          [--threads=N] [--tile=N] [--json-out=PATH]
+//       Offline corpus×corpus self-join over a packed-codes artifact
+//       (v1 or v2 snapshot; tombstoned rows never join). --k=K reports
+//       each row's K nearest neighbors (throughput, prune rate, mean
+//       nearest distance); --radius=R groups rows into duplicate
+//       clusters — transitive closure of pairs within R by default,
+//       or only reciprocal best matches with --link=best. At least one
+//       of --k / --radius is required. --tile overrides the
+//       cache-sized scan block (0 = auto); --json-out writes the full
+//       report (stats + group membership) as JSON.
 //   serve  --codes=PATH [--model=PATH --dataset=... --seed=N --scale=F]
 //          [--shards=N] [--threads=N] [--backend=scan|mih]
 //          [--replicas=N] [--batch-max=B] [--batch-timeout-us=T]
@@ -78,6 +89,7 @@
 #include "eval/retrieval_eval.h"
 #include "index/hamming_kernels.h"
 #include "index/linear_scan.h"
+#include "index/self_join.h"
 #include "io/serialize.h"
 #include "serve/batcher.h"
 #include "serve/replica_set.h"
@@ -100,6 +112,12 @@ struct Flags {
   std::string file;
   int topk = 10;
   int queries = 5;
+  // Dedup (all-pairs self-join over a packed-codes artifact).
+  int join_k = 0;      // 0 = no top-k join
+  int radius = -1;     // < 0 = no radius join / dedup grouping
+  std::string link = "radius";  // "radius" | "best" (reciprocal best match)
+  int tile = 0;        // 0 = auto (cache-sized, PickCodeBlockSize)
+  std::string json_out;
   int shards = 4;
   int threads = 0;  // 0 = hardware concurrency (divided across replicas)
   int replicas = 1;
@@ -131,9 +149,11 @@ struct Flags {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: uhscm_cli <train|info|eval|query|serve> "
+               "usage: uhscm_cli <train|info|eval|query|dedup|serve> "
                "[--dataset=...] [--bits=K] [--seed=N] [--scale=F] "
                "[--model=PATH] [--codes=PATH] [--file=PATH] [--topk=K] "
+               "[--k=K] [--radius=R] [--link=radius|best] [--tile=N] "
+               "[--json-out=PATH] "
                "[--queries=N] [--shards=N] [--threads=N] [--replicas=N] "
                "[--batch-max=B] [--batch-timeout-us=T] [--route=rr|least] "
                "[--backend=scan|mih] [--append=PATH] "
@@ -214,6 +234,21 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->file = arg.substr(7);
     } else if (StartsWith(arg, "--topk=")) {
       flags->topk = std::atoi(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--k=")) {
+      flags->join_k = std::atoi(arg.c_str() + 4);
+    } else if (StartsWith(arg, "--radius=")) {
+      flags->radius = std::atoi(arg.c_str() + 9);
+    } else if (StartsWith(arg, "--link=")) {
+      flags->link = arg.substr(7);
+      if (flags->link != "radius" && flags->link != "best") {
+        std::fprintf(stderr, "--link must be radius or best, got %s\n",
+                     flags->link.c_str());
+        return false;
+      }
+    } else if (StartsWith(arg, "--tile=")) {
+      flags->tile = std::atoi(arg.c_str() + 7);
+    } else if (StartsWith(arg, "--json-out=")) {
+      flags->json_out = arg.substr(11);
     } else if (StartsWith(arg, "--queries=")) {
       flags->queries = std::atoi(arg.c_str() + 10);
     } else if (StartsWith(arg, "--shards=")) {
@@ -501,6 +536,149 @@ int CmdQuery(const Flags& flags) {
                   nb.id, nb.distance);
     }
     std::printf("\n");
+  }
+  return 0;
+}
+
+/// dedup: offline all-pairs analytics over a packed-codes artifact via
+/// the tiled self-join engine — k nearest neighbors for every row
+/// (--k), duplicate clusters within a Hamming radius (--radius), or
+/// both. Tombstones in a v2 snapshot are honored: dead rows never join.
+int CmdDedup(const Flags& flags) {
+  if (flags.codes.empty()) {
+    std::fprintf(stderr, "dedup: --codes=PATH is required\n");
+    return 2;
+  }
+  if (flags.join_k <= 0 && flags.radius < 0) {
+    std::fprintf(stderr,
+                 "dedup: at least one of --k=K (top-k join) or --radius=R "
+                 "(duplicate grouping) is required\n");
+    return 2;
+  }
+  Result<io::CodesSnapshot> snap = io::LoadCodesSnapshot(flags.codes);
+  if (!snap.ok()) {
+    std::fprintf(stderr, "%s\n", snap.status().ToString().c_str());
+    return 1;
+  }
+  const index::PackedCodes& codes = snap->codes;
+  index::TombstoneSet dead;
+  if (snap->HasTombstones()) {
+    dead = index::TombstoneSet::FromWords(codes.size(),
+                                          snap->tombstone_words);
+  }
+  index::SelfJoinOptions options;
+  options.threads = flags.threads;
+  options.tile = flags.tile;
+  options.tombstones = dead.any() ? &dead : nullptr;
+  const int live = codes.size() - dead.dead_count();
+  std::printf("%s: n=%d (%d live), bits=%d | kernel tier %s\n",
+              flags.codes.c_str(), codes.size(), live, codes.bits(),
+              index::KernelTierName(index::ActiveKernelTier()));
+
+  index::SelfJoinStats topk_stats;
+  std::vector<std::vector<index::Neighbor>> neighbors;
+  double mean_nn = 0.0;
+  if (flags.join_k > 0) {
+    neighbors = index::TopKJoin(codes, flags.join_k, options, &topk_stats);
+    int64_t nn_sum = 0, nn_rows = 0;
+    for (const auto& row : neighbors) {
+      if (!row.empty()) {
+        nn_sum += row.front().distance;
+        ++nn_rows;
+      }
+    }
+    mean_nn = nn_rows > 0 ? static_cast<double>(nn_sum) / nn_rows : 0.0;
+    std::printf(
+        "top-%d join: %.2fs, %.1f Mpairs/s (%.1f%% pruned), mean nearest "
+        "distance %.2f\n",
+        flags.join_k, topk_stats.seconds,
+        topk_stats.pairs_total / topk_stats.seconds / 1e6,
+        topk_stats.pairs_total > 0
+            ? 100.0 * topk_stats.pairs_pruned / topk_stats.pairs_total
+            : 0.0,
+        mean_nn);
+  }
+
+  index::DedupGroupsResult groups;
+  if (flags.radius >= 0) {
+    index::DedupOptions dedup;
+    dedup.radius = flags.radius;
+    dedup.link = flags.link == "best" ? index::DedupLink::kReciprocalBest
+                                      : index::DedupLink::kRadius;
+    groups = index::DedupGroups(codes, dedup, options);
+    std::printf(
+        "dedup radius=%d link=%s: %.2fs, %zu groups, %lld rows clustered "
+        "(%zu reciprocal best pairs)\n",
+        flags.radius, flags.link.c_str(), groups.join.seconds,
+        groups.groups.size(),
+        static_cast<long long>(groups.rows_clustered),
+        groups.reciprocal_pairs.size());
+    const size_t show = std::min<size_t>(groups.groups.size(), 10);
+    for (size_t g = 0; g < show; ++g) {
+      std::printf("  group %zu (%zu rows):", g, groups.groups[g].size());
+      const size_t members = std::min<size_t>(groups.groups[g].size(), 8);
+      for (size_t m = 0; m < members; ++m) {
+        std::printf(" %d", groups.groups[g][m]);
+      }
+      if (members < groups.groups[g].size()) std::printf(" ...");
+      std::printf("\n");
+    }
+    if (show < groups.groups.size()) {
+      std::printf("  ... %zu more groups\n", groups.groups.size() - show);
+    }
+  }
+
+  if (!flags.json_out.empty()) {
+    std::FILE* f = std::fopen(flags.json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "dedup: cannot write %s\n",
+                   flags.json_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"command\": \"dedup\",\n");
+    std::fprintf(f,
+                 "  \"codes\": \"%s\", \"n\": %d, \"live\": %d, "
+                 "\"bits\": %d,\n",
+                 flags.codes.c_str(), codes.size(), live, codes.bits());
+    std::fprintf(f, "  \"kernel_tier\": \"%s\",\n",
+                 index::KernelTierName(index::ActiveKernelTier()));
+    if (flags.join_k > 0) {
+      std::fprintf(f,
+                   "  \"topk\": {\"k\": %d, \"seconds\": %.6f, "
+                   "\"pairs_total\": %lld, \"pairs_pruned\": %lld, "
+                   "\"pairs_scored\": %lld, \"mean_nn_distance\": %.3f},\n",
+                   flags.join_k, topk_stats.seconds,
+                   static_cast<long long>(topk_stats.pairs_total),
+                   static_cast<long long>(topk_stats.pairs_pruned),
+                   static_cast<long long>(topk_stats.pairs_scored), mean_nn);
+    }
+    if (flags.radius >= 0) {
+      std::fprintf(f,
+                   "  \"dedup\": {\"radius\": %d, \"link\": \"%s\", "
+                   "\"seconds\": %.6f, \"groups\": %zu, "
+                   "\"rows_clustered\": %lld, \"reciprocal_pairs\": %zu},\n",
+                   flags.radius, flags.link.c_str(), groups.join.seconds,
+                   groups.groups.size(),
+                   static_cast<long long>(groups.rows_clustered),
+                   groups.reciprocal_pairs.size());
+      // Group lists capped so a pathological radius cannot produce a
+      // multi-GB report; the counts above are always complete.
+      constexpr size_t kMaxJsonGroups = 1000;
+      const size_t emit = std::min(groups.groups.size(), kMaxJsonGroups);
+      std::fprintf(f, "  \"groups_truncated\": %s,\n  \"groups\": [",
+                   emit < groups.groups.size() ? "true" : "false");
+      for (size_t g = 0; g < emit; ++g) {
+        std::fprintf(f, "%s[", g == 0 ? "" : ", ");
+        for (size_t m = 0; m < groups.groups[g].size(); ++m) {
+          std::fprintf(f, "%s%d", m == 0 ? "" : ", ", groups.groups[g][m]);
+        }
+        std::fprintf(f, "]");
+      }
+      std::fprintf(f, "],\n");
+    }
+    std::fprintf(f, "  \"ok\": true\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", flags.json_out.c_str());
   }
   return 0;
 }
@@ -906,6 +1084,7 @@ int Main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "eval") return CmdEval(flags);
   if (command == "query") return CmdQuery(flags);
+  if (command == "dedup") return CmdDedup(flags);
   if (command == "serve") return CmdServe(flags);
   return Usage();
 }
