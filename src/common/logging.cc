@@ -6,6 +6,8 @@
 namespace uhscm {
 
 namespace {
+// Relaxed: a runtime threshold polled per log call; changing it does not
+// need to order against messages already being formatted.
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelName(LogLevel level) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 
 namespace uhscm {
 
@@ -19,10 +21,10 @@ ThreadPool::ThreadPool(int num_threads) {
 ThreadPool::~ThreadPool() { Drain(); }
 
 void ThreadPool::Drain() {
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(drain_mu_);
   if (drained_) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -37,8 +39,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -51,7 +53,7 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
   if (count <= 0) return;
   int nthreads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     nthreads = stop_ ? 0 : num_threads();
   }
   if (count == 1 || nthreads <= 1) {
@@ -59,8 +61,12 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
     return;
   }
   const int chunks = std::min(count, nthreads * 4);
+  // Relaxed claim counter: each fetch_add hands out a distinct chunk;
+  // `done` is only ever mutated and checked under done_mu below.
   std::atomic<int> next_chunk{0};
   std::atomic<int> done{0};
+  // Plain std primitives: strictly function-local completion latch, never
+  // nested under another lock by the worker side.
   std::mutex done_mu;
   std::condition_variable done_cv;
 
@@ -87,7 +93,7 @@ void ThreadPool::ParallelFor(int count, const std::function<void(int)>& fn) {
 
   const int jobs = std::min(chunks, nthreads);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     if (stop_) {
       // Drained between the size check and the enqueue: no workers will
       // drain the queue anymore, so run the loop inline instead.

@@ -1,12 +1,12 @@
 #ifndef UHSCM_COMMON_THREAD_POOL_H_
 #define UHSCM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/annotated_sync.h"
 
 namespace uhscm {
 
@@ -49,14 +49,14 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_{"pool.queue", 36};
+  CondVar cv_;
+  std::queue<Task> queue_ UHSCM_GUARDED_BY(mu_);
+  bool stop_ UHSCM_GUARDED_BY(mu_) = false;
   /// Serializes Drain callers so a second Drain (or the destructor)
   /// cannot return while the first is still joining workers.
-  std::mutex drain_mu_;
-  bool drained_ = false;  // under drain_mu_
+  Mutex drain_mu_{"pool.drain", 40};
+  bool drained_ UHSCM_GUARDED_BY(drain_mu_) = false;
 };
 
 /// Convenience wrapper over a process-wide pool (lazily created, never

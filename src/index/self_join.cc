@@ -75,6 +75,8 @@ struct TaskCounters {
 };
 
 struct JoinTotals {
+  // Relaxed: independent work counters accumulated across tasks and
+  // read only after the join's pool barrier, which orders them.
   std::atomic<int64_t> tiles{0};
   std::atomic<int64_t> pruned{0};
   std::atomic<int64_t> scored{0};
@@ -165,6 +167,10 @@ struct TopKState {
   int k = 0;
   std::vector<std::vector<Neighbor>> heaps;
   std::vector<int32_t> fronts;  // INT32_MAX until heap i holds k entries
+  /// Plain std::mutex by design: a call-local stripe array (one lock
+  /// per tile, sized at runtime), never held two at a time and never
+  /// nested with any named lock in the serving hierarchy — the same
+  /// exemption ParallelFor's completion latch gets.
   std::vector<std::mutex> tile_mu;
 
   TopKState(const TileMap& tiles, int k_eff)

@@ -9,6 +9,8 @@
 namespace uhscm::obs {
 
 namespace {
+// Relaxed: a runtime on/off flag polled per operation; flipping it does
+// not need to synchronize with instrumentation already in flight.
 std::atomic<bool> g_runtime_enabled{true};
 }  // namespace
 
@@ -115,21 +117,21 @@ int64_t HistogramSnapshot::ValueAtPercentile(double p) const {
 // ------------------------------------------------------ MetricsRegistry
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Counter>& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Gauge>& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::unique_ptr<Histogram>& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
@@ -152,7 +154,7 @@ void AppendHistogramFields(const HistogramSnapshot& snap, std::string* out) {
 }  // namespace
 
 std::string MetricsRegistry::DumpJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   char buffer[128];
@@ -187,7 +189,7 @@ std::string MetricsRegistry::DumpJson() const {
 }
 
 std::string MetricsRegistry::DumpText() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   char buffer[256];
   for (const auto& [name, counter] : counters_) {
@@ -215,7 +217,7 @@ std::string MetricsRegistry::DumpText() const {
 
 std::vector<std::pair<std::string, HistogramSnapshot>>
 MetricsRegistry::SnapshotHistograms(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::string, HistogramSnapshot>> out;
   for (const auto& [name, histogram] : histograms_) {
     if (name.compare(0, prefix.size(), prefix) == 0) {
@@ -226,7 +228,7 @@ MetricsRegistry::SnapshotHistograms(const std::string& prefix) const {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

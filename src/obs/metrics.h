@@ -6,9 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/annotated_sync.h"
 
 namespace uhscm::obs {
 
@@ -30,6 +31,8 @@ bool RuntimeEnabled();
 void SetRuntimeEnabled(bool enabled);
 
 /// \brief Monotonic event counter. Record is one relaxed fetch_add.
+/// Relaxed everywhere: an independent statistic — readers tolerate a
+/// momentarily stale count and no data is published through it.
 class Counter {
  public:
   void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
@@ -42,6 +45,8 @@ class Counter {
 };
 
 /// \brief Last-write-wins instantaneous value (queue depth, epoch, ...).
+/// Relaxed: an advisory sample; the newest write wins and readers only
+/// need *a* recent value, not ordering against other memory.
 class Gauge {
  public:
   void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
@@ -125,6 +130,9 @@ class Histogram {
   static int64_t BucketRepresentative(int bucket);
 
  private:
+  /// Relaxed: each bucket (and total/sum) is an independent counter; a
+  /// snapshot taken mid-record may be off by the in-flight observation,
+  /// which bucket-count statistics tolerate by design.
   std::array<std::atomic<uint64_t>, kNumBuckets> counts_{};
   std::atomic<uint64_t> total_{0};
   std::atomic<int64_t> sum_{0};
@@ -168,10 +176,15 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// The bottom of the lock hierarchy: lookups happen under other
+  /// subsystems' locks (e.g. a kernel-counter flush inside a shard
+  /// lock), so nothing may be acquired beneath this one.
+  mutable Mutex mu_{"obs.metrics", 10};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      UHSCM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ UHSCM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      UHSCM_GUARDED_BY(mu_);
 };
 
 }  // namespace uhscm::obs

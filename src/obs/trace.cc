@@ -56,7 +56,7 @@ void TraceRecorder::RecordSpan(uint64_t trace_id, uint64_t span_id,
   MetricsRegistry::Global()
       .GetHistogram(std::string("stage.") + name + "_ns")
       ->Record(rec.dur_us * 1000);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(rec);
   } else {
@@ -67,7 +67,7 @@ void TraceRecorder::RecordSpan(uint64_t trace_id, uint64_t span_id,
 }
 
 std::vector<SpanRecord> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!wrapped_) return ring_;
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
@@ -78,7 +78,7 @@ std::vector<SpanRecord> TraceRecorder::Snapshot() const {
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
@@ -150,7 +150,7 @@ std::string TraceRecorder::SlowQueryLog(double threshold_ms, int top_n) const {
 }
 
 void TraceRecorder::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   next_slot_ = 0;
   wrapped_ = false;

@@ -5,10 +5,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 
@@ -125,14 +125,20 @@ class TraceRecorder {
  private:
   const size_t capacity_;
   const std::chrono::steady_clock::time_point epoch_;
+  /// Relaxed, all four: sample_every_ is a runtime config value;
+  /// admitted_ is a sampling rotation counter (1-in-N only needs each
+  /// fetch_add to claim a distinct sequence number); next_trace_ /
+  /// next_span_ are id allocators whose only contract is uniqueness.
   std::atomic<uint32_t> sample_every_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> next_trace_{1};
   std::atomic<uint64_t> next_span_{1};
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;  // under mu_
-  size_t next_slot_ = 0;          // under mu_
-  bool wrapped_ = false;          // under mu_
+  /// Guards only the span ring. RecordSpan feeds the registry *before*
+  /// taking it, so nothing nests beneath it except by rank headroom.
+  mutable Mutex mu_{"obs.trace", 12};
+  std::vector<SpanRecord> ring_ UHSCM_GUARDED_BY(mu_);
+  size_t next_slot_ UHSCM_GUARDED_BY(mu_) = 0;
+  bool wrapped_ UHSCM_GUARDED_BY(mu_) = false;
 };
 
 /// \brief RAII span: stamps the start on construction, records on

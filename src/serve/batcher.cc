@@ -48,23 +48,25 @@ struct Batcher::GroupState {
       std::chrono::steady_clock::time_point::max();
   bool has_deadline = false;
 
-  std::mutex mu;
+  /// One class for every group's lock; two groups' locks are never held
+  /// together, and only the jitter lock nests beneath this one.
+  Mutex mu{"batcher.group", 24};
   /// A completion won (promises set) or the final failure was recorded.
-  bool resolved = false;  // under mu
+  bool resolved UHSCM_GUARDED_BY(mu) = false;
   /// Dispatch attempts (primary + hedge) whose callback hasn't returned.
-  int outstanding = 0;  // under mu
+  int outstanding UHSCM_GUARDED_BY(mu) = 0;
   /// Primary dispatch attempts made so far.
-  int attempts = 0;  // under mu
+  int attempts UHSCM_GUARDED_BY(mu) = 0;
   /// Hedge already issued (or the hedge slot consumed) — at most one.
-  bool hedged = false;  // under mu
+  bool hedged UHSCM_GUARDED_BY(mu) = false;
   /// Cleared when routing found every replica dead: retrying cannot
   /// help until a respawn lands, so the group fails immediately.
-  bool retryable = true;  // under mu
+  bool retryable UHSCM_GUARDED_BY(mu) = true;
   /// The replica the latest primary attempt landed on — the hedge
   /// excludes it.
-  int last_replica = -1;  // under mu
+  int last_replica UHSCM_GUARDED_BY(mu) = -1;
   /// The group's inflight slot was released (exactly once).
-  bool settled = false;  // under mu
+  bool settled UHSCM_GUARDED_BY(mu) = false;
 };
 
 Batcher::Batcher(Router* router, const BatcherOptions& options)
@@ -243,11 +245,11 @@ void Batcher::FlushBatch(std::vector<PendingRequest> batch, bool by_timeout) {
       // held until the group *settles* (wins, finally fails, and every
       // retry/hedge callback has returned), so retries and hedges ride
       // the original slot instead of multiplying inflight work.
-      std::unique_lock<std::mutex> lock(inflight_mu_);
-      inflight_cv_.wait(lock, [this] {
-        return inflight_batches_.load(std::memory_order_relaxed) <
-               max_inflight_batches_;
-      });
+      UniqueLock lock(inflight_mu_);
+      while (inflight_batches_.load(std::memory_order_relaxed) >=
+             max_inflight_batches_) {
+        inflight_cv_.wait(lock);
+      }
       inflight_batches_.fetch_add(1, std::memory_order_relaxed);
     }
     groups_dispatched_.fetch_add(1, std::memory_order_relaxed);
@@ -266,7 +268,7 @@ void Batcher::DispatchGroup(const std::shared_ptr<GroupState>& group,
     // respawn lands, so the group fails immediately (the ISSUE's
     // all-dead fast-fail) instead of burning backoff on a lost cause.
     {
-      std::lock_guard<std::mutex> lock(group->mu);
+      MutexLock lock(group->mu);
       group->retryable = false;
     }
     OnGroupCompletion(
@@ -275,7 +277,7 @@ void Batcher::DispatchGroup(const std::shared_ptr<GroupState>& group,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(group->mu);
+    MutexLock lock(group->mu);
     group->last_replica = r;
   }
   QueryEngine* engine = router_->replicas()->replica(r);
@@ -297,7 +299,7 @@ void Batcher::OnGroupCompletion(
   bool settle = false;
   std::chrono::microseconds backoff{0};
   {
-    std::lock_guard<std::mutex> lock(group->mu);
+    MutexLock lock(group->mu);
     group->outstanding -= 1;
     if (status.ok()) {
       // First successful completion wins; a later one (the hedge's
@@ -372,7 +374,7 @@ void Batcher::OnGroupCompletion(
   }
 
   if (settle) {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
+    MutexLock lock(inflight_mu_);
     inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
     // Notify under the lock: Drain destroys this cv as soon as it sees
     // zero in flight, so the signal must complete before the waiter can
@@ -387,7 +389,7 @@ std::chrono::microseconds Batcher::RetryBackoff(int attempt) {
       static_cast<double>(int64_t{1} << std::min(std::max(attempt - 1, 0), 10));
   double jitter;
   {
-    std::lock_guard<std::mutex> lock(jitter_mu_);
+    MutexLock lock(jitter_mu_);
     jitter = jitter_rng_.Uniform(0.5, 1.5);
   }
   return std::chrono::microseconds(
@@ -419,7 +421,7 @@ std::chrono::nanoseconds Batcher::HedgeDelay() {
 void Batcher::ScheduleHedge(const std::shared_ptr<GroupState>& group) {
   const auto when = std::chrono::steady_clock::now() + HedgeDelay();
   {
-    std::lock_guard<std::mutex> lock(hedge_mu_);
+    MutexLock lock(hedge_mu_);
     if (hedge_stop_) return;
     hedge_queue_.emplace(when, std::weak_ptr<GroupState>(group));
   }
@@ -430,7 +432,7 @@ void Batcher::FireHedge(const std::shared_ptr<GroupState>& group) {
   ReplicaSet* replicas = router_->replicas();
   QueryEngine* engine = nullptr;
   {
-    std::lock_guard<std::mutex> lock(group->mu);
+    MutexLock lock(group->mu);
     if (group->resolved || group->hedged || group->outstanding == 0) return;
     // The budget bounds *issued* hedges against dispatched groups, so
     // fast traffic (whose timers expire unresolved-never) consumes none
@@ -472,17 +474,21 @@ void Batcher::FireHedge(const std::shared_ptr<GroupState>& group) {
 }
 
 void Batcher::HedgeLoop() {
-  std::unique_lock<std::mutex> lock(hedge_mu_);
+  UniqueLock lock(hedge_mu_);
   while (!hedge_stop_) {
     if (hedge_queue_.empty()) {
-      hedge_cv_.wait(lock,
-                     [this] { return hedge_stop_ || !hedge_queue_.empty(); });
+      while (!hedge_stop_ && hedge_queue_.empty()) hedge_cv_.wait(lock);
       continue;
     }
+    // Sleep until the earliest timer is due, a stop interrupts, or a
+    // notify lands (a new entry re-derives `when` on the next pass).
     const auto when = hedge_queue_.begin()->first;
-    if (hedge_cv_.wait_until(lock, when, [this] { return hedge_stop_; })) {
-      return;
+    bool timed_out = false;
+    while (!hedge_stop_ && !timed_out) {
+      timed_out =
+          hedge_cv_.wait_until(lock, when) == std::cv_status::timeout;
     }
+    if (hedge_stop_) return;
     const auto now = std::chrono::steady_clock::now();
     while (!hedge_queue_.empty() && hedge_queue_.begin()->first <= now) {
       std::weak_ptr<GroupState> weak = std::move(hedge_queue_.begin()->second);
@@ -498,7 +504,7 @@ void Batcher::HedgeLoop() {
 }
 
 void Batcher::Drain() {
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(drain_mu_);
   if (drained_.load(std::memory_order_acquire)) return;
   // Order matters: close first (rejects new work and wakes the flush
   // thread), join the flush thread (its in-hand partial batch is
@@ -513,17 +519,17 @@ void Batcher::Drain() {
       Status::Unavailable("pipeline drained before the request was served"));
   pipeline_stats_.RecordRejected(failed);
   {
-    std::lock_guard<std::mutex> lock(hedge_mu_);
+    MutexLock lock(hedge_mu_);
     hedge_stop_ = true;
     hedge_queue_.clear();
   }
   hedge_cv_.notify_all();
   if (hedge_thread_.joinable()) hedge_thread_.join();
   {
-    std::unique_lock<std::mutex> lock(inflight_mu_);
-    inflight_cv_.wait(lock, [this] {
-      return inflight_batches_.load(std::memory_order_relaxed) == 0;
-    });
+    UniqueLock lock(inflight_mu_);
+    while (inflight_batches_.load(std::memory_order_relaxed) != 0) {
+      inflight_cv_.wait(lock);
+    }
   }
   drained_.store(true, std::memory_order_release);
 }

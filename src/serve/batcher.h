@@ -3,15 +3,14 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/rng.h"
 #include "serve/request_queue.h"
 #include "serve/router.h"
@@ -191,32 +190,43 @@ class Batcher {
   RequestQueue queue_;
   PipelineStats pipeline_stats_;
   std::thread flush_thread_;
+  /// Release/acquire: published after the full teardown completes, so a
+  /// second Drain caller's early return observes every effect of the
+  /// first (joined threads, failed futures, settled groups).
   std::atomic<bool> drained_{false};
-  std::mutex drain_mu_;  // serializes Drain callers
+  /// Serializes Drain callers; the highest-ranked batcher lock because
+  /// Drain acquires the queue, hedge, and inflight locks beneath it.
+  Mutex drain_mu_{"batcher.drain", 96};
   /// Per-k groups dispatched to engines that haven't settled (final
   /// callback not yet returned, hedges included). Drain waits on this so
-  /// no callback can outlive the batcher.
+  /// no callback can outlive the batcher. Relaxed: both wait loops load
+  /// it under inflight_mu_, and every transition that matters to a
+  /// waiter (add in FlushBatch, sub at settle) also happens under
+  /// inflight_mu_ — the mutex orders the handoff, the atomic only lets
+  /// stats() read the depth lock-free.
   std::atomic<int64_t> inflight_batches_{0};
-  std::mutex inflight_mu_;
-  std::condition_variable inflight_cv_;
+  Mutex inflight_mu_{"batcher.inflight", 28};
+  CondVar inflight_cv_;
 
   /// Hedge budget accounting: groups dispatched vs hedges issued, the
-  /// ratio the budget bounds.
+  /// ratio the budget bounds. Relaxed: monotonic counters; the budget
+  /// check tolerates a momentarily stale ratio (it can only under-issue
+  /// by one hedge, never overrun the budget unboundedly).
   std::atomic<int64_t> groups_dispatched_{0};
   std::atomic<int64_t> hedges_issued_{0};
 
   /// The hedge timer: a deadline-ordered queue of still-inflight groups,
   /// served by one thread (started only when hedge_budget > 0).
-  std::mutex hedge_mu_;
-  std::condition_variable hedge_cv_;
+  Mutex hedge_mu_{"batcher.hedge", 26};
+  CondVar hedge_cv_;
   std::multimap<std::chrono::steady_clock::time_point,
                 std::weak_ptr<GroupState>>
-      hedge_queue_;
-  bool hedge_stop_ = false;  // under hedge_mu_
+      hedge_queue_ UHSCM_GUARDED_BY(hedge_mu_);
+  bool hedge_stop_ UHSCM_GUARDED_BY(hedge_mu_) = false;
   std::thread hedge_thread_;
 
-  std::mutex jitter_mu_;
-  Rng jitter_rng_;
+  Mutex jitter_mu_{"batcher.jitter", 22};
+  Rng jitter_rng_ UHSCM_GUARDED_BY(jitter_mu_);
 };
 
 }  // namespace uhscm::serve

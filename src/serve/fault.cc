@@ -12,33 +12,33 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Seed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rng_ = Rng(seed);
 }
 
 void FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_[point] = ArmedPoint{spec, 0, 0};
   armed_points_.store(static_cast<int64_t>(points_.size()),
                       std::memory_order_relaxed);
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.erase(point);
   armed_points_.store(static_cast<int64_t>(points_.size()),
                       std::memory_order_relaxed);
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   rng_ = Rng(kDefaultSeed);
   armed_points_.store(0, std::memory_order_relaxed);
 }
 
 const FaultSpec* FaultInjector::Evaluate(const char* point, int tag) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Instance-scoped spec ("point#tag") wins over the bare point name,
   // so a test can make replica 1 the straggler while the others run
   // clean.
@@ -66,13 +66,13 @@ const FaultSpec* FaultInjector::Evaluate(const char* point, int tag) {
 }
 
 int64_t FaultInjector::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it != points_.end() ? it->second.hits : 0;
 }
 
 int64_t FaultInjector::fires(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it != points_.end() ? it->second.fires : 0;
 }

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/annotated_sync.h"
 #include "common/rng.h"
 
 namespace uhscm::serve {
@@ -135,11 +135,14 @@ class FaultInjector {
   /// delay_ns immediately.
   const FaultSpec* Evaluate(const char* point, int tag);
 
-  mutable std::mutex mu_;
-  std::map<std::string, ArmedPoint> points_;  // under mu_
-  Rng rng_;                                   // under mu_
+  /// A leaf lock: nothing is acquired beneath it.
+  mutable Mutex mu_{"serve.fault", 14};
+  std::map<std::string, ArmedPoint> points_ UHSCM_GUARDED_BY(mu_);
+  Rng rng_ UHSCM_GUARDED_BY(mu_);
   /// Armed-point count mirrored outside mu_ so the hot path's
-  /// nothing-armed check is one relaxed load.
+  /// nothing-armed check is one relaxed load. Relaxed: a stale zero at
+  /// worst skips an evaluation that raced the Arm — arming is not a
+  /// synchronization point for the serving threads.
   std::atomic<int64_t> armed_points_{0};
 };
 

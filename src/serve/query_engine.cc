@@ -65,7 +65,7 @@ void QueryEngine::SubmitBatch(index::PackedCodes queries, int k,
   DispatchTask task{std::move(queries), k, trace, std::move(done)};
   bool reject = false;
   {
-    std::unique_lock<std::mutex> lock(dispatch_mu_);
+    UniqueLock lock(dispatch_mu_);
     if (!drained_) {
       if (!dispatch_thread_.joinable()) {
         dispatch_thread_ = std::thread([this] { DispatchLoop(); });
@@ -109,9 +109,10 @@ void QueryEngine::DispatchLoop() {
     DispatchTask task;
     bool killed = false;
     {
-      std::unique_lock<std::mutex> lock(dispatch_mu_);
-      dispatch_cv_.wait(
-          lock, [this] { return dispatch_stop_ || !dispatch_tasks_.empty(); });
+      UniqueLock lock(dispatch_mu_);
+      while (!dispatch_stop_ && dispatch_tasks_.empty()) {
+        dispatch_cv_.wait(lock);
+      }
       if (dispatch_tasks_.empty()) return;  // stop requested, queue flushed
       task = std::move(dispatch_tasks_.front());
       dispatch_tasks_.pop_front();
@@ -122,10 +123,10 @@ void QueryEngine::DispatchLoop() {
 }
 
 void QueryEngine::Shutdown(bool kill) {
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(drain_mu_);
   std::thread dispatch;
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     if (drained_) return;
     drained_ = true;
     dispatch_stop_ = true;
@@ -267,7 +268,7 @@ void QueryEngine::BumpEpochsLocked() {
 }
 
 std::vector<int> QueryEngine::Append(const index::PackedCodes& codes) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   std::vector<int> ids = index_->Append(codes);
   if (!ids.empty()) {
     appends_.fetch_add(static_cast<int64_t>(ids.size()),
@@ -281,7 +282,7 @@ std::vector<int> QueryEngine::Append(const index::PackedCodes& codes) {
 }
 
 bool QueryEngine::Remove(int global_id) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   const bool removed = index_->Remove(global_id);
   if (removed) {
     removes_.fetch_add(1, std::memory_order_relaxed);
@@ -292,7 +293,7 @@ bool QueryEngine::Remove(int global_id) {
 }
 
 int QueryEngine::RemoveIds(const std::vector<int>& global_ids) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   const int removed = index_->RemoveIds(global_ids);
   if (removed > 0) {
     removes_.fetch_add(removed, std::memory_order_relaxed);
@@ -321,7 +322,7 @@ bool QueryEngine::MaybeCompactLocked() {
 }
 
 CompactionStats QueryEngine::Compact() {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   Stopwatch watch;
   const CompactionStats stats = index_->CompactAll();
   if (stats.rows_reclaimed > 0) {
@@ -332,7 +333,7 @@ CompactionStats QueryEngine::Compact() {
 }
 
 void QueryEngine::RestoreEpoch(uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   // The reported epoch may move backwards (hydrating an older snapshot
   // into a live engine); the cache-key epoch never does — a restore
   // bumps it like an update, so entries keyed under any previous value
@@ -345,7 +346,9 @@ void QueryEngine::RestoreEpoch(uint64_t epoch) {
 }
 
 CorpusExport QueryEngine::ExportCorpus(uint64_t* epoch_out) const {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  // Shared: exporting only reads; mutators (exclusive holders) still
+  // cannot slip between the corpus copy and the epoch read.
+  SharedLock lock(update_mu_);
   CorpusExport corpus = index_->Export();
   *epoch_out = epoch();
   return corpus;

@@ -2,16 +2,15 @@
 #define UHSCM_SERVE_QUERY_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "index/packed_codes.h"
@@ -223,14 +222,14 @@ class QueryEngine {
   /// decrements the in-flight counter — the single completion path.
   void CompleteTask(DispatchTask task, bool killed);
   void Shutdown(bool kill);
-  /// Auto-compaction check; caller holds update_mu_. Returns true when
-  /// anything was reclaimed (the caller's epoch bump covers it).
-  bool MaybeCompactLocked();
+  /// Auto-compaction check. Returns true when anything was reclaimed
+  /// (the caller's epoch bump covers it).
+  bool MaybeCompactLocked() UHSCM_REQUIRES(update_mu_);
   /// Folds one compaction pass into the stats counters.
   void RecordCompaction(const CompactionStats& stats, double elapsed_seconds);
   /// Advances the reported epoch and the cache-key epoch together after
-  /// a completed mutation; caller holds update_mu_.
-  void BumpEpochsLocked();
+  /// a completed mutation.
+  void BumpEpochsLocked() UHSCM_REQUIRES(update_mu_);
 
   std::unique_ptr<ShardedIndex> index_;
   std::unique_ptr<ThreadPool> pool_;
@@ -240,15 +239,22 @@ class QueryEngine {
   double compact_dead_fraction_;
   /// Serializes {index mutation, epoch bump} pairs against each other
   /// and against ExportCorpus, so a snapshot's epoch always matches its
-  /// corpus. Searches never take it.
-  mutable std::mutex update_mu_;
+  /// corpus. Searches never take it. Mutators hold it exclusive;
+  /// ExportCorpus — a pure read — holds it shared.
+  mutable SharedMutex update_mu_{"engine.update", 76};
+  /// Release/acquire: bumped (release) only after the index mutation
+  /// completes, so an observer of the new value is guaranteed to read
+  /// the mutated corpus even before it touches a shard lock.
   std::atomic<uint64_t> epoch_{0};
   /// The epoch folded into cache keys. Tracks epoch_ bump-for-bump but
   /// is *never* restored backwards — RestoreEpoch bumps it instead — so
   /// a (cache epoch, query, k) key is never reused across distinct
   /// corpus states and stale entries are structurally unreachable even
   /// when the reported epoch revisits an old value.
+  /// Release/acquire, same publication contract as epoch_.
   std::atomic<uint64_t> cache_epoch_{0};
+  /// Relaxed: monotonic stats counters only — snapshots read them
+  /// individually and promise no cross-counter consistency.
   std::atomic<int64_t> appends_{0};
   std::atomic<int64_t> removes_{0};
   std::atomic<int64_t> compactions_{0};
@@ -259,21 +265,27 @@ class QueryEngine {
   /// dispatch_mu_ and joined by Drain() *before* pool_ is torn down —
   /// the destruction-ordering contract that lets in-flight batches use
   /// the pool safely at shutdown.
-  mutable std::mutex dispatch_mu_;
-  std::condition_variable dispatch_cv_;
-  std::deque<DispatchTask> dispatch_tasks_;
-  std::thread dispatch_thread_;
-  bool dispatch_stop_ = false;
-  bool drained_ = false;  // under dispatch_mu_
-  bool killed_ = false;   // under dispatch_mu_
-  /// Mirror of killed_ readable without the dispatch mutex (set in the
-  /// same critical section that sets killed_).
+  mutable Mutex dispatch_mu_{"engine.dispatch", 72};
+  CondVar dispatch_cv_;
+  std::deque<DispatchTask> dispatch_tasks_ UHSCM_GUARDED_BY(dispatch_mu_);
+  std::thread dispatch_thread_ UHSCM_GUARDED_BY(dispatch_mu_);
+  bool dispatch_stop_ UHSCM_GUARDED_BY(dispatch_mu_) = false;
+  bool drained_ UHSCM_GUARDED_BY(dispatch_mu_) = false;
+  bool killed_ UHSCM_GUARDED_BY(dispatch_mu_) = false;
+  /// Mirror of killed_ readable without the dispatch mutex (set with
+  /// release in the same critical section that sets killed_; acquire
+  /// loads order observer reads after the kill decision).
   std::atomic<bool> killed_flag_{false};
   /// Serializes Drain/Kill callers (same pattern as ThreadPool::Drain):
   /// a second shutdown — or the destructor — must not return while the
   /// first is still joining the dispatch thread and draining the pool.
-  std::mutex drain_mu_;
+  Mutex drain_mu_{"engine.drain", 80};
+  /// Relaxed: load-balancing signal only (least-loaded routing); no data
+  /// is published through it and a momentarily stale read just routes one
+  /// batch suboptimally.
   std::atomic<int64_t> inflight_{0};
+  /// Relaxed: configuration value consulted by the fault injector; set
+  /// once per replica slot before traffic flows.
   std::atomic<int> fault_tag_{-1};
 };
 

@@ -98,7 +98,7 @@ std::vector<QueryEngine*> ReplicaSet::LiveEnginesLocked() {
 }
 
 std::vector<int> ReplicaSet::Append(const index::PackedCodes& codes) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   // Dead replicas are skipped — the journal carries the update to
   // whatever engine eventually replaces them.
   std::vector<QueryEngine*> live = LiveEnginesLocked();
@@ -126,7 +126,7 @@ bool ReplicaSet::Remove(int global_id) {
 }
 
 int ReplicaSet::RemoveIds(const std::vector<int>& global_ids) {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   std::vector<QueryEngine*> live = LiveEnginesLocked();
   // Removes fan out concurrently: each replica mutates only its own
   // state with the same argument, and a delete can trigger that
@@ -158,7 +158,7 @@ int ReplicaSet::RemoveIds(const std::vector<int>& global_ids) {
 }
 
 CompactionStats ReplicaSet::Compact() {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   std::vector<QueryEngine*> live = LiveEnginesLocked();
   // Unlike the per-row update fan-outs, a compaction is a full shard
   // rebuild per replica — run the independent rebuilds concurrently so
@@ -221,7 +221,7 @@ void ReplicaSet::ReplayJournalLocked(QueryEngine* engine) const {
 
 bool ReplicaSet::RespawnReplica(int r) {
   Stopwatch watch;
-  std::lock_guard<std::mutex> lock(update_mu_);
+  ExclusiveLock lock(update_mu_);
   QueryEngine* dead = replica(r);
   if (!dead->killed()) return false;  // someone else already respawned it
   health_[static_cast<size_t>(r)].store(
@@ -258,7 +258,7 @@ bool ReplicaSet::RespawnReplica(int r) {
   }
   QueryEngine* raw = fresh.get();
   {
-    std::lock_guard<std::mutex> owned_lock(owned_mu_);
+    MutexLock owned_lock(owned_mu_);
     owned_.push_back(std::move(fresh));
   }
   // The swap: from here on the router hands out the fresh engine. The
@@ -285,12 +285,14 @@ int ReplicaSet::RespawnDeadReplicas() {
 }
 
 size_t ReplicaSet::journal_size() const {
-  std::lock_guard<std::mutex> lock(update_mu_);
+  // Shared: a pure read of the journal length — it must not queue
+  // behind (or block) a fan-out the way an exclusive acquisition would.
+  SharedLock lock(update_mu_);
   return journal_.size();
 }
 
 void ReplicaSet::StartSupervisor() {
-  std::lock_guard<std::mutex> lock(supervisor_mu_);
+  MutexLock lock(supervisor_mu_);
   if (supervisor_.joinable()) return;
   supervisor_stop_ = false;
   supervisor_ = std::thread([this] { SupervisorLoop(); });
@@ -299,7 +301,7 @@ void ReplicaSet::StartSupervisor() {
 void ReplicaSet::StopSupervisor() {
   std::thread supervisor;
   {
-    std::lock_guard<std::mutex> lock(supervisor_mu_);
+    MutexLock lock(supervisor_mu_);
     supervisor_stop_ = true;
     supervisor.swap(supervisor_);
   }
@@ -309,10 +311,17 @@ void ReplicaSet::StopSupervisor() {
 
 void ReplicaSet::SupervisorLoop() {
   const auto interval = std::chrono::milliseconds(supervise_interval_ms_);
-  std::unique_lock<std::mutex> lock(supervisor_mu_);
+  UniqueLock lock(supervisor_mu_);
   while (!supervisor_stop_) {
-    supervisor_cv_.wait_for(lock, interval,
-                            [this] { return supervisor_stop_; });
+    // Sleep one interval, interruptible by a stop. The lock is dropped
+    // across the respawn scan so StopSupervisor (and the lock ranking —
+    // update_mu_ outranks this lock) never waits on a rebuild.
+    const auto deadline = std::chrono::steady_clock::now() + interval;
+    bool timed_out = false;
+    while (!supervisor_stop_ && !timed_out) {
+      timed_out =
+          supervisor_cv_.wait_until(lock, deadline) == std::cv_status::timeout;
+    }
     if (supervisor_stop_) return;
     lock.unlock();
     RespawnDeadReplicas();

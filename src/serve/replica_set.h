@@ -2,13 +2,12 @@
 #define UHSCM_SERVE_REPLICA_SET_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "io/serialize.h"
 #include "serve/query_engine.h"
 #include "serve/serve_stats.h"
@@ -213,13 +212,15 @@ class ReplicaSet {
   };
 
   void Init(const ReplicaSetOptions& options);
-  /// Engines in rotation that are not killed; caller holds update_mu_.
-  std::vector<QueryEngine*> LiveEnginesLocked();
+  /// Engines in rotation that are not killed; caller holds update_mu_
+  /// (exclusively — every caller is a mutator or a respawn).
+  std::vector<QueryEngine*> LiveEnginesLocked() UHSCM_REQUIRES(update_mu_);
   /// Rebuild-replay-verify-swap for slot r; returns false when the
   /// replica was not dead after all or hydration failed. Takes
   /// update_mu_ for the whole rebuild: updates wait, queries don't.
   bool RespawnReplica(int r);
-  void ReplayJournalLocked(QueryEngine* engine) const;
+  void ReplayJournalLocked(QueryEngine* engine) const
+      UHSCM_REQUIRES_SHARED(update_mu_);
   void SupervisorLoop();
 
   ServingSnapshotOptions serving_;
@@ -230,27 +231,35 @@ class ReplicaSet {
 
   /// Serializes fan-outs and respawns so every replica applies the same
   /// update sequence and no update can straddle a respawn's
-  /// freeze-replay-swap window. Also guards journal_.
-  mutable std::mutex update_mu_;
-  std::vector<JournalEntry> journal_;
+  /// freeze-replay-swap window. Also guards journal_. Mutators and
+  /// respawns hold it exclusive; journal_size(), a pure read, holds it
+  /// shared.
+  mutable SharedMutex update_mu_{"replicaset.update", 88};
+  std::vector<JournalEntry> journal_ UHSCM_GUARDED_BY(update_mu_);
 
   /// The router-visible rotation: slot r holds replica r's current
-  /// engine. Swapped with release stores; read with acquire loads.
+  /// engine. Release/acquire: the release store of a respawned slot
+  /// publishes the fully rebuilt engine behind the pointer; health_
+  /// likewise publishes each transition after its side effects.
   std::unique_ptr<std::atomic<QueryEngine*>[]> slots_;
   std::unique_ptr<std::atomic<int>[]> health_;
   /// Every engine ever created (current + retired corpses) — owns the
   /// storage the slot pointers alias.
-  mutable std::mutex owned_mu_;
-  std::vector<std::unique_ptr<QueryEngine>> owned_;
+  mutable Mutex owned_mu_{"replicaset.owned", 70};
+  std::vector<std::unique_ptr<QueryEngine>> owned_ UHSCM_GUARDED_BY(owned_mu_);
 
+  /// Relaxed: monotonic stats counters; no data is published through them.
   std::atomic<int64_t> respawns_{0};
   std::atomic<int64_t> respawn_failures_{0};
 
   int64_t supervise_interval_ms_ = 1;
-  std::thread supervisor_;
-  std::mutex supervisor_mu_;
-  std::condition_variable supervisor_cv_;
-  bool supervisor_stop_ = false;  // under supervisor_mu_
+  std::thread supervisor_ UHSCM_GUARDED_BY(supervisor_mu_);
+  /// Ranked just below the update lock: SupervisorLoop drops it before
+  /// RespawnDeadReplicas, so it is never held while acquiring
+  /// update_mu_.
+  Mutex supervisor_mu_{"replicaset.supervisor", 86};
+  CondVar supervisor_cv_;
+  bool supervisor_stop_ UHSCM_GUARDED_BY(supervisor_mu_) = false;
 };
 
 }  // namespace uhscm::serve

@@ -50,7 +50,7 @@ std::future<SearchResponse> RequestQueue::Submit(
   // rejects the submission before it can occupy queue capacity,
   // counted like any other rejection.
   if (FaultInjector::Global().ShouldFail(kFaultQueueAdmit)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++rejected_;
     return InjectedRejection();
   }
@@ -58,9 +58,8 @@ std::future<SearchResponse> RequestQueue::Submit(
   request.deadline = deadline;
   std::future<SearchResponse> future = request.promise.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || queue_.size() < capacity_; });
+    UniqueLock lock(mu_);
+    while (!closed_ && queue_.size() >= capacity_) not_full_.wait(lock);
     if (closed_) {
       ++rejected_;
       return RejectedFuture();
@@ -74,13 +73,13 @@ std::future<SearchResponse> RequestQueue::Submit(
 bool RequestQueue::TrySubmit(const uint64_t* words, int num_words, int k,
                              std::future<SearchResponse>* out) {
   if (FaultInjector::Global().ShouldFail(kFaultQueueAdmit)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++rejected_;
     *out = InjectedRejection();
     return true;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) {
       ++rejected_;
       *out = RejectedFuture();
@@ -100,8 +99,8 @@ bool RequestQueue::CollectBatch(int max_batch,
                                 std::vector<PendingRequest>* out) {
   out->clear();
   max_batch = std::max(1, max_batch);
-  std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  UniqueLock lock(mu_);
+  while (!closed_ && queue_.empty()) not_empty_.wait(lock);
   if (closed_) return false;  // leftovers are FailPending's to complete
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
@@ -111,17 +110,22 @@ bool RequestQueue::CollectBatch(int max_batch,
       not_full_.notify_one();
     }
     if (static_cast<int>(out->size()) >= max_batch || closed_) break;
-    if (!not_empty_.wait_until(
-            lock, deadline, [&] { return closed_ || !queue_.empty(); })) {
-      break;  // T elapsed first: flush whatever the batch holds
+    // Wait for more work, a close, or the T deadline — whichever first.
+    bool collect_more = true;
+    while (!closed_ && queue_.empty()) {
+      if (not_empty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        collect_more = closed_ || !queue_.empty();
+        break;
+      }
     }
+    if (!collect_more) break;  // T elapsed first: flush what the batch holds
   }
   return true;
 }
 
 void RequestQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -131,7 +135,7 @@ void RequestQueue::Close() {
 int RequestQueue::FailPending(const Status& status) {
   std::deque<PendingRequest> pending;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pending.swap(queue_);
   }
   for (PendingRequest& request : pending) {
@@ -142,22 +146,22 @@ int RequestQueue::FailPending(const Status& status) {
 }
 
 size_t RequestQueue::depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 int64_t RequestQueue::rejected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rejected_;
 }
 
 void RequestQueue::ResetRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rejected_ = 0;
 }
 

@@ -2,13 +2,12 @@
 #define UHSCM_SERVE_REQUEST_QUEUE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/status.h"
 #include "index/neighbor.h"
 #include "obs/trace.h"
@@ -117,12 +116,14 @@ class RequestQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<PendingRequest> queue_;
-  bool closed_ = false;
-  int64_t rejected_ = 0;  // under mu_
+  /// Leaf lock in the batcher hierarchy: held only around queue state,
+  /// never while calling out (promises resolve outside it).
+  mutable Mutex mu_{"serve.queue", 30};
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<PendingRequest> queue_ UHSCM_GUARDED_BY(mu_);
+  bool closed_ UHSCM_GUARDED_BY(mu_) = false;
+  int64_t rejected_ UHSCM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace uhscm::serve

@@ -10,7 +10,7 @@ bool ResultCache::Lookup(const CacheKey& key,
   // exists to avoid cache overhead, so it cannot become a per-query
   // contention point. Its counters simply stay zero.
   if (capacity_ == 0) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -25,7 +25,7 @@ bool ResultCache::Lookup(const CacheKey& key,
 void ResultCache::Insert(const CacheKey& key,
                          std::vector<index::Neighbor> neighbors) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent misses on the same key race to insert; last write wins
@@ -44,23 +44,23 @@ void ResultCache::Insert(const CacheKey& key,
 }
 
 void ResultCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 void ResultCache::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stats_ = ResultCacheStats{};
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lru_.size();
 }
 

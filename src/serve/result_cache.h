@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "index/neighbor.h"
 
 namespace uhscm::serve {
@@ -90,12 +90,13 @@ class ResultCache {
   };
 
   size_t capacity_;
-  mutable std::mutex mu_;
-  ResultCacheStats stats_;
+  /// Leaf lock: nothing else is ever acquired while it is held.
+  mutable Mutex mu_{"serve.cache", 20};
+  ResultCacheStats stats_ UHSCM_GUARDED_BY(mu_);
   /// Front = most recently used.
-  std::list<Entry> lru_;
+  std::list<Entry> lru_ UHSCM_GUARDED_BY(mu_);
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
-      index_;
+      index_ UHSCM_GUARDED_BY(mu_);
 };
 
 }  // namespace uhscm::serve

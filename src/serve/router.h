@@ -67,7 +67,10 @@ class Router {
  private:
   ReplicaSet* replicas_;
   RoutePolicy policy_;
+  /// Relaxed: the round-robin rotation counter — each fetch_add claims a
+  /// distinct slot; no data is published through it.
   std::atomic<uint64_t> next_{0};
+  /// Relaxed: per-replica routed-batch observability counters only.
   std::unique_ptr<std::atomic<int64_t>[]> routed_;
 };
 

@@ -36,7 +36,7 @@ void ServeStats::RecordBatch(int num_queries, int hits,
   // Every query in the batch observes the batch's completion latency;
   // RecordN folds all of them into the histogram in O(1).
   latency_ns_.RecordN(SecondsToNanos(elapsed_seconds), num_queries);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queries_ += num_queries;
   batches_ += 1;
   cache_hits_ += hits;
@@ -47,7 +47,7 @@ void ServeStats::RecordBatch(int num_queries, int hits,
 ServeStatsSnapshot ServeStats::Snapshot() const {
   ServeStatsSnapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap.queries = queries_;
     snap.batches = batches_;
     snap.cache_hits = cache_hits_;
@@ -61,7 +61,7 @@ ServeStatsSnapshot ServeStats::Snapshot() const {
 }
 
 void ServeStats::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   latency_ns_.Reset();
   wall_.Restart();
   queries_ = 0;
@@ -92,17 +92,23 @@ int BatchSizeBucket(int size) {
 std::string BatchSizeBucketLabel(int bucket) {
   if (bucket <= 0) return "1";
   if (bucket == 1) return "2";
+  // Built via append: GCC 12's -Wrestrict false-positives on
+  // `literal + std::to_string(...)` at -O2 -DNDEBUG (GCC PR105651).
   if (bucket >= kBatchSizeBuckets - 1) {
-    return ">" + std::to_string(1 << (kBatchSizeBuckets - 2));
+    std::string label(">");
+    label += std::to_string(1 << (kBatchSizeBuckets - 2));
+    return label;
   }
-  return "<=" + std::to_string(1 << bucket);
+  std::string label("<=");
+  label += std::to_string(1 << bucket);
+  return label;
 }
 
 PipelineStats::PipelineStats() = default;
 
 void PipelineStats::RecordFlush(int batch_size, bool by_timeout) {
   if (batch_size <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   (by_timeout ? flushes_by_timeout_ : flushes_by_size_) += 1;
   batch_size_hist_[static_cast<size_t>(BatchSizeBucket(batch_size))] += 1;
 }
@@ -111,40 +117,40 @@ void PipelineStats::RecordRequestDone(double queue_seconds,
                                       double total_seconds) {
   queue_wait_ns_.Record(SecondsToNanos(queue_seconds));
   total_latency_ns_.Record(SecondsToNanos(total_seconds));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   requests_done_ += 1;
 }
 
 void PipelineStats::RecordRejected(int count) {
   if (count <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rejected_ += count;
 }
 
 void PipelineStats::RecordRetry() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   retries_ += 1;
 }
 
 void PipelineStats::RecordHedge() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hedges_ += 1;
 }
 
 void PipelineStats::RecordHedgeWin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   hedge_wins_ += 1;
 }
 
 void PipelineStats::RecordDeadlineExceeded(int count) {
   if (count <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   deadline_exceeded_ += count;
 }
 
 void PipelineStats::FillSnapshot(ServeStatsSnapshot* snap) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap->queries = requests_done_;
     snap->batches = flushes_by_size_ + flushes_by_timeout_;
     snap->batches_flushed_by_size = flushes_by_size_;
@@ -174,7 +180,7 @@ void PipelineStats::FillSnapshot(ServeStatsSnapshot* snap) const {
 }
 
 void PipelineStats::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queue_wait_ns_.Reset();
   total_latency_ns_.Reset();
   wall_.Restart();

@@ -3,10 +3,10 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
 
@@ -145,14 +145,15 @@ class ServeStats {
   void Reset();
 
  private:
-  mutable std::mutex mu_;  // scalar counters only; the histogram is lock-free
-  Stopwatch wall_;
+  /// Leaf lock over the scalar counters only; the histogram is lock-free.
+  mutable Mutex mu_{"serve.stats", 18};
+  Stopwatch wall_ UHSCM_GUARDED_BY(mu_);
   obs::Histogram latency_ns_;
-  int64_t queries_ = 0;
-  int64_t batches_ = 0;
-  int64_t cache_hits_ = 0;
-  int64_t cache_misses_ = 0;
-  double busy_seconds_ = 0.0;
+  int64_t queries_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t batches_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t cache_hits_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t cache_misses_ UHSCM_GUARDED_BY(mu_) = 0;
+  double busy_seconds_ UHSCM_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Percentile (p in [0,100]) of a sample vector; 0 when empty. Sorts a
@@ -206,19 +207,21 @@ class PipelineStats {
   void Reset();
 
  private:
-  mutable std::mutex mu_;  // scalar counters; histograms are lock-free
-  Stopwatch wall_;
+  /// Leaf lock over the scalar counters; histograms are lock-free.
+  mutable Mutex mu_{"pipeline.stats", 17};
+  Stopwatch wall_ UHSCM_GUARDED_BY(mu_);
   obs::Histogram queue_wait_ns_;
   obs::Histogram total_latency_ns_;
-  int64_t requests_done_ = 0;
-  int64_t rejected_ = 0;
-  int64_t flushes_by_size_ = 0;
-  int64_t flushes_by_timeout_ = 0;
-  int64_t retries_ = 0;
-  int64_t hedges_ = 0;
-  int64_t hedge_wins_ = 0;
-  int64_t deadline_exceeded_ = 0;
-  std::array<int64_t, kBatchSizeBuckets> batch_size_hist_{};
+  int64_t requests_done_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t rejected_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t flushes_by_size_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t flushes_by_timeout_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t retries_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t hedges_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t hedge_wins_ UHSCM_GUARDED_BY(mu_) = 0;
+  int64_t deadline_exceeded_ UHSCM_GUARDED_BY(mu_) = 0;
+  std::array<int64_t, kBatchSizeBuckets> batch_size_hist_ UHSCM_GUARDED_BY(
+      mu_){};
 };
 
 /// Sums per-replica engine snapshots into one corpus-wide view: counters

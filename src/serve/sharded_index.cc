@@ -61,7 +61,7 @@ std::vector<Neighbor> ShardedIndex::ShardTopK(int s, const uint64_t* query,
   UHSCM_CHECK(s >= 0 && s < num_shards(),
               "ShardedIndex::ShardTopK: shard out of range");
   const Shard& shard = *shards_[static_cast<size_t>(s)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  SharedLock lock(shard.mu);
   std::vector<Neighbor> local = shard.impl->TopK(query, k);
   // The local -> global map is strictly increasing, so the (distance, id)
   // sort order survives the remap.
@@ -75,7 +75,7 @@ std::vector<std::vector<Neighbor>> ShardedIndex::ShardTopKBatch(
   UHSCM_CHECK(s >= 0 && s < num_shards(),
               "ShardedIndex::ShardTopKBatch: shard out of range");
   const Shard& shard = *shards_[static_cast<size_t>(s)];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  SharedLock lock(shard.mu);
   std::vector<std::vector<Neighbor>> results =
       shard.impl->TopKBatch(queries, num_queries, k);
   for (auto& list : results) {
@@ -90,7 +90,7 @@ std::vector<int> ShardedIndex::Append(const index::PackedCodes& batch) {
               "ShardedIndex::Append: batch bit width != corpus bit width");
   std::vector<int> ids;
   if (batch.size() == 0) return ids;
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  ExclusiveLock meta(meta_mu_);
   // Route the whole batch to the shard with the fewest live rows so the
   // corpus stays balanced as it grows and shrinks.
   int target = 0;
@@ -104,7 +104,7 @@ std::vector<int> ShardedIndex::Append(const index::PackedCodes& batch) {
   const int first_id = total_size_.load(std::memory_order_relaxed);
   ids.reserve(static_cast<size_t>(batch.size()));
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    ExclusiveLock lock(shard.mu);
     const int local_base = shard.impl->total_size();
     shard.impl->Append(batch);
     for (int i = 0; i < batch.size(); ++i) {
@@ -121,7 +121,7 @@ std::vector<int> ShardedIndex::Append(const index::PackedCodes& batch) {
 }
 
 bool ShardedIndex::Remove(int global_id) {
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  ExclusiveLock meta(meta_mu_);
   if (global_id < 0 ||
       global_id >= total_size_.load(std::memory_order_relaxed)) {
     return false;
@@ -129,7 +129,7 @@ bool ShardedIndex::Remove(int global_id) {
   const Locator loc = locator_[static_cast<size_t>(global_id)];
   if (loc.shard == Locator::kGone) return false;  // compacted away
   Shard& shard = *shards_[static_cast<size_t>(loc.shard)];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  ExclusiveLock lock(shard.mu);
   if (!shard.impl->Remove(loc.local)) return false;
   --shard_live_[static_cast<size_t>(loc.shard)];
   live_size_.fetch_sub(1, std::memory_order_release);
@@ -137,7 +137,7 @@ bool ShardedIndex::Remove(int global_id) {
 }
 
 int ShardedIndex::RemoveIds(const std::vector<int>& global_ids) {
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  ExclusiveLock meta(meta_mu_);
   const int total = total_size_.load(std::memory_order_relaxed);
   // Group by shard so each shard's writer lock is taken once per batch
   // instead of once per id — a bulk delete stalls in-flight queries per
@@ -153,7 +153,7 @@ int ShardedIndex::RemoveIds(const std::vector<int>& global_ids) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (local_ids[s].empty()) continue;
     Shard& shard = *shards_[s];
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    ExclusiveLock lock(shard.mu);
     int shard_removed = 0;
     for (int local : local_ids[s]) {
       shard_removed += shard.impl->Remove(local) ? 1 : 0;
@@ -176,13 +176,13 @@ int ShardedIndex::ShardDeadLocked(int s) const {
 int ShardedIndex::CompactShard(int s) {
   UHSCM_CHECK(s >= 0 && s < num_shards(),
               "ShardedIndex::CompactShard: shard out of range");
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  ExclusiveLock meta(meta_mu_);
   if (ShardDeadLocked(s) == 0) return 0;
   return CompactShardLocked(s);
 }
 
 CompactionStats ShardedIndex::MaybeCompact(double dead_fraction) {
-  std::lock_guard<std::mutex> meta(meta_mu_);
+  ExclusiveLock meta(meta_mu_);
   CompactionStats stats;
   for (int s = 0; s < num_shards(); ++s) {
     const Shard& shard = *shards_[static_cast<size_t>(s)];
@@ -228,7 +228,7 @@ int ShardedIndex::CompactShardLocked(int s) {
   // The swap is the only step queries must not observe half-done: take
   // the writer lock just long enough to exchange the pointers.
   {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    ExclusiveLock lock(shard.mu);
     shard.impl = std::move(compacted);
     shard.base_count = 0;  // all locals now map through appended_ids
     shard.appended_ids = std::move(survivor_gids);
@@ -237,10 +237,27 @@ int ShardedIndex::CompactShardLocked(int s) {
 }
 
 CorpusExport ShardedIndex::Export() const {
-  std::lock_guard<std::mutex> meta(meta_mu_);
-  std::vector<std::shared_lock<std::shared_mutex>> locks;
-  locks.reserve(shards_.size());
-  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  // Shared: exporting is a pure read — concurrent exports may overlap,
+  // and only mutators (exclusive holders) are fenced out.
+  SharedLock meta(meta_mu_);
+  return ExportLocked();
+}
+
+CorpusExport ShardedIndex::ExportLocked() const {
+  // Freeze every shard against writers, in shard-index order (the one
+  // consistent order kOrderedInstances promises the checker).
+  struct AllShardsReadLock {
+    explicit AllShardsReadLock(const std::vector<std::unique_ptr<Shard>>& s)
+        UHSCM_NO_THREAD_SAFETY_ANALYSIS : shards(s) {
+      for (const auto& shard : shards) shard->mu.lock_shared();
+    }
+    ~AllShardsReadLock() UHSCM_NO_THREAD_SAFETY_ANALYSIS {
+      for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+        (*it)->mu.unlock_shared();
+      }
+    }
+    const std::vector<std::unique_ptr<Shard>>& shards;
+  } locks(shards_);
 
   const int total = total_size_.load(std::memory_order_relaxed);
   const int words_per_code = (bits_ + 63) / 64;

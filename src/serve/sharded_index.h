@@ -3,10 +3,9 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/annotated_sync.h"
 #include "common/thread_pool.h"
 #include "index/neighbor.h"
 #include "index/packed_codes.h"
@@ -183,11 +182,16 @@ class ShardedIndex {
     int base_count = 0;  // contiguous base rows [offset, offset+base_count)
     /// Global ids of appended rows (local ids base_count..), strictly
     /// increasing — appended under the corpus mutex from a monotonic
-    /// counter.
+    /// counter. offset/base_count/appended_ids follow a dual-guard
+    /// protocol: writers hold both meta_mu_ and mu, readers hold either
+    /// one. TSA cannot express an either-of guard, so they carry no
+    /// GUARDED_BY; the lock-order checker still covers both locks.
     std::vector<int> appended_ids;
-    std::unique_ptr<index::ShardIndex> impl;
-    /// Queries hold this shared; Append/Remove hold it exclusive.
-    mutable std::shared_mutex mu;
+    std::unique_ptr<index::ShardIndex> impl UHSCM_GUARDED_BY(mu);
+    /// Queries hold this shared; Append/Remove hold it exclusive. All
+    /// instances share one lock class and may nest (kOrderedInstances)
+    /// because Export() takes every shard lock in shard-index order.
+    mutable SharedMutex mu{"index.shard", 50, lockorder::kOrderedInstances};
 
     int GlobalId(int local) const {
       return local < base_count
@@ -206,19 +210,35 @@ class ShardedIndex {
   };
 
   /// Dead rows in shard `s`; caller holds meta_mu_.
-  int ShardDeadLocked(int s) const;
+  int ShardDeadLocked(int s) const UHSCM_REQUIRES_SHARED(meta_mu_);
   /// The meta-locked body of CompactShard; `s` must hold dead rows.
-  int CompactShardLocked(int s);
+  /// Unanalyzed body: deliberately reads the old shard impl *off* the
+  /// shard lock — exclusive meta_mu_ keeps the shard write-quiescent
+  /// (see the compaction protocol above), which TSA cannot express.
+  int CompactShardLocked(int s)
+      UHSCM_REQUIRES(meta_mu_) UHSCM_NO_THREAD_SAFETY_ANALYSIS;
+  /// The meta-locked body of Export. Unanalyzed body: holds the dynamic
+  /// set of all shard locks (taken in shard-index order), which TSA
+  /// cannot track through a loop.
+  CorpusExport ExportLocked() const
+      UHSCM_REQUIRES_SHARED(meta_mu_) UHSCM_NO_THREAD_SAFETY_ANALYSIS;
 
   ShardedIndexOptions options_;
   int bits_ = 0;
+  /// Relaxed: advisory live-row count (k clamping, size accessors, stats).
+  /// No data is published through it — rows are protected by the shard
+  /// rwlocks and all mutation happens under meta_mu_.
   std::atomic<int> live_size_{0};
+  /// Relaxed: upper bound of assigned global ids. Mutated and read under
+  /// meta_mu_ on every id-addressed path; the lock-free accessor is
+  /// advisory only.
   std::atomic<int> total_size_{0};
   /// Guards locator_, shard_live_, append routing, and global-id
-  /// assignment. Always acquired before any shard lock.
-  mutable std::mutex meta_mu_;
-  std::vector<Locator> locator_;  // indexed by global id
-  std::vector<int> shard_live_;   // live rows per shard (under meta_mu_)
+  /// assignment. Always acquired before any shard lock. Mutators hold it
+  /// exclusive; Export(), the snapshot read path, holds it shared.
+  mutable SharedMutex meta_mu_{"index.meta", 60};
+  std::vector<Locator> locator_ UHSCM_GUARDED_BY(meta_mu_);  // by global id
+  std::vector<int> shard_live_ UHSCM_GUARDED_BY(meta_mu_);
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
